@@ -1,0 +1,245 @@
+//! The Arnoldi factorization with deflation.
+//!
+//! Builds `Op V_m = V_{m+1} H_{m+1,m}` where the columns of `V` are an
+//! orthonormal Krylov basis. Converged ("locked") vectors from earlier
+//! restarts are projected out of the start vector and of every new Krylov
+//! direction, which realizes the paper's *incremental deflation*: the
+//! effective operator is `(I - Q Q^H) Op (I - Q Q^H)`.
+
+use pheig_hamiltonian::CLinearOp;
+use pheig_linalg::vector::{axpy, dot, normalize, nrm2};
+use pheig_linalg::{C64, Matrix};
+
+/// An Arnoldi factorization of length `m`.
+#[derive(Debug, Clone)]
+pub struct ArnoldiFactorization {
+    /// Orthonormal basis vectors `v_0 .. v_m` (`m + 1` of them).
+    pub basis: Vec<Vec<C64>>,
+    /// The `(m+1) x m` upper-Hessenberg projection.
+    pub h: Matrix<C64>,
+    /// Achieved factorization length (may be shorter than requested on
+    /// happy breakdown).
+    pub steps: usize,
+    /// `true` when the Krylov space became invariant (happy breakdown).
+    pub breakdown: bool,
+}
+
+impl ArnoldiFactorization {
+    /// The square `m x m` projected matrix `H_m`.
+    pub fn projected(&self) -> Matrix<C64> {
+        Matrix::from_fn(self.steps, self.steps, |i, j| self.h[(i, j)])
+    }
+
+    /// The sub-diagonal residual entry `h_{m+1, m}`.
+    pub fn residual_entry(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.h[(self.steps, self.steps - 1)].abs()
+        }
+    }
+
+    /// Lifts a projected vector `y` (length `steps`) into the original
+    /// space: `V_m y`, normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != self.steps`.
+    pub fn lift(&self, y: &[C64]) -> Vec<C64> {
+        assert_eq!(y.len(), self.steps, "lift coefficient length mismatch");
+        let n = self.basis[0].len();
+        let mut v = vec![C64::zero(); n];
+        for (j, yj) in y.iter().enumerate() {
+            axpy(*yj, &self.basis[j], &mut v);
+        }
+        normalize(&mut v);
+        v
+    }
+}
+
+/// Orthogonalizes `w` against `q` in place (one projection).
+fn project_out(w: &mut [C64], q: &[C64]) -> C64 {
+    let c = dot(q, w);
+    axpy(-c, q, w);
+    c
+}
+
+/// Builds an Arnoldi factorization of `op` from `start`, deflating the
+/// `locked` orthonormal set.
+///
+/// `start` does not need to be normalized; it is orthogonalized against
+/// `locked` first. Returns a factorization with `steps <= max_steps`
+/// (shorter on breakdown).
+///
+/// # Panics
+///
+/// Panics if `start.len() != op.dim()` or any locked vector has the wrong
+/// length.
+pub fn arnoldi(
+    op: &dyn CLinearOp,
+    start: &[C64],
+    locked: &[Vec<C64>],
+    max_steps: usize,
+) -> ArnoldiFactorization {
+    let n = op.dim();
+    assert_eq!(start.len(), n, "start vector length mismatch");
+    for q in locked {
+        assert_eq!(q.len(), n, "locked vector length mismatch");
+    }
+    let mut v0 = start.to_vec();
+    for q in locked {
+        project_out(&mut v0, q);
+    }
+    // Second pass for robustness when start is nearly inside the locked span.
+    for q in locked {
+        project_out(&mut v0, q);
+    }
+    let n0 = normalize(&mut v0);
+    let mut basis = vec![v0];
+    let mut h = Matrix::<C64>::zeros(max_steps + 1, max_steps);
+    if n0 == 0.0 {
+        return ArnoldiFactorization { basis, h, steps: 0, breakdown: true };
+    }
+    let mut steps = 0;
+    let mut breakdown = false;
+    for j in 0..max_steps {
+        let mut w = op.apply(&basis[j]);
+        // Deflation: keep the recursion inside the complement of `locked`.
+        for q in locked {
+            project_out(&mut w, q);
+        }
+        // Modified Gram-Schmidt.
+        let before = nrm2(&w);
+        for (i, vi) in basis.iter().enumerate() {
+            let c = project_out(&mut w, vi);
+            h[(i, j)] += c;
+        }
+        // One re-orthogonalization pass (always; cheap insurance against
+        // the MGS loss of orthogonality for clustered spectra).
+        if nrm2(&w) < 0.7 * before {
+            for q in locked {
+                project_out(&mut w, q);
+            }
+            for (i, vi) in basis.iter().enumerate() {
+                let c = project_out(&mut w, vi);
+                h[(i, j)] += c;
+            }
+        }
+        let beta = nrm2(&w);
+        steps = j + 1;
+        h[(j + 1, j)] = C64::from_real(beta);
+        if beta <= 1e-14 * before.max(1.0) {
+            breakdown = true;
+            break;
+        }
+        let inv = C64::from_real(1.0 / beta);
+        let vnext: Vec<C64> = w.iter().map(|&x| x * inv).collect();
+        basis.push(vnext);
+    }
+    // Trim H to the achieved size.
+    let h = Matrix::from_fn(steps + 1, steps, |i, j| h[(i, j)]);
+    ArnoldiFactorization { basis, h, steps, breakdown }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_op(d: &[C64]) -> Matrix<C64> {
+        Matrix::from_diag(d)
+    }
+
+    fn rand_start(n: usize, seed: u64) -> Vec<C64> {
+        (0..n)
+            .map(|i| {
+                let t = (i as f64 + 1.0) * (seed as f64 + 1.3);
+                C64::new((t * 0.7).sin(), (t * 1.3).cos())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn arnoldi_relation_holds() {
+        // Op * V_m == V_{m+1} * H.
+        let n = 12;
+        let d: Vec<C64> = (0..n).map(|i| C64::new(i as f64 + 1.0, (i % 3) as f64)).collect();
+        let op = diag_op(&d);
+        let fact = arnoldi(&op, &rand_start(n, 1), &[], 6);
+        assert_eq!(fact.steps, 6);
+        for j in 0..fact.steps {
+            let av = op.matvec(&fact.basis[j]);
+            let mut rhs = vec![C64::zero(); n];
+            for i in 0..=fact.steps.min(j + 1) {
+                axpy(fact.h[(i, j)], &fact.basis[i], &mut rhs);
+            }
+            for k in 0..n {
+                assert!((av[k] - rhs[k]).abs() < 1e-10, "column {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let n = 20;
+        let d: Vec<C64> = (0..n).map(|i| C64::new((i as f64).sin() * 3.0, i as f64 * 0.2)).collect();
+        let op = diag_op(&d);
+        let fact = arnoldi(&op, &rand_start(n, 2), &[], 10);
+        for i in 0..fact.basis.len() {
+            for j in 0..fact.basis.len() {
+                let g = dot(&fact.basis[i], &fact.basis[j]);
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((g - C64::from_real(want)).abs() < 1e-10, "gram({i},{j}) = {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn happy_breakdown_on_invariant_subspace() {
+        // Start vector = eigenvector: breakdown after 1 step.
+        let d = [C64::from_real(2.0), C64::from_real(3.0)];
+        let op = diag_op(&d);
+        let start = vec![C64::one(), C64::zero()];
+        let fact = arnoldi(&op, &start, &[], 2);
+        assert!(fact.breakdown);
+        assert_eq!(fact.steps, 1);
+        assert!((fact.projected()[(0, 0)] - C64::from_real(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deflation_excludes_locked_directions() {
+        // Lock the dominant eigenvector of a diagonal operator; the
+        // projected spectrum must not contain its eigenvalue.
+        let n = 8;
+        let d: Vec<C64> = (0..n).map(|i| C64::from_real(10.0 - i as f64)).collect();
+        let op = diag_op(&d);
+        let mut e0 = vec![C64::zero(); n];
+        e0[0] = C64::one();
+        let fact = arnoldi(&op, &rand_start(n, 3), &[e0], n - 1);
+        let hm = fact.projected();
+        let eigs = pheig_linalg::eig::eig_complex(&hm).unwrap();
+        for z in eigs {
+            assert!((z - C64::from_real(10.0)).abs() > 0.5, "locked eigenvalue leaked: {z}");
+        }
+    }
+
+    #[test]
+    fn zero_start_after_deflation() {
+        // Start inside the locked span -> degenerate factorization signal.
+        let op = diag_op(&[C64::from_real(1.0), C64::from_real(2.0)]);
+        let q = vec![C64::one(), C64::zero()];
+        let fact = arnoldi(&op, &[C64::one(), C64::zero()], &[q], 2);
+        assert!(fact.breakdown);
+        assert_eq!(fact.steps, 0);
+    }
+
+    #[test]
+    fn lift_produces_unit_vectors() {
+        let n = 10;
+        let d: Vec<C64> = (0..n).map(|i| C64::new(i as f64, 1.0)).collect();
+        let op = diag_op(&d);
+        let fact = arnoldi(&op, &rand_start(n, 5), &[], 4);
+        let y = vec![C64::new(0.5, 0.1); fact.steps];
+        let v = fact.lift(&y);
+        assert!((nrm2(&v) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,517 @@
+//! The paper's single-shift iteration `S(theta, rho0)` (Sec. III) and the
+//! non-inverted largest-eigenvalue estimator used to size the search band.
+
+use crate::error::ArnoldiError;
+use crate::krylov::arnoldi;
+use crate::options::SingleShiftOptions;
+use crate::ritz::ritz_pairs;
+use pheig_hamiltonian::{CLinearOp, ShiftInvertOp};
+use pheig_linalg::vector::{axpy, dot, normalize};
+use pheig_linalg::C64;
+use pheig_model::StateSpace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A converged Hamiltonian eigenpair produced by the single-shift iteration.
+#[derive(Debug, Clone)]
+pub struct ConvergedEigenpair {
+    /// The Hamiltonian eigenvalue `lambda` (mapped back from the
+    /// shift-inverted spectrum).
+    pub lambda: C64,
+    /// Unit-norm eigenvector in the original `C^{2n}` space.
+    pub vector: Vec<C64>,
+    /// Mapped eigenvalue error estimate at acceptance time.
+    pub error_estimate: f64,
+}
+
+/// Result of one single-shift iteration: the certified disk and the
+/// eigenvalues inside it (paper Eq. (9) and Fig. 1).
+#[derive(Debug, Clone)]
+pub struct SingleShiftOutcome {
+    /// The shift `theta` that was processed.
+    pub theta: C64,
+    /// Certified disk radius `rho`: the iteration found *every* eigenvalue
+    /// with `|lambda - theta| < rho` (under the shift-invert convergence
+    /// ordering assumption; see module docs).
+    pub radius: f64,
+    /// Converged eigenpairs with `|lambda - theta| <= radius`.
+    pub in_disk: Vec<ConvergedEigenpair>,
+    /// Every eigenvalue that converged, including any outside the disk.
+    pub all_converged: Vec<C64>,
+    /// Operator applications spent.
+    pub matvecs: usize,
+    /// Explicit restarts performed.
+    pub restarts: usize,
+}
+
+/// Runs the single-shift iteration on an explicit shift-inverted operator.
+///
+/// `map` converts operator eigenvalues back to Hamiltonian eigenvalues
+/// (`lambda = theta + 1/mu` for shift-invert). `scale` sets the absolute
+/// eigenvalue tolerance `opts.tol * scale` (use the band magnitude).
+///
+/// # Errors
+///
+/// * [`ArnoldiError::NoConvergence`] if nothing converges within the
+///   restart budget;
+/// * [`ArnoldiError::Linalg`] on projected eigensolver failure.
+pub fn single_shift_on_op(
+    op: &dyn CLinearOp,
+    map: &dyn Fn(C64) -> C64,
+    theta: C64,
+    rho0: f64,
+    scale: f64,
+    opts: &SingleShiftOptions,
+) -> Result<SingleShiftOutcome, ArnoldiError> {
+    let n = op.dim();
+    let tol_abs = (opts.tol * scale.max(f64::MIN_POSITIVE)).max(1e-300);
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let mut locked_vecs: Vec<Vec<C64>> = Vec::new();
+    let mut locked: Vec<ConvergedEigenpair> = Vec::new();
+    let mut near_estimates: Vec<f64> = Vec::new();
+    let mut matvecs = 0usize;
+    let mut restarts = 0usize;
+    let mut stall = 0usize;
+    // Collect a couple extra converged eigenvalues beyond n_theta so the
+    // radius certificate has a "next eigenvalue" distance to lean on.
+    let collect_target = opts.n_eigs + 1;
+    // Explicit restart vector: the first start of a shift is random (the
+    // paper's source of run-to-run variation); subsequent restarts reuse a
+    // combination of the best unconverged Ritz vectors so progress
+    // accumulates even when a single pass of `max_subspace` steps cannot
+    // converge anything (dense spectra at large n).
+    let mut next_start: Option<Vec<C64>> = None;
+
+    while restarts < opts.max_restarts && locked.len() < collect_target {
+        let start: Vec<C64> = next_start.take().unwrap_or_else(|| {
+            (0..n).map(|_| C64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect()
+        });
+        let fact = arnoldi(op, &start, &locked_vecs, opts.max_subspace.min(n));
+        matvecs += fact.steps;
+        restarts += 1;
+        if fact.steps == 0 {
+            // Fully deflated: the reachable spectrum is exhausted.
+            break;
+        }
+        let pairs = ritz_pairs(&fact)?;
+        let mut newly = 0usize;
+        near_estimates.clear();
+        for pair in &pairs {
+            let lambda = map(pair.mu);
+            let dist = (lambda - theta).abs();
+            let err = pair.mapped_error_estimate();
+            if err <= tol_abs {
+                let duplicate = locked
+                    .iter()
+                    .any(|e| (e.lambda - lambda).abs() <= 100.0 * tol_abs + 1e-10 * dist);
+                // Lift and re-orthogonalize against the locked set; a
+                // vanishing projection means we re-found a locked direction.
+                let mut v = fact.lift(&pair.y);
+                for q in &locked_vecs {
+                    let c = dot(q, &v);
+                    axpy(-c, q, &mut v);
+                }
+                let nrm = normalize(&mut v);
+                if nrm < 1e-8 {
+                    continue;
+                }
+                locked_vecs.push(v.clone());
+                if !duplicate {
+                    locked.push(ConvergedEigenpair { lambda, vector: v, error_estimate: err });
+                    newly += 1;
+                }
+            } else if err <= 1e5 * tol_abs {
+                // "Converging" (paper's wording): a credible nearby
+                // eigenvalue estimate that has not met the tolerance yet.
+                near_estimates.push(dist);
+            }
+        }
+        // Build the explicit-restart vector from the leading unconverged
+        // Ritz directions (nearest to the shift first).
+        let mut comb = vec![C64::zero(); n];
+        let mut used = 0usize;
+        for pair in &pairs {
+            if used >= opts.n_eigs {
+                break;
+            }
+            if pair.mapped_error_estimate() <= tol_abs {
+                continue; // already locked this round
+            }
+            let v = fact.lift(&pair.y);
+            axpy(C64::from_real(1.0 / (1.0 + used as f64)), &v, &mut comb);
+            used += 1;
+        }
+        if used > 0 && normalize(&mut comb) > 0.0 {
+            next_start = Some(comb);
+        }
+        if newly == 0 {
+            stall += 1;
+            if stall >= 6 {
+                break;
+            }
+        } else {
+            stall = 0;
+        }
+    }
+
+    if locked_vecs.is_empty() {
+        return Err(ArnoldiError::NoConvergence { restarts, matvecs });
+    }
+
+    // ---- Rayleigh-Ritz refinement on the locked subspace -------------------
+    // Each locked vector is an eigenvector of the *deflated* operator, i.e.
+    // the Q-orthogonal component of a true eigenvector. The span of Q is
+    // (approximately) invariant, so projecting the operator onto Q and
+    // solving the small eigenproblem recovers the true eigenpairs.
+    let mq = locked_vecs.len();
+    let opq: Vec<Vec<C64>> = locked_vecs
+        .iter()
+        .map(|q| {
+            matvecs += 1;
+            op.apply(q)
+        })
+        .collect();
+    let t = pheig_linalg::Matrix::from_fn(mq, mq, |i, j| dot(&locked_vecs[i], &opq[j]));
+    let (mus, yv) = pheig_linalg::eig::eig_with_vectors(&t)?;
+    let dedupe_tol = 100.0 * tol_abs;
+    let mut refined: Vec<ConvergedEigenpair> = Vec::new();
+    let mut doubtful_dists: Vec<f64> = Vec::new();
+    for (k, &mu) in mus.iter().enumerate() {
+        let lambda = map(mu);
+        // x = Q y_k (unit norm since Q is orthonormal and y_k is unit).
+        let mut x = vec![C64::zero(); n];
+        let mut z = vec![C64::zero(); n];
+        for j in 0..mq {
+            axpy(yv[(j, k)], &locked_vecs[j], &mut x);
+            axpy(yv[(j, k)], &opq[j], &mut z);
+        }
+        normalize(&mut x);
+        let mut r2 = 0.0f64;
+        for i in 0..n {
+            r2 += (z[i] - mu * x[i]).abs_sq();
+        }
+        let err = r2.sqrt() / mu.abs_sq().max(f64::MIN_POSITIVE);
+        if refined.iter().any(|e| (e.lambda - lambda).abs() <= dedupe_tol) {
+            continue;
+        }
+        if err <= 1e3 * tol_abs {
+            refined.push(ConvergedEigenpair { lambda, vector: x, error_estimate: err });
+        } else if err <= 1e7 * tol_abs {
+            // The subspace picked up a non-invariant direction: do not
+            // return this value, and do not certify past its distance.
+            doubtful_dists.push((lambda - theta).abs());
+        }
+        // Residuals beyond 1e7 * tol are numerical junk (e.g. spurious
+        // values of a refinement subspace polluted by a breakdown); they
+        // carry no location information and must not collapse the radius.
+    }
+    if refined.is_empty() {
+        return Err(ArnoldiError::NoConvergence { restarts, matvecs });
+    }
+
+    // ---- Radius certification (paper Sec. III bullet 3) -------------------
+    let mut order: Vec<usize> = (0..refined.len()).collect();
+    let dist = |e: &ConvergedEigenpair| (e.lambda - theta).abs();
+    order.sort_by(|&a, &b| dist(&refined[a]).partial_cmp(&dist(&refined[b])).unwrap());
+    // Distances within `gap_tol` of each other form one "shell" (mirror
+    // eigenvalues sit at *exactly* equal distance up to round-off); the
+    // certified radius must never cut through a shell.
+    let gap_tol = (100.0 * tol_abs).max(1e-9 * scale);
+    let mut m = opts.n_eigs.min(refined.len());
+    while m < refined.len()
+        && dist(&refined[order[m]]) - dist(&refined[order[m - 1]]) <= gap_tol
+    {
+        m += 1;
+    }
+    let d_m = dist(&refined[order[m - 1]]);
+    // Nearest excluded estimate: the (m+1)-th converged eigenvalue, the
+    // closest still-converging Ritz estimate, or a doubtful refined value.
+    let mut d_next = f64::INFINITY;
+    if refined.len() > m {
+        d_next = d_next.min(dist(&refined[order[m]]));
+    }
+    for &d in near_estimates.iter().chain(&doubtful_dists) {
+        d_next = d_next.min(d);
+    }
+    // Hamiltonian symmetry guard: every eigenvalue lambda of a real
+    // Hamiltonian has a mirror -conj(lambda) at *exactly* the same distance
+    // from theta = j omega. A shell whose mirror is missing cannot be
+    // certified (its partner may be an unconverged equidistant eigenvalue),
+    // so cap the radius below such shells.
+    let sym_tol = (1e3 * tol_abs).max(1e-10 * scale);
+    for &i in &order {
+        let lam = refined[i].lambda;
+        // Mirrors of lambda at exactly the same distance from theta:
+        // -conj(lambda) for any theta on the imaginary axis, plus the rest
+        // of the quadruple (conj(lambda), -lambda) when theta = 0.
+        let mut mirrors = vec![-lam.conj()];
+        if theta.im.abs() <= sym_tol && theta.re.abs() <= sym_tol {
+            mirrors.push(lam.conj());
+            mirrors.push(-lam);
+        }
+        for mirror in mirrors {
+            if (mirror - lam).abs() <= sym_tol {
+                continue; // self-mirrored
+            }
+            let found = refined.iter().any(|e| (e.lambda - mirror).abs() <= sym_tol);
+            if !found {
+                d_next = d_next.min(dist(&refined[i]));
+            }
+        }
+    }
+    let radius = if d_next.is_finite() {
+        if d_next > d_m + gap_tol {
+            0.5 * (d_m + d_next)
+        } else {
+            // A non-returnable estimate sits at (or inside) the outermost
+            // returned shell: certify strictly below that whole shell.
+            d_next - gap_tol
+        }
+    } else {
+        // Nothing else in sight: the disk extends to the found set and a
+        // bit beyond (covers the rho0 guess when everything converged).
+        d_m.max(rho0) * 1.000001
+    };
+    let radius = radius.max(0.0);
+    if radius <= 0.0 && std::env::var_os("PHEIG_DEBUG_RADIUS").is_some() {
+        eprintln!(
+            "radius collapse at theta={theta}: d_m={d_m:.3e} d_next={d_next:.3e} \
+             gap_tol={gap_tol:.3e} refined={} near={} doubtful={}",
+            refined.len(),
+            near_estimates.len(),
+            doubtful_dists.len()
+        );
+        let mut ds: Vec<f64> = refined.iter().map(dist).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        eprintln!("  refined dists: {:?}", &ds[..ds.len().min(8)]);
+        let mut ne = near_estimates.clone();
+        ne.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        eprintln!("  near: {:?}", &ne[..ne.len().min(8)]);
+    }
+
+    let in_disk: Vec<ConvergedEigenpair> = order
+        .iter()
+        .map(|&i| refined[i].clone())
+        .filter(|e| dist(e) <= radius)
+        .collect();
+    let all_converged = refined.iter().map(|e| e.lambda).collect();
+    Ok(SingleShiftOutcome { theta, radius, in_disk, all_converged, matvecs, restarts })
+}
+
+/// Runs the single-shift iteration on a macromodel at shift
+/// `theta = j omega`, building the Sherman–Morrison–Woodbury operator
+/// internally. Shifts that coincide with an eigenvalue are automatically
+/// nudged by a relative epsilon.
+///
+/// # Errors
+///
+/// * [`ArnoldiError::Hamiltonian`] if the operator cannot be built (e.g.
+///   `sigma_max(D) >= 1`);
+/// * [`ArnoldiError::NoConvergence`] if nothing converges.
+pub fn single_shift_iteration(
+    ss: &StateSpace,
+    omega: f64,
+    rho0: f64,
+    scale: f64,
+    opts: &SingleShiftOptions,
+) -> Result<SingleShiftOutcome, ArnoldiError> {
+    let mut theta = C64::from_imag(omega);
+    let mut nudge = 1e-9 * scale.max(1.0);
+    let op = loop {
+        match ShiftInvertOp::new(ss, theta) {
+            Ok(op) => break op,
+            Err(pheig_hamiltonian::HamiltonianError::ShiftSingular { .. }) => {
+                theta = C64::from_imag(omega + nudge);
+                nudge *= 16.0;
+                if nudge > scale.max(1.0) {
+                    return Err(ArnoldiError::Hamiltonian(
+                        pheig_hamiltonian::HamiltonianError::ShiftSingular {
+                            re: 0.0,
+                            im: omega,
+                        },
+                    ));
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    };
+    let map = |mu: C64| op.to_hamiltonian_eigenvalue(mu);
+    single_shift_on_op(&op, &map, theta, rho0, scale, opts)
+}
+
+/// Estimates the largest eigenvalue magnitude of an operator by restarted
+/// Arnoldi (no shift-invert). The paper uses this on the Hamiltonian `M`
+/// itself to obtain the upper edge `omega_max` of the search band.
+///
+/// # Errors
+///
+/// Returns [`ArnoldiError::NoConvergence`] when no Ritz value stabilizes.
+pub fn largest_eigenvalue_magnitude(
+    op: &dyn CLinearOp,
+    opts: &SingleShiftOptions,
+) -> Result<f64, ArnoldiError> {
+    let n = op.dim();
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x1234_5678);
+    let mut start: Vec<C64> =
+        (0..n).map(|_| C64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect();
+    let mut best = 0.0f64;
+    let mut matvecs = 0usize;
+    let d = opts.max_subspace.min(n).max(2);
+    let restarts = 4usize;
+    for _ in 0..restarts {
+        let fact = arnoldi(op, &start, &[], d);
+        matvecs += fact.steps;
+        if fact.steps == 0 {
+            break;
+        }
+        let pairs = ritz_pairs(&fact)?;
+        if let Some(top) = pairs.first() {
+            best = best.max(top.mu.abs());
+            // Restart towards the dominant direction.
+            start = fact.lift(&top.y);
+            if top.residual <= 1e-6 * top.mu.abs().max(1e-300) {
+                return Ok(best);
+            }
+        }
+        if fact.breakdown {
+            break;
+        }
+    }
+    if best == 0.0 {
+        return Err(ArnoldiError::NoConvergence { restarts, matvecs });
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pheig_hamiltonian::dense_hamiltonian;
+    use pheig_linalg::eig::eig_real;
+    use pheig_model::generator::{generate_case, CaseSpec};
+
+    /// Oracle: dense Hamiltonian spectrum of a small model.
+    fn dense_spectrum(ss: &StateSpace) -> Vec<C64> {
+        let m = dense_hamiltonian(ss).unwrap();
+        eig_real(&m).unwrap()
+    }
+
+    #[test]
+    fn finds_eigenvalues_near_shift_with_certificate() {
+        let model =
+            generate_case(&CaseSpec::new(16, 2).with_seed(13).with_target_crossings(2)).unwrap();
+        let ss = model.realize();
+        let oracle = dense_spectrum(&ss);
+        let scale = oracle.iter().map(|z| z.abs()).fold(0.0, f64::max);
+        let omega = 3.0;
+        let out = single_shift_iteration(
+            &ss,
+            omega,
+            1.0,
+            scale,
+            &SingleShiftOptions::new().with_seed(4),
+        )
+        .unwrap();
+        assert!(out.radius > 0.0);
+        assert!(!out.in_disk.is_empty());
+        let theta = out.theta;
+        // (a) Every returned eigenvalue matches an oracle eigenvalue.
+        for e in &out.in_disk {
+            let best = oracle.iter().map(|z| (*z - e.lambda).abs()).fold(f64::INFINITY, f64::min);
+            assert!(best < 1e-6 * scale, "returned {} is not an eigenvalue (err {best})", e.lambda);
+        }
+        // (b) Certification: every oracle eigenvalue strictly inside the
+        // disk is present in the returned set.
+        for z in &oracle {
+            if (*z - theta).abs() < out.radius * 0.999 {
+                let found = out.in_disk.iter().any(|e| (e.lambda - *z).abs() < 1e-6 * scale);
+                assert!(found, "oracle eigenvalue {z} inside disk (r={}) missed", out.radius);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let model = generate_case(&CaseSpec::new(12, 2).with_seed(3)).unwrap();
+        let ss = model.realize();
+        let m_dense = dense_hamiltonian(&ss).unwrap().to_c64();
+        let scale = m_dense.max_abs();
+        let out =
+            single_shift_iteration(&ss, 2.0, 1.0, 10.0, &SingleShiftOptions::new().with_seed(1))
+                .unwrap();
+        for e in &out.in_disk {
+            let av = m_dense.matvec(&e.vector);
+            let mut resid = 0.0f64;
+            for i in 0..av.len() {
+                resid = resid.max((av[i] - e.lambda * e.vector[i]).abs());
+            }
+            assert!(resid < 1e-6 * scale, "eigenvector residual {resid} for {}", e.lambda);
+        }
+    }
+
+    #[test]
+    fn shift_at_zero_frequency_works() {
+        let model = generate_case(&CaseSpec::new(14, 2).with_seed(7)).unwrap();
+        let ss = model.realize();
+        let out =
+            single_shift_iteration(&ss, 0.0, 1.0, 12.0, &SingleShiftOptions::new()).unwrap();
+        assert!(!out.in_disk.is_empty());
+        // Spectrum symmetry: at theta = 0 the found set should be closed
+        // under negation (lambda and -lambda are equidistant).
+        for e in &out.in_disk {
+            let has_partner =
+                out.in_disk.iter().any(|f| (f.lambda + e.lambda).abs() < 1e-5 * 12.0);
+            assert!(has_partner, "missing -lambda partner of {}", e.lambda);
+        }
+    }
+
+    #[test]
+    fn largest_magnitude_matches_dense() {
+        let model = generate_case(&CaseSpec::new(14, 2).with_seed(5)).unwrap();
+        let ss = model.realize();
+        let oracle = dense_spectrum(&ss);
+        let want = oracle.iter().map(|z| z.abs()).fold(0.0, f64::max);
+        let m_op = pheig_hamiltonian::HamiltonianOp::new(&ss).unwrap();
+        let got = largest_eigenvalue_magnitude(&m_op, &SingleShiftOptions::new()).unwrap();
+        assert!(
+            (got - want).abs() < 1e-3 * want,
+            "largest |eig|: arnoldi {got} vs dense {want}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = generate_case(&CaseSpec::new(10, 2).with_seed(2)).unwrap();
+        let ss = model.realize();
+        let opts = SingleShiftOptions::new().with_seed(99);
+        let a = single_shift_iteration(&ss, 1.5, 0.5, 10.0, &opts).unwrap();
+        let b = single_shift_iteration(&ss, 1.5, 0.5, 10.0, &opts).unwrap();
+        assert_eq!(a.radius, b.radius);
+        assert_eq!(a.in_disk.len(), b.in_disk.len());
+        for (x, y) in a.in_disk.iter().zip(&b.in_disk) {
+            assert_eq!(x.lambda, y.lambda);
+        }
+    }
+
+    #[test]
+    fn seed_variation_changes_work_but_not_results() {
+        // The paper's Fig. 6 error bars come from random start vectors;
+        // results (eigenvalues) must be seed-independent even when the
+        // work (restarts/matvecs) varies.
+        let model =
+            generate_case(&CaseSpec::new(16, 2).with_seed(17).with_target_crossings(2)).unwrap();
+        let ss = model.realize();
+        let a = single_shift_iteration(&ss, 2.5, 1.0, 12.0, &SingleShiftOptions::new().with_seed(1))
+            .unwrap();
+        let b = single_shift_iteration(&ss, 2.5, 1.0, 12.0, &SingleShiftOptions::new().with_seed(2))
+            .unwrap();
+        // Compare the sets of eigenvalues found inside the *smaller* disk.
+        let r = a.radius.min(b.radius) * 0.999;
+        let sa: Vec<C64> =
+            a.in_disk.iter().filter(|e| (e.lambda - a.theta).abs() < r).map(|e| e.lambda).collect();
+        for z in &sa {
+            let matched = b.in_disk.iter().any(|e| (e.lambda - *z).abs() < 1e-5 * 12.0);
+            assert!(matched, "seed-dependent eigenvalue set: {z} missing");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmark for the Sec. III claim that one application
+//! of the Sherman–Morrison–Woodbury shift-inverted Hamiltonian *"has a
+//! leading term which is linear in the number of macromodel states n"*.
+//!
+//! Benchmarks `(M - theta I)^{-1} x` at fixed p over a geometric sweep of
+//! n, plus the structured `M x` product and the per-shift setup cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pheig_hamiltonian::{CLinearOp, HamiltonianOp, ShiftInvertOp};
+use pheig_linalg::C64;
+use pheig_model::generator::{generate_case, CaseSpec};
+use std::hint::black_box;
+
+fn bench_shift_invert_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shift_invert_apply");
+    group.sample_size(20);
+    for &n in &[250usize, 500, 1000, 2000, 4000] {
+        let ss = generate_case(&CaseSpec::new(n, 20).with_seed(1)).unwrap().realize();
+        let op = ShiftInvertOp::new(&ss, C64::from_imag(3.0)).unwrap();
+        let x: Vec<C64> =
+            (0..op.dim()).map(|i| C64::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos())).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(op.apply(black_box(&x))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hamiltonian_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamiltonian_matvec");
+    group.sample_size(20);
+    for &n in &[500usize, 1000, 2000, 4000] {
+        let ss = generate_case(&CaseSpec::new(n, 20).with_seed(1)).unwrap().realize();
+        let op = HamiltonianOp::new(&ss).unwrap();
+        let x: Vec<C64> = (0..op.dim()).map(|i| C64::new(1.0, i as f64 * 1e-3)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(op.apply(black_box(&x))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_shift_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shift_invert_setup");
+    group.sample_size(10);
+    // Setup is O(np + p^3): sweep p at fixed n.
+    for &p in &[10usize, 20, 40, 80] {
+        let ss = generate_case(&CaseSpec::new(1600, p).with_seed(1)).unwrap().realize();
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| black_box(ShiftInvertOp::new(&ss, C64::from_imag(2.0)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shift_invert_apply, bench_hamiltonian_matvec, bench_shift_setup);
+criterion_main!(benches);

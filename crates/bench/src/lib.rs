@@ -1,0 +1,1 @@
+//! Benchmark harnesses for the pheig workspace (see `benches/`).

@@ -1,0 +1,103 @@
+//! Error type for the passivity solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the multi-shift drivers, characterization, and enforcement.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// A single-shift iteration kept failing even after reseeded retries.
+    ShiftFailed {
+        /// The shift frequency that could not be processed.
+        omega: f64,
+        /// The final attempt's error, rendered.
+        reason: String,
+    },
+    /// The search band could not be estimated.
+    BandEstimation(String),
+    /// Enforcement did not reach a passive model within its iteration
+    /// budget.
+    EnforcementStalled {
+        /// Iterations performed.
+        iterations: usize,
+        /// Remaining violation metric (sum of band widths times excess).
+        residual_violation: f64,
+    },
+    /// A downstream Arnoldi failure.
+    Arnoldi(pheig_arnoldi::ArnoldiError),
+    /// A downstream Hamiltonian-operator failure.
+    Hamiltonian(pheig_hamiltonian::HamiltonianError),
+    /// A downstream dense-kernel failure.
+    Linalg(pheig_linalg::LinalgError),
+    /// A downstream model failure.
+    Model(pheig_model::ModelError),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::ShiftFailed { omega, reason } => {
+                write!(f, "single-shift iteration at omega = {omega} failed: {reason}")
+            }
+            SolverError::BandEstimation(m) => write!(f, "search band estimation failed: {m}"),
+            SolverError::EnforcementStalled { iterations, residual_violation } => write!(
+                f,
+                "passivity enforcement stalled after {iterations} iterations \
+                 (residual violation {residual_violation:.3e})"
+            ),
+            SolverError::Arnoldi(e) => write!(f, "arnoldi failure: {e}"),
+            SolverError::Hamiltonian(e) => write!(f, "hamiltonian failure: {e}"),
+            SolverError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            SolverError::Model(e) => write!(f, "model failure: {e}"),
+        }
+    }
+}
+
+impl Error for SolverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolverError::Arnoldi(e) => Some(e),
+            SolverError::Hamiltonian(e) => Some(e),
+            SolverError::Linalg(e) => Some(e),
+            SolverError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pheig_arnoldi::ArnoldiError> for SolverError {
+    fn from(e: pheig_arnoldi::ArnoldiError) -> Self {
+        SolverError::Arnoldi(e)
+    }
+}
+impl From<pheig_hamiltonian::HamiltonianError> for SolverError {
+    fn from(e: pheig_hamiltonian::HamiltonianError) -> Self {
+        SolverError::Hamiltonian(e)
+    }
+}
+impl From<pheig_linalg::LinalgError> for SolverError {
+    fn from(e: pheig_linalg::LinalgError) -> Self {
+        SolverError::Linalg(e)
+    }
+}
+impl From<pheig_model::ModelError> for SolverError {
+    fn from(e: pheig_model::ModelError) -> Self {
+        SolverError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = SolverError::ShiftFailed { omega: 2.0, reason: "x".into() };
+        assert!(e.to_string().contains("2"));
+        let e = SolverError::EnforcementStalled { iterations: 7, residual_violation: 0.5 };
+        assert!(e.to_string().contains('7'));
+        let e: SolverError = pheig_linalg::LinalgError::Singular { at: 0 }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,467 @@
+//! Serial and thread-parallel multi-shift drivers.
+//!
+//! Both drivers run the same [`Scheduler`] state machine and the same
+//! single-shift Arnoldi iterations; the parallel driver maps idle worker
+//! threads onto [`Scheduler::next_shift`] exactly as Sec. IV.C prescribes.
+
+use crate::band::estimate_band;
+use crate::error::SolverError;
+use crate::scheduler::{Scheduler, SchedulerStats, ShiftTask};
+use crate::spectrum::{self, ImaginaryEigenpair};
+use parking_lot::{Condvar, Mutex};
+use pheig_arnoldi::single_shift::SingleShiftOutcome;
+use pheig_arnoldi::{single_shift_iteration, SingleShiftOptions};
+use pheig_model::StateSpace;
+use std::time::{Duration, Instant};
+
+/// Options for [`find_imaginary_eigenvalues`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Worker threads `T`. `1` reproduces the paper's serial baseline.
+    pub threads: usize,
+    /// Initial intervals per thread, `N = kappa * T` (paper: `kappa >= 2`).
+    pub kappa: usize,
+    /// Initial-radius overlap factor `alpha >= 1` (paper Eq. (23)).
+    pub alpha: f64,
+    /// Single-shift Arnoldi tuning.
+    pub arnoldi: SingleShiftOptions,
+    /// Search band override; `None` estimates `[0, omega_max]` from the
+    /// largest Hamiltonian eigenvalue (Sec. IV.A).
+    pub band: Option<(f64, f64)>,
+    /// Base RNG seed; per-shift start vectors derive from it.
+    pub seed: u64,
+    /// Reseeded retries when a single-shift iteration fails to certify.
+    pub max_shift_retries: usize,
+}
+
+impl SolverOptions {
+    /// Paper-default options (serial).
+    pub fn new() -> Self {
+        SolverOptions {
+            threads: 1,
+            kappa: 2,
+            alpha: 1.05,
+            arnoldi: SingleShiftOptions::default(),
+            band: None,
+            seed: 0,
+            max_shift_retries: 4,
+        }
+    }
+
+    /// Sets the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the search band.
+    pub fn with_band(mut self, lo: f64, hi: f64) -> Self {
+        self.band = Some((lo, hi));
+        self
+    }
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Telemetry for one completed single-shift iteration.
+#[derive(Debug, Clone)]
+pub struct ShiftRecord {
+    /// Shift frequency.
+    pub omega: f64,
+    /// Certified disk radius.
+    pub radius: f64,
+    /// Operator applications spent.
+    pub matvecs: usize,
+    /// Restarts spent.
+    pub restarts: usize,
+    /// Deterministic cost units (matvecs + 3 per restart) used by the
+    /// virtual-time simulator.
+    pub cost_units: u64,
+    /// Wall-clock time of the iteration.
+    pub wall: Duration,
+}
+
+/// Aggregate run statistics.
+#[derive(Debug, Clone)]
+pub struct SolverStats {
+    /// Scheduler counters (processed / deleted / trimmed / split).
+    pub scheduler: SchedulerStats,
+    /// Total operator applications across all shifts.
+    pub total_matvecs: usize,
+    /// End-to-end wall time.
+    pub wall: Duration,
+}
+
+/// Result of a full band sweep.
+#[derive(Debug, Clone)]
+pub struct SolverOutcome {
+    /// Sorted crossing frequencies `Omega` (omega >= 0), deduped.
+    pub frequencies: Vec<f64>,
+    /// The same crossings with eigenvectors (for enforcement).
+    pub eigenpairs: Vec<ImaginaryEigenpair>,
+    /// The search band that was covered.
+    pub band: (f64, f64),
+    /// Per-shift telemetry in completion order.
+    pub shift_log: Vec<ShiftRecord>,
+    /// Aggregate statistics.
+    pub stats: SolverStats,
+}
+
+/// Deterministic cost model shared with the simulator.
+pub(crate) fn cost_units(out: &SingleShiftOutcome) -> u64 {
+    (out.matvecs + 3 * out.restarts) as u64
+}
+
+/// Runs one shift task with reseeded retries.
+///
+/// Retries also *nudge* the shift frequency by a small fraction of the
+/// initial radius: exactly symmetric shift placements (notably
+/// `omega = 0`, where the Hamiltonian quadruple symmetry makes every
+/// shift-inverted shell multiply degenerate) can defeat the Krylov
+/// iteration, while any nearby asymmetric shift covers the same interval.
+/// The scheduler accepts disks centered at the *actual* shift used.
+pub(crate) fn run_shift(
+    ss: &StateSpace,
+    task: &ShiftTask,
+    scale_floor: f64,
+    opts: &SolverOptions,
+) -> Result<SingleShiftOutcome, SolverError> {
+    // Tolerances must track the *local* magnitude: the global spectral
+    // radius of M can exceed the pole band by orders of magnitude (large
+    // real eigenvalues from strong residues), and tying eigenvalue
+    // resolution to it would swallow genuine crossing separations.
+    let scale = task.omega.abs().max(scale_floor);
+    let min_radius = 1e-12 * scale.max(1.0);
+    let mut last = String::from("no attempts made");
+    for attempt in 0..opts.max_shift_retries.max(1) {
+        let seed = opts
+            .seed
+            .wrapping_add((task.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(attempt as u64);
+        // Later attempts enlarge the Krylov subspace and restart budget:
+        // dense pole clusters (hundreds of log-spaced poles per column)
+        // produce nearly-degenerate eigenvalue shells that a 60-vector
+        // space cannot always split.
+        let mut aopts = opts.arnoldi.clone().with_seed(seed);
+        aopts.max_subspace += 30 * attempt;
+        aopts.max_restarts += 8 * attempt;
+        let nudge = match attempt {
+            0 => 0.0,
+            k => task.rho0 * 0.017 * k as f64 * if k % 2 == 0 { -1.0 } else { 1.0 },
+        };
+        let omega = (task.omega + nudge).max(0.0);
+        match single_shift_iteration(ss, omega, task.rho0, scale, &aopts) {
+            Ok(out) if out.radius > min_radius => return Ok(out),
+            Ok(out) => last = format!("radius {} below resolution", out.radius),
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(SolverError::ShiftFailed { omega: task.omega, reason: last })
+}
+
+/// Classification tolerance for "purely imaginary": a safety factor above
+/// the Arnoldi eigenvalue tolerance, scaled by the pole band (crossings
+/// cannot occur beyond the model's resonances).
+pub(crate) fn axis_tolerance(opts: &SolverOptions, pole_scale: f64) -> f64 {
+    1e3 * opts.arnoldi.tol * pole_scale.max(f64::MIN_POSITIVE)
+}
+
+/// The frequency scale on which crossings live: the fastest pole resonance.
+pub(crate) fn pole_scale(ss: &StateSpace) -> f64 {
+    ss.a().max_natural_frequency().max(f64::MIN_POSITIVE)
+}
+
+/// Assembles the outcome from completed shifts.
+fn assemble(
+    band: (f64, f64),
+    axis_scale: f64,
+    completions: Vec<(ShiftTask, SingleShiftOutcome, Duration)>,
+    sched_stats: SchedulerStats,
+    opts: &SolverOptions,
+    wall: Duration,
+) -> SolverOutcome {
+    let scale = axis_scale;
+    let axis_tol = axis_tolerance(opts, scale);
+    let mut all_pairs = Vec::new();
+    let mut shift_log = Vec::with_capacity(completions.len());
+    let mut total_matvecs = 0usize;
+    for (_task, out, shift_wall) in completions {
+        total_matvecs += out.matvecs;
+        shift_log.push(ShiftRecord {
+            omega: out.theta.im,
+            radius: out.radius,
+            matvecs: out.matvecs,
+            restarts: out.restarts,
+            cost_units: cost_units(&out),
+            wall: shift_wall,
+        });
+        all_pairs.extend(out.in_disk);
+    }
+    let eigs = spectrum::extract_imaginary(&all_pairs, axis_tol);
+    let eigenpairs = spectrum::dedupe(eigs, axis_tol.max(1e-12 * scale));
+    let frequencies = spectrum::frequencies(&eigenpairs);
+    SolverOutcome {
+        frequencies,
+        eigenpairs,
+        band,
+        shift_log,
+        stats: SolverStats { scheduler: sched_stats, total_matvecs, wall },
+    }
+}
+
+/// Locates all purely imaginary Hamiltonian eigenvalues of a macromodel.
+///
+/// With `opts.threads == 1` this is the paper's serial bisection sweep;
+/// with `T > 1` it runs the dynamic parallel scheduler on `T` OS threads.
+///
+/// # Errors
+///
+/// * [`SolverError::BandEstimation`] / [`SolverError::Hamiltonian`] for
+///   degenerate models;
+/// * [`SolverError::ShiftFailed`] when a shift cannot be certified even
+///   after reseeded retries.
+///
+/// # Example
+///
+/// ```
+/// use pheig_core::solver::{find_imaginary_eigenvalues, SolverOptions};
+/// use pheig_model::generator::{generate_case, CaseSpec};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ss = generate_case(&CaseSpec::new(20, 2).with_seed(1).with_target_crossings(2))?
+///     .realize();
+/// let out = find_imaginary_eigenvalues(&ss, &SolverOptions::default())?;
+/// assert!(out.frequencies.windows(2).all(|w| w[0] <= w[1]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn find_imaginary_eigenvalues(
+    ss: &StateSpace,
+    opts: &SolverOptions,
+) -> Result<SolverOutcome, SolverError> {
+    let t0 = Instant::now();
+    let band = match opts.band {
+        Some(b) => b,
+        None => estimate_band(ss, &opts.arnoldi)?,
+    };
+    let n_intervals = (opts.kappa.max(2) * opts.threads.max(1)).max(4);
+    let scheduler = Scheduler::new(band, n_intervals, opts.alpha);
+    let scale = pole_scale(ss);
+
+    let (completions, sched_stats) = if opts.threads <= 1 {
+        run_serial(ss, scheduler, scale, opts)?
+    } else {
+        run_parallel(ss, scheduler, scale, opts)?
+    };
+    Ok(assemble(band, scale, completions, sched_stats, opts, t0.elapsed()))
+}
+
+type Completions = Vec<(ShiftTask, SingleShiftOutcome, Duration)>;
+
+fn run_serial(
+    ss: &StateSpace,
+    mut scheduler: Scheduler,
+    scale: f64,
+    opts: &SolverOptions,
+) -> Result<(Completions, SchedulerStats), SolverError> {
+    let mut completions = Vec::new();
+    while let Some(task) = scheduler.next_shift() {
+        let started = Instant::now();
+        let out = run_shift(ss, &task, scale, opts)?;
+        scheduler.complete(&task, out.theta.im, out.radius);
+        completions.push((task, out, started.elapsed()));
+    }
+    debug_assert!(scheduler.is_done());
+    Ok((completions, scheduler.stats()))
+}
+
+struct SharedState {
+    scheduler: Scheduler,
+    completions: Completions,
+    error: Option<SolverError>,
+}
+
+fn run_parallel(
+    ss: &StateSpace,
+    scheduler: Scheduler,
+    scale: f64,
+    opts: &SolverOptions,
+) -> Result<(Completions, SchedulerStats), SolverError> {
+    let shared = Mutex::new(SharedState { scheduler, completions: Vec::new(), error: None });
+    let cv = Condvar::new();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.threads {
+            scope.spawn(|| loop {
+                let task = {
+                    let mut guard = shared.lock();
+                    loop {
+                        if guard.error.is_some() || guard.scheduler.is_done() {
+                            cv.notify_all();
+                            return;
+                        }
+                        if let Some(t) = guard.scheduler.next_shift() {
+                            break t;
+                        }
+                        cv.wait(&mut guard);
+                    }
+                };
+                let started = Instant::now();
+                let result = run_shift(ss, &task, scale, opts);
+                let mut guard = shared.lock();
+                match result {
+                    Ok(out) => {
+                        guard.scheduler.complete(&task, out.theta.im, out.radius);
+                        guard.completions.push((task, out, started.elapsed()));
+                    }
+                    Err(e) => {
+                        if guard.error.is_none() {
+                            guard.error = Some(e);
+                        }
+                    }
+                }
+                cv.notify_all();
+            });
+        }
+    });
+    let state = shared.into_inner();
+    if let Some(e) = state.error {
+        return Err(e);
+    }
+    let stats = state.scheduler.stats();
+    Ok((state.completions, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pheig_hamiltonian::dense_hamiltonian;
+    use pheig_linalg::eig::eig_real;
+    use pheig_model::generator::{generate_case, CaseSpec};
+
+    /// Oracle crossings from the dense Hamiltonian spectrum.
+    fn oracle_crossings(ss: &StateSpace) -> Vec<f64> {
+        let m = dense_hamiltonian(ss).unwrap();
+        let scale = m.max_abs();
+        let mut out: Vec<f64> = eig_real(&m)
+            .unwrap()
+            .into_iter()
+            .filter(|z| z.re.abs() <= 1e-8 * scale && z.im > 0.0)
+            .map(|z| z.im)
+            .collect();
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out
+    }
+
+    fn assert_matches_oracle(got: &[f64], want: &[f64], scale: f64) {
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "crossing count mismatch: got {got:?}, oracle {want:?}"
+        );
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < 1e-5 * scale, "crossing {g} vs oracle {w}");
+        }
+    }
+
+    #[test]
+    fn serial_matches_dense_oracle_nonpassive() {
+        let ss = generate_case(&CaseSpec::new(24, 2).with_seed(31).with_target_crossings(4))
+            .unwrap()
+            .realize();
+        let want = oracle_crossings(&ss);
+        assert!(!want.is_empty());
+        let out = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
+        assert_matches_oracle(&out.frequencies, &want, out.band.1);
+    }
+
+    #[test]
+    fn serial_passive_model_has_empty_omega() {
+        let ss = generate_case(&CaseSpec::new(20, 2).with_seed(8).with_target_crossings(0))
+            .unwrap()
+            .realize();
+        let out = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
+        assert!(out.frequencies.is_empty(), "got {:?}", out.frequencies);
+        assert!(out.stats.scheduler.processed > 0);
+    }
+
+    #[test]
+    fn parallel_agrees_with_serial() {
+        let ss = generate_case(&CaseSpec::new(30, 3).with_seed(12).with_target_crossings(6))
+            .unwrap()
+            .realize();
+        let serial = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
+        for threads in [2, 4] {
+            let par = find_imaginary_eigenvalues(
+                &ss,
+                &SolverOptions::default().with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(
+                par.frequencies.len(),
+                serial.frequencies.len(),
+                "T={threads}: {:?} vs {:?}",
+                par.frequencies,
+                serial.frequencies
+            );
+            for (a, b) in par.frequencies.iter().zip(&serial.frequencies) {
+                assert!((a - b).abs() < 1e-5 * serial.band.1, "T={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenpairs_carry_eigenvectors() {
+        let ss = generate_case(&CaseSpec::new(16, 2).with_seed(21).with_target_crossings(2))
+            .unwrap()
+            .realize();
+        let out = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
+        let m = dense_hamiltonian(&ss).unwrap().to_c64();
+        for e in &out.eigenpairs {
+            assert_eq!(e.vector.len(), 2 * ss.order());
+            let av = m.matvec(&e.vector);
+            let mut resid = 0.0f64;
+            for i in 0..av.len() {
+                resid = resid.max((av[i] - e.lambda * e.vector[i]).abs());
+            }
+            assert!(resid < 1e-5 * m.max_abs(), "eigenvector residual {resid}");
+        }
+    }
+
+    #[test]
+    fn explicit_band_override_is_respected() {
+        let ss = generate_case(&CaseSpec::new(16, 2).with_seed(2)).unwrap().realize();
+        let out = find_imaginary_eigenvalues(
+            &ss,
+            &SolverOptions::default().with_band(0.0, 3.0),
+        )
+        .unwrap();
+        assert_eq!(out.band, (0.0, 3.0));
+        for w in &out.frequencies {
+            // Disks can slightly exceed the band; crossings reported should
+            // still be near it.
+            assert!(*w <= 3.0 * 1.5);
+        }
+    }
+
+    #[test]
+    fn shift_log_is_consistent() {
+        let ss = generate_case(&CaseSpec::new(14, 2).with_seed(5)).unwrap().realize();
+        let out = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
+        assert_eq!(out.shift_log.len(), out.stats.scheduler.processed);
+        let sum: usize = out.shift_log.iter().map(|r| r.matvecs).sum();
+        assert_eq!(sum, out.stats.total_matvecs);
+        for r in &out.shift_log {
+            assert!(r.radius > 0.0);
+            assert!(r.cost_units >= r.matvecs as u64);
+        }
+    }
+}

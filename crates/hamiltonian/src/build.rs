@@ -1,0 +1,181 @@
+//! Dense assembly of the Hamiltonian matrix (paper Eq. (5)).
+//!
+//! Only used by the `O(n^3)` full-eigensolution baseline and by validation
+//! tests; the solvers operate through the structured operators.
+
+use crate::error::HamiltonianError;
+use pheig_linalg::{Lu, Matrix};
+use pheig_model::StateSpace;
+
+/// Checks `sigma_max(D) < 1` and factors `R = D^T D - I` and
+/// `S = D D^T - I`.
+pub(crate) fn factor_r_s(d: &Matrix<f64>) -> Result<(Lu<f64>, Lu<f64>), HamiltonianError> {
+    let p = d.rows();
+    let dt = d.transpose();
+    let mut r = &dt * d;
+    let mut s = d * &dt;
+    for i in 0..p {
+        r[(i, i)] -= 1.0;
+        s[(i, i)] -= 1.0;
+    }
+    // R is negative definite iff sigma_max(D) < 1; a cheap necessary check
+    // is that its diagonal is negative and the LU succeeds.
+    let sigma = pheig_linalg::svd::max_singular_value(&d.to_c64())?;
+    if sigma >= 1.0 {
+        return Err(HamiltonianError::DirectTermNotContractive);
+    }
+    Ok((Lu::new(r)?, Lu::new(s)?))
+}
+
+/// Returns the dense inverses `(R^{-1}, S^{-1})` of the port couplings
+/// `R = D^T D - I`, `S = D D^T - I` (used by enforcement sensitivities).
+///
+/// # Errors
+///
+/// Same contractivity / factorization errors as [`dense_hamiltonian`].
+pub fn port_coupling_inverses(
+    d: &Matrix<f64>,
+) -> Result<(Matrix<f64>, Matrix<f64>), HamiltonianError> {
+    let (r_lu, s_lu) = factor_r_s(d)?;
+    Ok((r_lu.inverse(), s_lu.inverse()))
+}
+
+/// Assembles the dense `2n x 2n` Hamiltonian matrix of a scattering
+/// macromodel.
+///
+/// # Errors
+///
+/// * [`HamiltonianError::DirectTermNotContractive`] when
+///   `sigma_max(D) >= 1`;
+/// * [`HamiltonianError::Linalg`] on factorization failures.
+///
+/// # Example
+///
+/// ```
+/// use pheig_model::generator::{CaseSpec, generate_case};
+/// use pheig_hamiltonian::dense_hamiltonian;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ss = generate_case(&CaseSpec::new(8, 2).with_seed(1))?.realize();
+/// let m = dense_hamiltonian(&ss)?;
+/// assert_eq!(m.shape(), (16, 16));
+/// # Ok(())
+/// # }
+/// ```
+pub fn dense_hamiltonian(ss: &StateSpace) -> Result<Matrix<f64>, HamiltonianError> {
+    let n = ss.order();
+    let (r_lu, s_lu) = factor_r_s(ss.d())?;
+    let a = ss.a_dense();
+    let b = ss.b_dense();
+    let c = ss.c().clone();
+    let d = ss.d().clone();
+
+    let r_inv = r_lu.inverse();
+    let s_inv = s_lu.inverse();
+    let dt = d.transpose();
+    let bt = b.transpose();
+    let ct = c.transpose();
+
+    // Block (1,1): A - B R^{-1} D^T C.
+    let br = &b * &r_inv;
+    let m11 = &a - &(&br * &(&dt * &c));
+    // Block (1,2): -B R^{-1} B^T.
+    let m12 = (&br * &bt).scaled(-1.0);
+    // Block (2,1): C^T S^{-1} C.
+    let m21 = &(&ct * &s_inv) * &c;
+    // Block (2,2): -A^T + C^T D R^{-1} B^T.
+    let m22 = &(&(&ct * &d) * &(&r_inv * &bt)) - &a.transpose();
+
+    let mut m = Matrix::zeros(2 * n, 2 * n);
+    m.set_block(0, 0, &m11);
+    m.set_block(0, n, &m12);
+    m.set_block(n, 0, &m21);
+    m.set_block(n, n, &m22);
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pheig_model::generator::{generate_case, CaseSpec};
+
+    fn small_ss() -> StateSpace {
+        generate_case(&CaseSpec::new(10, 2).with_seed(5)).unwrap().realize()
+    }
+
+    #[test]
+    fn hamiltonian_structure_j_symmetry() {
+        // (J M) must be symmetric, J = [[0, I], [-I, 0]].
+        let ss = small_ss();
+        let m = dense_hamiltonian(&ss).unwrap();
+        let n = ss.order();
+        let mut jm = Matrix::zeros(2 * n, 2 * n);
+        // J M: top rows = bottom rows of M, bottom rows = -top rows of M.
+        for i in 0..n {
+            for j in 0..2 * n {
+                jm[(i, j)] = m[(n + i, j)];
+                jm[(n + i, j)] = -m[(i, j)];
+            }
+        }
+        let asym = (&jm - &jm.transpose()).max_abs();
+        assert!(asym < 1e-10 * m.max_abs(), "J*M asymmetry {asym}");
+    }
+
+    #[test]
+    fn rejects_non_contractive_d() {
+        // Build a model whose D has sigma_max > 1.
+        use pheig_linalg::Matrix as M;
+        use pheig_model::{ColumnTerms, Pole, PoleResidueModel, Residue};
+        let col = ColumnTerms {
+            poles: vec![Pole::Real(-1.0)],
+            residues: vec![Residue::Real(vec![0.1])],
+        };
+        let model = PoleResidueModel::new(vec![col], M::from_diag(&[1.5])).unwrap();
+        let ss = model.realize();
+        assert!(matches!(
+            dense_hamiltonian(&ss),
+            Err(HamiltonianError::DirectTermNotContractive)
+        ));
+    }
+
+    #[test]
+    fn imaginary_eigenvalues_match_unit_crossings() {
+        // For a single-resonance model calibrated to be non-passive, the
+        // dense Hamiltonian must have imaginary eigenvalues exactly where
+        // sigma_max crosses 1 (validated by direct sigma evaluation).
+        use pheig_linalg::eig::eig_real;
+        use pheig_model::transfer::sigma_max;
+        let gen = pheig_model::generator::generate_case_with_report(
+            &CaseSpec::new(12, 2).with_seed(21).with_target_crossings(2),
+        )
+        .unwrap();
+        let ss = gen.model.realize();
+        let m = dense_hamiltonian(&ss).unwrap();
+        let eigs = eig_real(&m).unwrap();
+        let scale = m.max_abs();
+        let mut crossings: Vec<f64> = eigs
+            .iter()
+            .filter(|z| z.re.abs() < 1e-8 * scale && z.im > 0.0)
+            .map(|z| z.im)
+            .collect();
+        crossings.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(!crossings.is_empty(), "calibrated non-passive model must have crossings");
+        // At each crossing, sigma_max(H(j w)) must be ~1.
+        for &w in &crossings {
+            let s = sigma_max(&gen.model, w).unwrap();
+            assert!((s - 1.0).abs() < 1e-6, "sigma at crossing {w} is {s}");
+        }
+    }
+
+    #[test]
+    fn passive_model_has_no_imaginary_eigenvalues() {
+        use pheig_linalg::eig::eig_real;
+        let model = generate_case(&CaseSpec::new(12, 2).with_seed(8).with_target_crossings(0))
+            .unwrap();
+        let ss = model.realize();
+        let m = dense_hamiltonian(&ss).unwrap();
+        let eigs = eig_real(&m).unwrap();
+        let scale = m.max_abs();
+        let on_axis = eigs.iter().filter(|z| z.re.abs() < 1e-9 * scale).count();
+        assert_eq!(on_axis, 0, "passive model must have no imaginary eigenvalues: {eigs:?}");
+    }
+}

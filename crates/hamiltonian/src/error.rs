@@ -1,0 +1,66 @@
+//! Error type for Hamiltonian construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from Hamiltonian assembly and shifted-operator setup.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HamiltonianError {
+    /// `sigma_max(D) >= 1`: `R = D^T D - I` / `S = D D^T - I` are singular
+    /// or indefinite in the wrong way and the scattering Hamiltonian test
+    /// does not apply. Enforce strict asymptotic passivity first.
+    DirectTermNotContractive,
+    /// A linear algebra kernel failed (singular factorization, etc.).
+    Linalg(pheig_linalg::LinalgError),
+    /// The shift coincides with an eigenvalue to working precision, so the
+    /// shifted operator cannot be factored. Callers should nudge the shift.
+    ShiftSingular {
+        /// Real part of the offending shift.
+        re: f64,
+        /// Imaginary part of the offending shift.
+        im: f64,
+    },
+}
+
+impl fmt::Display for HamiltonianError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HamiltonianError::DirectTermNotContractive => {
+                write!(f, "sigma_max(D) >= 1: model is not strictly asymptotically passive")
+            }
+            HamiltonianError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            HamiltonianError::ShiftSingular { re, im } => {
+                write!(f, "shift {re}+{im}i is (numerically) an eigenvalue; perturb the shift")
+            }
+        }
+    }
+}
+
+impl Error for HamiltonianError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HamiltonianError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pheig_linalg::LinalgError> for HamiltonianError {
+    fn from(e: pheig_linalg::LinalgError) -> Self {
+        HamiltonianError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(HamiltonianError::DirectTermNotContractive.to_string().contains("sigma_max"));
+        assert!(HamiltonianError::ShiftSingular { re: 0.0, im: 2.0 }.to_string().contains("2"));
+        let e: HamiltonianError = pheig_linalg::LinalgError::Singular { at: 1 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

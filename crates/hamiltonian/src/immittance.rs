@@ -1,0 +1,216 @@
+//! Hamiltonian passivity test for immittance representations.
+//!
+//! The paper (Sec. II) notes that "the same derivations can be performed
+//! for the impedance, admittance, and hybrid cases". For an immittance
+//! (impedance `Z` or admittance `Y`) macromodel, passivity is *positive
+//! realness*: `H(j omega) + H(j omega)^H >= 0` for all frequencies, with
+//! the strict asymptotic condition `R = D + D^T > 0`. The associated
+//! Hamiltonian is
+//!
+//! ```text
+//!     M = [ A - B R^{-1} C      -B R^{-1} B^T           ]
+//!         [ C^T R^{-1} C        -A^T + C^T R^{-1} B^T   ]
+//! ```
+//!
+//! whose purely imaginary eigenvalues `j omega` are exactly the
+//! frequencies where an eigenvalue of the Hermitian part of `H(j omega)`
+//! crosses zero.
+//!
+//! Only the dense form is provided here (it plugs directly into the same
+//! shifted Arnoldi machinery through [`crate::CLinearOp`] on dense
+//! matrices); a structured SMW operator for the immittance case follows
+//! the same algebra as the scattering one and is left as future work.
+
+use crate::error::HamiltonianError;
+use pheig_linalg::{C64, Lu, Matrix};
+use pheig_model::StateSpace;
+
+/// Assembles the dense immittance Hamiltonian of `H(s) = D + C (sI-A)^{-1} B`.
+///
+/// # Errors
+///
+/// * [`HamiltonianError::DirectTermNotContractive`] when `D + D^T` is not
+///   positive definite (the immittance analogue of `sigma_max(D) < 1`);
+/// * [`HamiltonianError::Linalg`] on factorization failures.
+///
+/// # Example
+///
+/// ```
+/// use pheig_hamiltonian::immittance::dense_hamiltonian_immittance;
+/// use pheig_linalg::Matrix;
+/// use pheig_model::{ColumnTerms, Pole, PoleResidueModel, Residue};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A one-port RC-like impedance: Z(s) = 0.5 + 1/(s + 2).
+/// let col = ColumnTerms {
+///     poles: vec![Pole::Real(-2.0)],
+///     residues: vec![Residue::Real(vec![1.0])],
+/// };
+/// let ss = PoleResidueModel::new(vec![col], Matrix::from_diag(&[0.5]))?.realize();
+/// let m = dense_hamiltonian_immittance(&ss)?;
+/// assert_eq!(m.shape(), (2, 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn dense_hamiltonian_immittance(ss: &StateSpace) -> Result<Matrix<f64>, HamiltonianError> {
+    let n = ss.order();
+    let p = ss.ports();
+    let d = ss.d();
+    let mut r = Matrix::<f64>::zeros(p, p);
+    for i in 0..p {
+        for j in 0..p {
+            r[(i, j)] = d[(i, j)] + d[(j, i)];
+        }
+    }
+    // Positive definiteness check via the Hermitian eigensolver.
+    let evals = pheig_linalg::hermitian::eigh_values(&r.to_c64())?;
+    if evals.first().copied().unwrap_or(0.0) <= 0.0 {
+        return Err(HamiltonianError::DirectTermNotContractive);
+    }
+    let r_inv = Lu::new(r)?.inverse();
+
+    let a = ss.a_dense();
+    let b = ss.b_dense();
+    let c = ss.c().clone();
+    let bt = b.transpose();
+    let ct = c.transpose();
+    let br = &b * &r_inv;
+    let m11 = &a - &(&br * &c);
+    let m12 = (&br * &bt).scaled(-1.0);
+    let m21 = &(&ct * &r_inv) * &c;
+    let m22 = &(&(&ct * &r_inv) * &bt) - &a.transpose();
+    let mut m = Matrix::zeros(2 * n, 2 * n);
+    m.set_block(0, 0, &m11);
+    m.set_block(0, n, &m12);
+    m.set_block(n, 0, &m21);
+    m.set_block(n, n, &m22);
+    Ok(m)
+}
+
+/// Smallest eigenvalue of the Hermitian part of `H(j omega)` — the
+/// immittance analogue of `1 - sigma_max` for scattering models. Negative
+/// values mark passivity violations.
+///
+/// # Errors
+///
+/// Propagates Hermitian eigensolver failures.
+pub fn min_hermitian_eigenvalue(
+    ss: &StateSpace,
+    omega: f64,
+) -> Result<f64, HamiltonianError> {
+    let h = ss.transfer(C64::from_imag(omega));
+    let p = ss.ports();
+    let herm = Matrix::from_fn(p, p, |i, j| {
+        (h[(i, j)] + h[(j, i)].conj()).scale(0.5)
+    });
+    let evals = pheig_linalg::hermitian::eigh_values(&herm)?;
+    Ok(evals.first().copied().unwrap_or(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pheig_linalg::eig::eig_real;
+    use pheig_model::generator::{generate_case, CaseSpec};
+    use pheig_model::{ColumnTerms, Pole, PoleResidueModel, Residue};
+
+    /// A small immittance model with a prescribed violation: one resonance
+    /// whose residue is strong enough to push the Hermitian part negative.
+    fn violating_immittance() -> StateSpace {
+        let col0 = ColumnTerms {
+            poles: vec![Pole::Pair { re: -0.08, im: 2.0 }],
+            residues: vec![Residue::Complex(vec![C64::new(0.02, -0.5), C64::new(0.01, 0.0)])],
+        };
+        let col1 = ColumnTerms {
+            poles: vec![Pole::Real(-1.5)],
+            residues: vec![Residue::Real(vec![0.05, 0.3])],
+        };
+        // D + D^T positive definite.
+        let d = Matrix::from_rows(&[&[0.4, 0.05][..], &[0.0, 0.5][..]]);
+        PoleResidueModel::new(vec![col0, col1], d).unwrap().realize()
+    }
+
+    #[test]
+    fn j_symmetry_holds() {
+        let ss = violating_immittance();
+        let m = dense_hamiltonian_immittance(&ss).unwrap();
+        let n = ss.order();
+        let mut jm = Matrix::zeros(2 * n, 2 * n);
+        for i in 0..n {
+            for j in 0..2 * n {
+                jm[(i, j)] = m[(n + i, j)];
+                jm[(n + i, j)] = -m[(i, j)];
+            }
+        }
+        assert!((&jm - &jm.transpose()).max_abs() < 1e-10 * m.max_abs());
+    }
+
+    #[test]
+    fn imaginary_eigenvalues_match_hermitian_zero_crossings() {
+        let ss = violating_immittance();
+        let m = dense_hamiltonian_immittance(&ss).unwrap();
+        let eigs = eig_real(&m).unwrap();
+        let scale = m.max_abs();
+        let mut crossings: Vec<f64> = eigs
+            .iter()
+            .filter(|z| z.re.abs() < 1e-8 * scale && z.im > 0.0)
+            .map(|z| z.im)
+            .collect();
+        crossings.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(!crossings.is_empty(), "test model should violate positive realness");
+        // At each crossing the smallest Hermitian-part eigenvalue is ~0.
+        for &w in &crossings {
+            let lam = min_hermitian_eigenvalue(&ss, w).unwrap();
+            assert!(lam.abs() < 1e-6, "lambda_min at crossing {w} is {lam}");
+        }
+        // Between crossings the sign alternates, ending positive at high
+        // frequency (D + D^T > 0).
+        let mut edges = vec![0.0];
+        edges.extend(crossings.iter().copied());
+        edges.push(crossings.last().unwrap() * 1.5 + 1.0);
+        let mut signs = Vec::new();
+        for w in edges.windows(2) {
+            let mid = 0.5 * (w[0] + w[1]);
+            signs.push(min_hermitian_eigenvalue(&ss, mid).unwrap() > 0.0);
+        }
+        for w in signs.windows(2) {
+            assert_ne!(w[0], w[1], "lambda_min did not alternate");
+        }
+        assert!(signs.last().unwrap());
+    }
+
+    #[test]
+    fn passive_immittance_has_no_imaginary_eigenvalues() {
+        // Weak residues: positive-real everywhere.
+        let col0 = ColumnTerms {
+            poles: vec![Pole::Pair { re: -0.5, im: 2.0 }],
+            residues: vec![Residue::Complex(vec![C64::new(0.01, -0.02), C64::new(0.0, 0.01)])],
+        };
+        let col1 = ColumnTerms {
+            poles: vec![Pole::Real(-1.0)],
+            residues: vec![Residue::Real(vec![0.01, 0.05])],
+        };
+        let d = Matrix::from_rows(&[&[0.5, 0.0][..], &[0.0, 0.5][..]]);
+        let ss = PoleResidueModel::new(vec![col0, col1], d).unwrap().realize();
+        let m = dense_hamiltonian_immittance(&ss).unwrap();
+        let eigs = eig_real(&m).unwrap();
+        let scale = m.max_abs();
+        assert_eq!(
+            eigs.iter().filter(|z| z.re.abs() < 1e-9 * scale).count(),
+            0,
+            "passive immittance model must have no imaginary eigenvalues"
+        );
+    }
+
+    #[test]
+    fn rejects_indefinite_direct_term() {
+        // D + D^T indefinite.
+        let ss = generate_case(&CaseSpec::new(6, 2).with_seed(3)).unwrap();
+        let mut cols = ss.columns().to_vec();
+        let d = Matrix::from_rows(&[&[0.1, 0.5][..], &[-0.5, -0.2][..]]);
+        let model = PoleResidueModel::new(std::mem::take(&mut cols), d).unwrap();
+        assert!(matches!(
+            dense_hamiltonian_immittance(&model.realize()),
+            Err(HamiltonianError::DirectTermNotContractive)
+        ));
+    }
+}

@@ -1,0 +1,36 @@
+//! Hamiltonian matrices of scattering-representation macromodels.
+//!
+//! For a strictly stable model `H(s) = D + C (sI - A)^{-1} B` with
+//! `sigma_max(D) < 1`, the Hamiltonian matrix (paper Eq. (5))
+//!
+//! ```text
+//!     M = [ A - B R^{-1} D^T C        -B R^{-1} B^T              ]
+//!         [ C^T S^{-1} C              -A^T + C^T D R^{-1} B^T    ]
+//! ```
+//!
+//! with `R = D^T D - I`, `S = D D^T - I`, has a purely imaginary eigenvalue
+//! `j omega` exactly where a singular value of `H(j omega)` crosses or
+//! touches 1. This crate provides:
+//!
+//! * [`build::dense_hamiltonian`] — the explicit `2n x 2n` matrix (for the
+//!   `O(n^3)` baseline and for validation);
+//! * [`matvec::HamiltonianOp`] — `y = M x` in `O(np)` using the structured
+//!   realization;
+//! * [`shift_invert::ShiftInvertOp`] — `y = (M - theta I)^{-1} x` in `O(np)`
+//!   per application after an `O(np + p^3)` per-shift setup, via the
+//!   Sherman–Morrison–Woodbury identity (paper Eq. (6));
+//! * [`immittance`] — the impedance/admittance (positive-realness)
+//!   Hamiltonian variant the paper mentions as an extension (Sec. II).
+
+pub mod build;
+pub mod error;
+pub mod immittance;
+pub mod matvec;
+pub mod op;
+pub mod shift_invert;
+
+pub use build::dense_hamiltonian;
+pub use error::HamiltonianError;
+pub use matvec::HamiltonianOp;
+pub use op::CLinearOp;
+pub use shift_invert::ShiftInvertOp;

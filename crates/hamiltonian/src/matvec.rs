@@ -1,0 +1,152 @@
+//! Structured `O(np)` Hamiltonian matrix–vector product.
+
+use crate::error::HamiltonianError;
+use crate::op::CLinearOp;
+use pheig_linalg::{C64, Matrix};
+use pheig_model::StateSpace;
+
+/// The Hamiltonian matrix `M` of a state-space macromodel as an implicit
+/// operator: `apply` costs `O(np)` instead of the `O(n^2)` of a dense
+/// product.
+///
+/// Internally precomputes the small real inverses `R^{-1}`, `S^{-1}` and
+/// `D R^{-1}` once (`O(p^3)`).
+#[derive(Debug, Clone)]
+pub struct HamiltonianOp<'a> {
+    ss: &'a StateSpace,
+    r_inv: Matrix<f64>,
+    s_inv: Matrix<f64>,
+    d_r_inv: Matrix<f64>,
+}
+
+impl<'a> HamiltonianOp<'a> {
+    /// Builds the operator, checking strict asymptotic passivity.
+    ///
+    /// # Errors
+    ///
+    /// * [`HamiltonianError::DirectTermNotContractive`] when
+    ///   `sigma_max(D) >= 1`.
+    pub fn new(ss: &'a StateSpace) -> Result<Self, HamiltonianError> {
+        let (r_lu, s_lu) = crate::build::factor_r_s(ss.d())?;
+        let r_inv = r_lu.inverse();
+        let s_inv = s_lu.inverse();
+        let d_r_inv = ss.d() * &r_inv;
+        Ok(HamiltonianOp { ss, r_inv, s_inv, d_r_inv })
+    }
+
+    /// The underlying model.
+    pub fn state_space(&self) -> &StateSpace {
+        self.ss
+    }
+
+    fn mixed_matvec(m: &Matrix<f64>, x: &[C64]) -> Vec<C64> {
+        let mut y = vec![C64::zero(); m.rows()];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = m.row(i);
+            let mut acc = C64::zero();
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += *b * *a;
+            }
+            *yi = acc;
+        }
+        y
+    }
+}
+
+impl CLinearOp for HamiltonianOp<'_> {
+    fn dim(&self) -> usize {
+        2 * self.ss.order()
+    }
+
+    fn apply(&self, x: &[C64]) -> Vec<C64> {
+        let n = self.ss.order();
+        assert_eq!(x.len(), 2 * n, "HamiltonianOp apply length mismatch");
+        let (x1, x2) = x.split_at(n);
+
+        // Port-space intermediates.
+        let w = self.ss.apply_c(x1); // C x1                 (p)
+        let u1 = self.ss.apply_bt(x2); // B^T x2              (p)
+        // t = R^{-1} (D^T w + u1)
+        let dt_w = Self::mixed_matvec(&self.ss.d().transpose(), &w);
+        let rhs: Vec<C64> = dt_w.iter().zip(&u1).map(|(a, b)| *a + *b).collect();
+        let t = Self::mixed_matvec(&self.r_inv, &rhs);
+        // v = S^{-1} w + D R^{-1} u1
+        let s_w = Self::mixed_matvec(&self.s_inv, &w);
+        let dr_u1 = Self::mixed_matvec(&self.d_r_inv, &u1);
+        let v: Vec<C64> = s_w.iter().zip(&dr_u1).map(|(a, b)| *a + *b).collect();
+
+        // y1 = A x1 - B t.
+        let mut y1 = vec![C64::zero(); n];
+        self.ss.a().matvec(x1, &mut y1);
+        let bt_term = self.ss.apply_b(&t);
+        for (yi, bi) in y1.iter_mut().zip(&bt_term) {
+            *yi -= *bi;
+        }
+        // y2 = C^T v - A^T x2.
+        let mut at_x2 = vec![C64::zero(); n];
+        self.ss.a().matvec_transpose(x2, &mut at_x2);
+        let mut y2 = self.ss.apply_ct(&v);
+        for (yi, ai) in y2.iter_mut().zip(&at_x2) {
+            *yi -= *ai;
+        }
+
+        let mut y = y1;
+        y.extend_from_slice(&y2);
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::dense_hamiltonian;
+    use pheig_model::generator::{generate_case, CaseSpec};
+
+    #[test]
+    fn matches_dense_hamiltonian() {
+        for seed in [1u64, 2, 3] {
+            let ss = generate_case(&CaseSpec::new(14, 3).with_seed(seed)).unwrap().realize();
+            let op = HamiltonianOp::new(&ss).unwrap();
+            let dense = dense_hamiltonian(&ss).unwrap().to_c64();
+            assert_eq!(op.dim(), 28);
+            let x: Vec<C64> = (0..28)
+                .map(|i| C64::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()))
+                .collect();
+            let y_fast = op.apply(&x);
+            let y_dense = dense.matvec(&x);
+            let scale = dense.max_abs();
+            for (a, b) in y_fast.iter().zip(&y_dense) {
+                assert!((*a - *b).abs() < 1e-11 * scale, "seed {seed}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let ss = generate_case(&CaseSpec::new(10, 2).with_seed(4)).unwrap().realize();
+        let op = HamiltonianOp::new(&ss).unwrap();
+        let x: Vec<C64> = (0..20).map(|i| C64::new(i as f64, -1.0)).collect();
+        let y: Vec<C64> = (0..20).map(|i| C64::new(0.5, i as f64 * 0.1)).collect();
+        let alpha = C64::new(1.3, -0.4);
+        let combo: Vec<C64> = x.iter().zip(&y).map(|(a, b)| *a * alpha + *b).collect();
+        let lhs = op.apply(&combo);
+        let op_x = op.apply(&x);
+        let op_y = op.apply(&y);
+        for i in 0..20 {
+            let rhs = op_x[i] * alpha + op_y[i];
+            assert!((lhs[i] - rhs).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn real_input_gives_real_output() {
+        // M is a real matrix, so real vectors must map to real vectors.
+        let ss = generate_case(&CaseSpec::new(8, 2).with_seed(9)).unwrap().realize();
+        let op = HamiltonianOp::new(&ss).unwrap();
+        let x: Vec<C64> = (0..16).map(|i| C64::from_real((i as f64).cos())).collect();
+        let y = op.apply(&x);
+        for v in y {
+            assert!(v.im.abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! The complex linear operator abstraction consumed by the Arnoldi solver.
+
+use pheig_linalg::{C64, Matrix};
+
+/// A complex linear operator `y = Op(x)` on `C^dim`.
+///
+/// Implementations must be [`Sync`] so the parallel multi-shift driver can
+/// share models across worker threads (each worker builds its *own* shifted
+/// operator, but reads the same underlying state-space data).
+pub trait CLinearOp: Sync {
+    /// Operator dimension.
+    fn dim(&self) -> usize;
+
+    /// Applies the operator: `y = Op(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len() != self.dim()`.
+    fn apply(&self, x: &[C64]) -> Vec<C64>;
+}
+
+/// Dense matrices are trivially operators (used in tests and the baseline).
+impl CLinearOp for Matrix<C64> {
+    fn dim(&self) -> usize {
+        self.rows()
+    }
+    fn apply(&self, x: &[C64]) -> Vec<C64> {
+        self.matvec(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_matrix_is_an_operator() {
+        let m = Matrix::from_diag(&[C64::new(2.0, 0.0), C64::new(0.0, 1.0)]);
+        assert_eq!(m.dim(), 2);
+        let y = m.apply(&[C64::one(), C64::one()]);
+        assert_eq!(y[0], C64::new(2.0, 0.0));
+        assert_eq!(y[1], C64::new(0.0, 1.0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type shared by the factorizations and eigensolvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the dense linear algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// A factorization encountered an (numerically) singular pivot.
+    Singular {
+        /// The pivot column/step at which singularity was detected.
+        at: usize,
+    },
+    /// An operation required a square matrix.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// Two operands had incompatible dimensions.
+    ShapeMismatch {
+        /// Human-readable description of the expected shape relation.
+        expected: String,
+        /// The shapes actually supplied, formatted `rows x cols`.
+        found: String,
+    },
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        /// The number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// Invalid argument (empty matrix, non-finite entry, out-of-range size).
+    InvalidArgument {
+        /// Explanation of what was invalid.
+        message: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { at } => {
+                write!(f, "matrix is singular to working precision (pivot {at})")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "operation requires a square matrix, got {rows}x{cols}")
+            }
+            LinalgError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "iteration failed to converge after {iterations} steps")
+            }
+            LinalgError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+impl LinalgError {
+    /// Convenience constructor for [`LinalgError::ShapeMismatch`].
+    pub fn shape(expected: impl Into<String>, found: impl Into<String>) -> Self {
+        LinalgError::ShapeMismatch { expected: expected.into(), found: found.into() }
+    }
+
+    /// Convenience constructor for [`LinalgError::InvalidArgument`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        LinalgError::InvalidArgument { message: message.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::Singular { at: 3 };
+        assert!(e.to_string().contains("singular"));
+        let e = LinalgError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+        let e = LinalgError::shape("m x n", "2x3 vs 4x5");
+        assert!(e.to_string().contains("expected"));
+        let e = LinalgError::NoConvergence { iterations: 99 };
+        assert!(e.to_string().contains("99"));
+        let e = LinalgError::invalid("empty matrix");
+        assert!(e.to_string().contains("empty matrix"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<LinalgError>();
+    }
+}

@@ -1,0 +1,241 @@
+//! Cyclic Jacobi eigensolver for Hermitian matrices.
+//!
+//! Used by [`crate::svd`] to obtain singular values of the `p x p` transfer
+//! matrices sampled on the frequency axis (`p` is at most a few hundred, so
+//! the Jacobi method's robustness beats asymptotic speed here).
+
+use crate::complex::C64;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Result of a Hermitian eigen-decomposition.
+#[derive(Debug, Clone)]
+pub struct HermitianEigen {
+    /// Real eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose `k`-th column is the eigenvector of
+    /// `values[k]`; `None` when vectors were not requested.
+    pub vectors: Option<Matrix<C64>>,
+}
+
+/// Off-diagonal Frobenius norm (the Jacobi convergence measure).
+fn off_norm(a: &Matrix<C64>) -> f64 {
+    let n = a.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[(i, j)].abs_sq();
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// Eigen-decomposition of a Hermitian matrix by the cyclic Jacobi method.
+///
+/// `a` is *assumed* Hermitian; only the Hermitian part participates in the
+/// rotations (the routine symmetrizes implicitly by using `a[(p,q)]` and its
+/// conjugate). Set `with_vectors` to also accumulate the eigenvector basis.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] for non-square input.
+/// * [`LinalgError::NoConvergence`] if 60 sweeps do not reach the target
+///   off-diagonal reduction (indicates non-Hermitian or non-finite input).
+///
+/// # Example
+///
+/// ```
+/// use pheig_linalg::{Matrix, C64, hermitian::eigh};
+/// # fn main() -> Result<(), pheig_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[
+///     &[C64::new(2.0, 0.0), C64::new(0.0, 1.0)][..],
+///     &[C64::new(0.0, -1.0), C64::new(2.0, 0.0)][..],
+/// ]);
+/// let e = eigh(&a, false)?;
+/// assert!((e.values[0] - 1.0).abs() < 1e-12);
+/// assert!((e.values[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eigh(a: &Matrix<C64>, with_vectors: bool) -> Result<HermitianEigen, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = if with_vectors { Some(Matrix::<C64>::identity(n)) } else { None };
+    if n <= 1 {
+        let values = (0..n).map(|i| m[(i, i)].re).collect();
+        return Ok(HermitianEigen { values, vectors: v });
+    }
+    let scale = m.frobenius_norm().max(f64::MIN_POSITIVE);
+    let tol = 1e-14 * scale;
+    let max_sweeps = 60;
+    for _sweep in 0..max_sweeps {
+        if off_norm(&m) <= tol {
+            let mut idx: Vec<usize> = (0..n).collect();
+            let values: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+            idx.sort_by(|&x, &y| values[x].partial_cmp(&values[y]).unwrap());
+            let sorted_values: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
+            let vectors = v.map(|vm| {
+                Matrix::from_fn(n, n, |i, j| vm[(i, idx[j])])
+            });
+            return Ok(HermitianEigen { values: sorted_values, vectors });
+        }
+        for p in 0..n - 1 {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                let mag = apq.abs();
+                if mag <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                // Phase that makes the pivot real, then a real Jacobi angle.
+                let e_phase = apq * C64::from_real(1.0 / mag); // e^{i phi}
+                let tau = (aqq - app) / (2.0 * mag);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // J = [[c, s], [-conj(e) s, conj(e) c]] acting on columns p, q.
+                let e_conj = e_phase.conj();
+                // Update all rows' columns p and q: A <- A J.
+                for i in 0..n {
+                    let aip = m[(i, p)];
+                    let aiq = m[(i, q)];
+                    m[(i, p)] = aip * c - e_conj * aiq * s;
+                    m[(i, q)] = aip * s + e_conj * aiq * c;
+                }
+                // Update rows p and q: A <- J^H A.
+                for j in 0..n {
+                    let apj = m[(p, j)];
+                    let aqj = m[(q, j)];
+                    m[(p, j)] = apj * c - e_phase * aqj * s;
+                    m[(q, j)] = apj * s + e_phase * aqj * c;
+                }
+                // Clean the pivot pair and enforce real diagonal.
+                m[(p, q)] = C64::zero();
+                m[(q, p)] = C64::zero();
+                m[(p, p)] = C64::from_real(m[(p, p)].re);
+                m[(q, q)] = C64::from_real(m[(q, q)].re);
+                if let Some(vm) = v.as_mut() {
+                    for i in 0..n {
+                        let vip = vm[(i, p)];
+                        let viq = vm[(i, q)];
+                        vm[(i, p)] = vip * c - e_conj * viq * s;
+                        vm[(i, q)] = vip * s + e_conj * viq * c;
+                    }
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence { iterations: max_sweeps })
+}
+
+/// Eigenvalues only, ascending.
+///
+/// # Errors
+///
+/// Same as [`eigh`].
+pub fn eigh_values(a: &Matrix<C64>) -> Result<Vec<f64>, LinalgError> {
+    Ok(eigh(a, false)?.values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_hermitian(n: usize, seed: usize) -> Matrix<C64> {
+        let raw = Matrix::from_fn(n, n, |i, j| {
+            C64::new(
+                (((i * 37 + j * 11 + seed * 5) % 29) as f64 - 14.0) / 7.0,
+                (((i * 13 + j * 23 + seed) % 31) as f64 - 15.0) / 8.0,
+            )
+        });
+        let h = &raw + &raw.conj_transpose();
+        h.scaled(C64::from_real(0.5))
+    }
+
+    #[test]
+    fn pauli_y_eigenvalues() {
+        let a = Matrix::from_rows(&[
+            &[C64::zero(), C64::new(0.0, -1.0)][..],
+            &[C64::new(0.0, 1.0), C64::zero()][..],
+        ]);
+        let e = eigh_values(&a).unwrap();
+        assert!((e[0] + 1.0).abs() < 1e-13);
+        assert!((e[1] - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn real_symmetric_known() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0][..], &[1.0, 2.0][..]]).to_c64();
+        let e = eigh_values(&a).unwrap();
+        assert!((e[0] - 1.0).abs() < 1e-13 && (e[1] - 3.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn decomposition_reconstructs() {
+        let a = random_hermitian(9, 3);
+        let e = eigh(&a, true).unwrap();
+        let v = e.vectors.unwrap();
+        // V is unitary.
+        let g = &v.conj_transpose() * &v;
+        assert!((&g - &Matrix::identity(9)).max_abs() < 1e-10);
+        // A V = V diag(values).
+        let av = &a * &v;
+        for k in 0..9 {
+            for i in 0..9 {
+                let want = v[(i, k)] * e.values[k];
+                assert!((av[(i, k)] - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalue_sum_matches_trace() {
+        let a = random_hermitian(14, 7);
+        let e = eigh_values(&a).unwrap();
+        let tr: f64 = (0..14).map(|i| a[(i, i)].re).sum();
+        let sum: f64 = e.iter().sum();
+        assert!((tr - sum).abs() < 1e-9 * a.frobenius_norm().max(1.0));
+    }
+
+    #[test]
+    fn values_sorted_ascending() {
+        let a = random_hermitian(11, 1);
+        let e = eigh_values(&a).unwrap();
+        for w in e.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn psd_gram_matrix_nonnegative() {
+        let b = Matrix::from_fn(6, 4, |i, j| C64::new((i + j) as f64 / 3.0, (i as f64) - 2.0));
+        let g = &b.conj_transpose() * &b;
+        let e = eigh_values(&g).unwrap();
+        for v in e {
+            assert!(v >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn handles_diagonal_input() {
+        let a = Matrix::from_diag(&[C64::from_real(3.0), C64::from_real(-1.0)]);
+        let e = eigh_values(&a).unwrap();
+        assert_eq!(e, vec![-1.0, 3.0]);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(eigh_values(&Matrix::<C64>::zeros(2, 3)).is_err());
+    }
+}

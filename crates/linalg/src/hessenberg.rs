@@ -1,0 +1,155 @@
+//! Unitary reduction to upper Hessenberg form via Householder reflectors.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Reduces a square matrix to upper Hessenberg form `H = Q^H A Q` in place,
+/// returning `H`. The similarity transform preserves eigenvalues.
+///
+/// This routine is scalar-generic; for real input it produces the familiar
+/// real Hessenberg form.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Example
+///
+/// ```
+/// use pheig_linalg::{Matrix, hessenberg::hessenberg};
+/// let a = Matrix::from_fn(4, 4, |i, j| ((i + 1) * (j + 2)) as f64 + if i == j { 5.0 } else { 0.0 });
+/// let h = hessenberg(a);
+/// // Entries below the first subdiagonal are (numerically) zero.
+/// for i in 2..4 {
+///     for j in 0..i - 1 {
+///         assert!(h[(i, j)].abs() < 1e-12);
+///     }
+/// }
+/// ```
+pub fn hessenberg<S: Scalar>(mut a: Matrix<S>) -> Matrix<S> {
+    assert!(a.is_square(), "hessenberg requires a square matrix");
+    let n = a.rows();
+    if n < 3 {
+        return a;
+    }
+    let mut v = vec![S::ZERO; n];
+    for k in 0..n - 2 {
+        // Householder vector for column k, rows k+1..n.
+        let norm_x: f64 = ((k + 1)..n).map(|i| a[(i, k)].abs_sq()).sum::<f64>().sqrt();
+        if norm_x == 0.0 {
+            continue;
+        }
+        let x0 = a[(k + 1, k)];
+        let phase = if x0.abs() == 0.0 { S::ONE } else { x0 * S::from_f64(1.0 / x0.abs()) };
+        let beta = -phase * S::from_f64(norm_x);
+        let vhv = 2.0 * (norm_x * norm_x + x0.abs() * norm_x);
+        if vhv == 0.0 {
+            continue;
+        }
+        let tau = 2.0 / vhv;
+        v[k + 1] = x0 - beta;
+        for i in (k + 2)..n {
+            v[i] = a[(i, k)];
+        }
+        // Left application: A[k+1.., k..] -= tau v (v^H A[k+1.., k..]).
+        for j in k..n {
+            let mut s = S::ZERO;
+            for i in (k + 1)..n {
+                s += v[i].conj() * a[(i, j)];
+            }
+            s *= S::from_f64(tau);
+            for i in (k + 1)..n {
+                let vi = v[i];
+                a[(i, j)] -= s * vi;
+            }
+        }
+        // Right application: A[.., k+1..] -= tau (A[.., k+1..] v) v^H.
+        for i in 0..n {
+            let mut s = S::ZERO;
+            for j in (k + 1)..n {
+                s += a[(i, j)] * v[j];
+            }
+            s *= S::from_f64(tau);
+            for j in (k + 1)..n {
+                let vj = v[j].conj();
+                a[(i, j)] -= s * vj;
+            }
+        }
+        // Zero out the annihilated entries explicitly for numerical hygiene.
+        a[(k + 1, k)] = beta;
+        for i in (k + 2)..n {
+            a[(i, k)] = S::ZERO;
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+    use crate::eig::eig_complex;
+
+    fn is_hessenberg<S: Scalar>(h: &Matrix<S>, tol: f64) -> bool {
+        let n = h.rows();
+        for i in 0..n {
+            for j in 0..n {
+                if i > j + 1 && h[(i, j)].abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn real_matrix_becomes_hessenberg() {
+        let a = Matrix::from_fn(6, 6, |i, j| ((i * 7 + j * 3) % 13) as f64 - 6.0);
+        let h = hessenberg(a);
+        assert!(is_hessenberg(&h, 1e-12));
+    }
+
+    #[test]
+    fn complex_matrix_becomes_hessenberg() {
+        let a = Matrix::from_fn(5, 5, |i, j| C64::new((i as f64) - (j as f64), (i * j) as f64 / 3.0));
+        let h = hessenberg(a);
+        assert!(is_hessenberg(&h, 1e-12));
+    }
+
+    #[test]
+    fn small_matrices_untouched() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+        assert_eq!(hessenberg(a.clone()), a);
+    }
+
+    #[test]
+    fn eigenvalues_preserved() {
+        // Similarity preserves the spectrum: compare trace and spectral set.
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            C64::new(((i + 2 * j) % 5) as f64, ((3 * i + j) % 7) as f64 / 2.0)
+        });
+        let h = hessenberg(a.clone());
+        // Traces match.
+        let tr_a: C64 = (0..5).map(|i| a[(i, i)]).sum();
+        let tr_h: C64 = (0..5).map(|i| h[(i, i)]).sum();
+        assert!((tr_a - tr_h).abs() < 1e-12);
+        // Full spectra match (sorted by real then imag part).
+        let mut ea = eig_complex(&a).unwrap();
+        let mut eh = eig_complex(&h).unwrap();
+        let key = |z: &C64| (z.re, z.im);
+        ea.sort_by(|x, y| key(x).partial_cmp(&key(y)).unwrap());
+        eh.sort_by(|x, y| key(x).partial_cmp(&key(y)).unwrap());
+        for (x, y) in ea.iter().zip(&eh) {
+            assert!((*x - *y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_preserved() {
+        // Unitary similarity preserves the Frobenius norm.
+        let a = Matrix::from_fn(7, 7, |i, j| C64::new((i as f64).sin() + j as f64, (j as f64).cos()));
+        let na = a.frobenius_norm();
+        let h = hessenberg(a);
+        assert!((h.frobenius_norm() - na).abs() < 1e-10 * na);
+    }
+}

@@ -1,0 +1,53 @@
+//! Dense real and complex linear algebra substrate for the `pheig` workspace.
+//!
+//! The DATE 2011 paper reproduced by this workspace relies on a handful of
+//! classical dense kernels that are not available in the approved offline
+//! crate set, so this crate implements them from scratch:
+//!
+//! * [`C64`] — double-precision complex arithmetic with robust division;
+//! * [`Matrix`] — a dense row-major matrix generic over [`Scalar`] (`f64` or
+//!   [`C64`]);
+//! * [`Lu`] — LU factorization with partial pivoting (solve, determinant);
+//! * [`Qr`] — Householder QR (orthonormal basis, least squares);
+//! * [`hessenberg`] — unitary reduction to upper Hessenberg form;
+//! * [`eig`] — eigenvalues of general matrices via the shifted QR algorithm,
+//!   plus Hessenberg eigenvector extraction by inverse iteration (used for
+//!   Ritz vectors in the Arnoldi solver);
+//! * [`hermitian`] — a cyclic Jacobi eigensolver for Hermitian matrices;
+//! * [`svd`] — singular values (via the Hermitian eigensolver), used to
+//!   sample singular-value curves of scattering transfer matrices.
+//!
+//! # Example
+//!
+//! ```
+//! use pheig_linalg::{Matrix, C64, eig::eig_real};
+//!
+//! # fn main() -> Result<(), pheig_linalg::LinalgError> {
+//! // Eigenvalues of a 2x2 rotation-like matrix are a complex pair.
+//! let a = Matrix::from_rows(&[&[0.0, 1.0][..], &[-1.0, 0.0][..]]);
+//! let mut eigs = eig_real(&a)?;
+//! eigs.sort_by(|x, y| x.im.partial_cmp(&y.im).unwrap());
+//! assert!((eigs[0] - C64::new(0.0, -1.0)).abs() < 1e-12);
+//! assert!((eigs[1] - C64::new(0.0, 1.0)).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod complex;
+pub mod eig;
+pub mod error;
+pub mod hermitian;
+pub mod hessenberg;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod scalar;
+pub mod svd;
+pub mod vector;
+
+pub use complex::C64;
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use scalar::Scalar;

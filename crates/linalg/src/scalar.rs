@@ -1,0 +1,167 @@
+//! The [`Scalar`] abstraction over `f64` and [`C64`].
+//!
+//! Factorizations in this crate ([`crate::Lu`], [`crate::Qr`], matrix
+//! arithmetic) are generic over the scalar field so the same code serves the
+//! real state-space matrices and the complex shifted operators.
+
+use crate::complex::C64;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A field scalar usable in the dense kernels: `f64` or [`C64`].
+///
+/// This trait is sealed in spirit: the algorithms assume an exact field with
+/// IEEE-754 semantics and conjugation, so only the two provided
+/// implementations are meaningful.
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+
+    /// Whether the scalar field is complex.
+    const IS_COMPLEX: bool;
+
+    /// Embeds a real number.
+    fn from_f64(x: f64) -> Self;
+    /// Complex conjugate (identity for `f64`).
+    fn conj(self) -> Self;
+    /// Magnitude.
+    fn abs(self) -> f64;
+    /// Squared magnitude.
+    fn abs_sq(self) -> f64;
+    /// Real part.
+    fn re(self) -> f64;
+    /// Imaginary part (`0` for `f64`).
+    fn im(self) -> f64;
+    /// Promotes to [`C64`].
+    fn to_c64(self) -> C64;
+    /// Returns `true` if all components are finite.
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f64 {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+    const IS_COMPLEX: bool = false;
+
+    #[inline]
+    fn from_f64(x: f64) -> f64 {
+        x
+    }
+    #[inline]
+    fn conj(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+    #[inline]
+    fn abs_sq(self) -> f64 {
+        self * self
+    }
+    #[inline]
+    fn re(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn im(self) -> f64 {
+        0.0
+    }
+    #[inline]
+    fn to_c64(self) -> C64 {
+        C64::from_real(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Scalar for C64 {
+    const ZERO: C64 = crate::complex::ZERO;
+    const ONE: C64 = crate::complex::ONE;
+    const IS_COMPLEX: bool = true;
+
+    #[inline]
+    fn from_f64(x: f64) -> C64 {
+        C64::from_real(x)
+    }
+    #[inline]
+    fn conj(self) -> C64 {
+        C64::conj(self)
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        C64::abs(self)
+    }
+    #[inline]
+    fn abs_sq(self) -> f64 {
+        C64::abs_sq(self)
+    }
+    #[inline]
+    fn re(self) -> f64 {
+        self.re
+    }
+    #[inline]
+    fn im(self) -> f64 {
+        self.im
+    }
+    #[inline]
+    fn to_c64(self) -> C64 {
+        self
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        C64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_sum<S: Scalar>(items: &[S]) -> S {
+        let mut acc = S::ZERO;
+        for &x in items {
+            acc += x;
+        }
+        acc
+    }
+
+    #[test]
+    fn works_for_f64() {
+        assert_eq!(generic_sum(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(1.5_f64.conj(), 1.5);
+        assert_eq!((-2.0_f64).abs(), 2.0);
+        assert_eq!(3.0_f64.im(), 0.0);
+        assert!(!f64::IS_COMPLEX);
+    }
+
+    #[test]
+    fn works_for_c64() {
+        let z = generic_sum(&[C64::new(1.0, 1.0), C64::new(2.0, -3.0)]);
+        assert_eq!(z, C64::new(3.0, -2.0));
+        assert_eq!(C64::new(1.0, 2.0).conj(), C64::new(1.0, -2.0));
+        assert!(C64::IS_COMPLEX);
+        assert_eq!(C64::from_f64(2.0), C64::new(2.0, 0.0));
+    }
+}

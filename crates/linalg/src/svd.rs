@@ -1,0 +1,135 @@
+//! Singular values of dense complex matrices.
+//!
+//! Implemented via the Hermitian Jacobi eigensolver on the Gram matrix of
+//! the smaller side. For the passivity use case the matrices are `p x p`
+//! scattering transfer matrices with singular values near 1, where the
+//! Gram-matrix approach is perfectly accurate.
+
+use crate::complex::C64;
+use crate::error::LinalgError;
+use crate::hermitian::eigh_values;
+use crate::matrix::Matrix;
+
+/// Singular values of `a`, in descending order (length `min(m, n)`).
+///
+/// # Errors
+///
+/// Propagates [`LinalgError`] from the underlying Hermitian eigensolver.
+///
+/// # Example
+///
+/// ```
+/// use pheig_linalg::{Matrix, svd::singular_values};
+/// # fn main() -> Result<(), pheig_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[3.0, 0.0][..], &[0.0, -4.0][..]]).to_c64();
+/// let s = singular_values(&a)?;
+/// assert!((s[0] - 4.0).abs() < 1e-12);
+/// assert!((s[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn singular_values(a: &Matrix<C64>) -> Result<Vec<f64>, LinalgError> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Ok(Vec::new());
+    }
+    let gram = if m >= n {
+        // A^H A is n x n.
+        let ah = a.conj_transpose();
+        &ah * a
+    } else {
+        let ah = a.conj_transpose();
+        a * &ah
+    };
+    let mut vals = eigh_values(&gram)?;
+    // Ascending eigenvalues of the Gram matrix -> descending singular values.
+    vals.reverse();
+    Ok(vals.into_iter().map(|v| v.max(0.0).sqrt()).collect())
+}
+
+/// Largest singular value (spectral norm) of `a`.
+///
+/// # Errors
+///
+/// Propagates [`LinalgError`] from the eigensolver.
+pub fn max_singular_value(a: &Matrix<C64>) -> Result<f64, LinalgError> {
+    Ok(singular_values(a)?.first().copied().unwrap_or(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let a = Matrix::from_diag(&[C64::from_real(-2.0), C64::from_real(5.0), C64::zero()]);
+        let s = singular_values(&a).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!((s[0] - 5.0).abs() < 1e-12);
+        assert!((s[1] - 2.0).abs() < 1e-12);
+        assert!(s[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn rectangular_shapes_agree() {
+        let a = Matrix::from_fn(5, 3, |i, j| C64::new((i + 1) as f64 / (j + 1) as f64, j as f64));
+        let s1 = singular_values(&a).unwrap();
+        let s2 = singular_values(&a.conj_transpose()).unwrap();
+        assert_eq!(s1.len(), 3);
+        for (x, y) in s1.iter().zip(&s2) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unitary_matrix_has_unit_singular_values() {
+        // A 2x2 unitary: [ [c, s], [-s, c] ] with a complex phase.
+        let c = 0.6;
+        let s = 0.8;
+        let phase = C64::new(0.0, 1.0);
+        let a = Matrix::from_rows(&[
+            &[C64::from_real(c), C64::from_real(s) * phase][..],
+            &[-C64::from_real(s) * phase.conj(), C64::from_real(c)][..],
+        ]);
+        for v in singular_values(&a).unwrap() {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn frobenius_identity() {
+        // sum sigma_i^2 == ||A||_F^2.
+        let a = Matrix::from_fn(6, 6, |i, j| C64::new((i * j) as f64 / 5.0, (i as f64) - (j as f64)));
+        let s = singular_values(&a).unwrap();
+        let sum_sq: f64 = s.iter().map(|v| v * v).sum();
+        let f = a.frobenius_norm();
+        assert!((sum_sq - f * f).abs() < 1e-8 * f * f);
+    }
+
+    #[test]
+    fn spectral_norm_bounds_matvec() {
+        let a = Matrix::from_fn(4, 4, |i, j| C64::new((i as f64 + 1.0) * 0.3, (j as f64) * 0.2));
+        let smax = max_singular_value(&a).unwrap();
+        let x = vec![C64::new(0.5, -0.5); 4];
+        let y = a.matvec(&x);
+        let xn = crate::vector::nrm2(&x);
+        let yn = crate::vector::nrm2(&y);
+        assert!(yn <= smax * xn + 1e-10);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Matrix::<C64>::zeros(0, 0);
+        assert!(singular_values(&a).unwrap().is_empty());
+        assert_eq!(max_singular_value(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn descending_order() {
+        let a = Matrix::from_fn(7, 7, |i, j| C64::new(((i * 3 + j) % 5) as f64, ((i + j * 2) % 3) as f64));
+        let s = singular_values(&a).unwrap();
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Vector kernels on slices: dot products, norms, axpy, orthonormalization
+//! helpers used by the Arnoldi process.
+
+use crate::scalar::Scalar;
+
+/// Conjugated dot product `x^H y`.
+///
+/// For real scalars this is the ordinary dot product.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let mut acc = S::ZERO;
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += a.conj() * *b;
+    }
+    acc
+}
+
+/// Euclidean norm `||x||_2`.
+pub fn nrm2<S: Scalar>(x: &[S]) -> f64 {
+    x.iter().map(|v| v.abs_sq()).sum::<f64>().sqrt()
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// `x *= alpha`.
+pub fn scal<S: Scalar>(alpha: S, x: &mut [S]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Normalizes `x` to unit norm in place and returns the original norm.
+///
+/// Leaves `x` untouched (and returns `0.0`) when its norm is zero.
+pub fn normalize<S: Scalar>(x: &mut [S]) -> f64 {
+    let n = nrm2(x);
+    if n > 0.0 {
+        let inv = S::from_f64(1.0 / n);
+        scal(inv, x);
+    }
+    n
+}
+
+/// Largest entry magnitude.
+pub fn max_abs<S: Scalar>(x: &[S]) -> f64 {
+    x.iter().map(|v| v.abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+
+    #[test]
+    fn real_dot_and_norm() {
+        let x = [3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(nrm2(&x), 5.0);
+    }
+
+    #[test]
+    fn complex_dot_conjugates_first_argument() {
+        let x = [C64::new(0.0, 1.0)];
+        let y = [C64::new(0.0, 1.0)];
+        // (i)^H (i) = -i * i = 1
+        assert_eq!(dot(&x, &y), C64::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn axpy_and_scal() {
+        let x = [1.0, -2.0];
+        let mut y = [10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 6.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, [6.0, 3.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut x = [C64::new(3.0, 0.0), C64::new(0.0, 4.0)];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((nrm2(&x) - 1.0).abs() < 1e-15);
+        let mut z = [C64::zero()];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z[0], C64::zero());
+    }
+
+    #[test]
+    fn max_abs_picks_largest() {
+        assert_eq!(max_abs(&[1.0, -7.0, 3.0]), 7.0);
+    }
+}

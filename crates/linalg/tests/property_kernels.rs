@@ -1,0 +1,155 @@
+//! Property-based tests of the dense kernels: factorization roundtrips,
+//! norm preservation, and spectral invariants on randomized matrices.
+
+use pheig_linalg::eig::{eig_complex, eig_with_vectors};
+use pheig_linalg::hermitian::eigh;
+use pheig_linalg::hessenberg::hessenberg;
+use pheig_linalg::svd::singular_values;
+use pheig_linalg::{C64, Lu, Matrix, Qr};
+use proptest::prelude::*;
+
+/// Strategy: a well-scaled complex matrix with entries in the unit box.
+fn cmatrix(n: usize) -> impl Strategy<Value = Matrix<C64>> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n * n).prop_map(move |v| {
+        Matrix::from_vec(n, n, v.into_iter().map(|(a, b)| C64::new(a, b)).collect())
+            .expect("sized")
+    })
+}
+
+/// Strategy: a diagonally dominant (hence nonsingular) complex matrix.
+fn nonsingular(n: usize) -> impl Strategy<Value = Matrix<C64>> {
+    cmatrix(n).prop_map(move |mut m| {
+        for i in 0..n {
+            m[(i, i)] += C64::from_real(n as f64 + 1.0);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// LU solve: A * solve(b) == b.
+    #[test]
+    fn lu_solves(a in nonsingular(6), b in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 6)) {
+        let b: Vec<C64> = b.into_iter().map(|(x, y)| C64::new(x, y)).collect();
+        let lu = Lu::new(a.clone()).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = a.matvec(&x);
+        for (u, v) in r.iter().zip(&b) {
+            prop_assert!((*u - *v).abs() < 1e-9);
+        }
+    }
+
+    /// det(A) * det(A^{-1}) == 1.
+    #[test]
+    fn lu_det_inverse(a in nonsingular(5)) {
+        let lu = Lu::new(a.clone()).unwrap();
+        let inv = lu.inverse();
+        let lu_inv = Lu::new(inv).unwrap();
+        let prod = lu.det() * lu_inv.det();
+        prop_assert!((prod - C64::one()).abs() < 1e-8);
+    }
+
+    /// QR reconstructs and Q is orthonormal.
+    #[test]
+    fn qr_reconstructs(a in cmatrix(6)) {
+        let qr = Qr::new(a.clone()).unwrap();
+        let q = qr.q_thin();
+        let r = qr.r();
+        let back = &q * &r;
+        prop_assert!((&back - &a).max_abs() < 1e-10);
+        let gram = &q.conj_transpose() * &q;
+        prop_assert!((&gram - &Matrix::identity(6)).max_abs() < 1e-10);
+    }
+
+    /// Hessenberg reduction preserves trace, Frobenius norm, and spectrum-sum.
+    #[test]
+    fn hessenberg_invariants(a in cmatrix(7)) {
+        let h = hessenberg(a.clone());
+        let tr_a: C64 = (0..7).map(|i| a[(i, i)]).sum();
+        let tr_h: C64 = (0..7).map(|i| h[(i, i)]).sum();
+        prop_assert!((tr_a - tr_h).abs() < 1e-10);
+        prop_assert!((a.frobenius_norm() - h.frobenius_norm()).abs() < 1e-9);
+    }
+
+    /// Eigenvalue sum equals trace; eigenvalue product equals determinant.
+    #[test]
+    fn eig_trace_det(a in cmatrix(6)) {
+        let eigs = eig_complex(&a).unwrap();
+        let tr: C64 = (0..6).map(|i| a[(i, i)]).sum();
+        let sum: C64 = eigs.iter().copied().sum();
+        prop_assert!((tr - sum).abs() < 1e-7 * (1.0 + a.frobenius_norm()));
+        let det = Lu::new(a.clone()).map(|lu| lu.det());
+        if let Ok(det) = det {
+            let prod = eigs.iter().copied().fold(C64::one(), |acc, z| acc * z);
+            prop_assert!((det - prod).abs() < 1e-6 * (1.0 + det.abs()));
+        }
+    }
+
+    /// Eigenpairs satisfy A v = lambda v.
+    #[test]
+    fn eig_vectors_satisfy(a in cmatrix(5)) {
+        let (vals, vecs) = eig_with_vectors(&a).unwrap();
+        let scale = a.frobenius_norm().max(1.0);
+        for (k, &lambda) in vals.iter().enumerate() {
+            let v = vecs.col(k);
+            let av = a.matvec(&v);
+            let mut resid = 0.0f64;
+            for i in 0..5 {
+                resid = resid.max((av[i] - lambda * v[i]).abs());
+            }
+            // Random matrices can have clustered eigenvalues where inverse
+            // iteration residuals degrade; keep a generous bound.
+            prop_assert!(resid < 1e-4 * scale, "residual {resid}");
+        }
+    }
+
+    /// Hermitian eigendecomposition: real eigenvalues, unitary vectors,
+    /// and reconstruction.
+    #[test]
+    fn hermitian_reconstructs(a in cmatrix(6)) {
+        let h = {
+            let ah = a.conj_transpose();
+            (&a + &ah).scaled(C64::from_real(0.5))
+        };
+        let e = eigh(&h, true).unwrap();
+        let v = e.vectors.unwrap();
+        let gram = &v.conj_transpose() * &v;
+        prop_assert!((&gram - &Matrix::identity(6)).max_abs() < 1e-9);
+        let lam = Matrix::from_diag(
+            &e.values.iter().map(|&x| C64::from_real(x)).collect::<Vec<_>>(),
+        );
+        let back = &(&v * &lam) * &v.conj_transpose();
+        prop_assert!((&back - &h).max_abs() < 1e-8 * (1.0 + h.max_abs()));
+    }
+
+    /// Singular values: non-negative, sorted, Frobenius identity, and
+    /// invariance under conjugate transpose.
+    #[test]
+    fn svd_invariants(a in cmatrix(6)) {
+        let s = singular_values(&a).unwrap();
+        prop_assert!(s.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        prop_assert!(s.iter().all(|&x| x >= 0.0));
+        let f2: f64 = s.iter().map(|x| x * x).sum();
+        let fa = a.frobenius_norm();
+        prop_assert!((f2 - fa * fa).abs() < 1e-8 * (1.0 + fa * fa));
+        let st = singular_values(&a.conj_transpose()).unwrap();
+        for (x, y) in s.iter().zip(&st) {
+            prop_assert!((x - y).abs() < 1e-9 * (1.0 + x));
+        }
+    }
+
+    /// Unitary invariance of singular values: sigma(Q A) == sigma(A) for
+    /// the orthonormal Q of a QR factorization.
+    #[test]
+    fn svd_unitary_invariance(a in cmatrix(5), b in nonsingular(5)) {
+        let q = Qr::new(b).unwrap().q_thin();
+        let qa = &q * &a;
+        let s1 = singular_values(&a).unwrap();
+        let s2 = singular_values(&qa).unwrap();
+        for (x, y) in s1.iter().zip(&s2) {
+            prop_assert!((x - y).abs() < 1e-8 * (1.0 + x));
+        }
+    }
+}

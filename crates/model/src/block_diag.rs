@@ -1,0 +1,333 @@
+//! The block-diagonal state matrix `A` of the structured realization.
+//!
+//! Every block is either a 1x1 real pole block or the 2x2 real rotation-like
+//! block `[[re, im], [-im, re]]` realizing a complex pole pair. Shifted
+//! solves `(A - theta I)^{-1} x` and `(A^T - theta I)^{-1} x` are exact,
+//! block-local, and cost `O(n)` — the property that makes the paper's
+//! Sherman–Morrison–Woodbury shift-and-invert operator linear in the number
+//! of states.
+
+use crate::pole::Pole;
+use pheig_linalg::{C64, Matrix};
+
+/// One diagonal block of `A`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DiagBlock {
+    /// 1x1 block: a real pole at `a`.
+    Real(f64),
+    /// 2x2 block `[[re, im], [-im, re]]`: a complex pair `re +/- i im`.
+    Pair {
+        /// Real part of the pole pair.
+        re: f64,
+        /// Imaginary part (`> 0`).
+        im: f64,
+    },
+}
+
+impl DiagBlock {
+    /// Number of states in the block.
+    pub fn order(&self) -> usize {
+        match self {
+            DiagBlock::Real(_) => 1,
+            DiagBlock::Pair { .. } => 2,
+        }
+    }
+
+    /// The pole this block realizes.
+    pub fn pole(&self) -> Pole {
+        match *self {
+            DiagBlock::Real(a) => Pole::Real(a),
+            DiagBlock::Pair { re, im } => Pole::Pair { re, im },
+        }
+    }
+}
+
+impl From<Pole> for DiagBlock {
+    fn from(p: Pole) -> Self {
+        match p {
+            Pole::Real(a) => DiagBlock::Real(a),
+            Pole::Pair { re, im } => DiagBlock::Pair { re, im },
+        }
+    }
+}
+
+/// A block-diagonal real matrix made of [`DiagBlock`]s.
+///
+/// # Example
+///
+/// ```
+/// use pheig_model::block_diag::{BlockDiagonal, DiagBlock};
+/// let a = BlockDiagonal::new(vec![
+///     DiagBlock::Real(-1.0),
+///     DiagBlock::Pair { re: -0.5, im: 3.0 },
+/// ]);
+/// assert_eq!(a.dim(), 3);
+/// let dense = a.to_dense();
+/// assert_eq!(dense[(1, 2)], 3.0);
+/// assert_eq!(dense[(2, 1)], -3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockDiagonal {
+    blocks: Vec<DiagBlock>,
+    offsets: Vec<usize>,
+    dim: usize,
+}
+
+impl BlockDiagonal {
+    /// Builds the block-diagonal matrix from its blocks.
+    pub fn new(blocks: Vec<DiagBlock>) -> Self {
+        let mut offsets = Vec::with_capacity(blocks.len() + 1);
+        let mut dim = 0;
+        for b in &blocks {
+            offsets.push(dim);
+            dim += b.order();
+        }
+        offsets.push(dim);
+        BlockDiagonal { blocks, offsets, dim }
+    }
+
+    /// Total dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[DiagBlock] {
+        &self.blocks
+    }
+
+    /// State offset of block `k`.
+    pub fn offset(&self, k: usize) -> usize {
+        self.offsets[k]
+    }
+
+    /// Dense representation.
+    pub fn to_dense(&self) -> Matrix<f64> {
+        let mut m = Matrix::zeros(self.dim, self.dim);
+        for (k, b) in self.blocks.iter().enumerate() {
+            let o = self.offsets[k];
+            match *b {
+                DiagBlock::Real(a) => m[(o, o)] = a,
+                DiagBlock::Pair { re, im } => {
+                    m[(o, o)] = re;
+                    m[(o, o + 1)] = im;
+                    m[(o + 1, o)] = -im;
+                    m[(o + 1, o + 1)] = re;
+                }
+            }
+        }
+        m
+    }
+
+    /// Matrix-vector product `y = A x` over complex vectors, `O(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn matvec(&self, x: &[C64], y: &mut [C64]) {
+        assert_eq!(x.len(), self.dim, "matvec length mismatch");
+        assert_eq!(y.len(), self.dim, "matvec output length mismatch");
+        for (k, b) in self.blocks.iter().enumerate() {
+            let o = self.offsets[k];
+            match *b {
+                DiagBlock::Real(a) => y[o] = x[o] * a,
+                DiagBlock::Pair { re, im } => {
+                    y[o] = x[o] * re + x[o + 1] * im;
+                    y[o + 1] = x[o] * (-im) + x[o + 1] * re;
+                }
+            }
+        }
+    }
+
+    /// Matrix-vector product with the transpose, `y = A^T x`, `O(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn matvec_transpose(&self, x: &[C64], y: &mut [C64]) {
+        assert_eq!(x.len(), self.dim, "matvec_transpose length mismatch");
+        assert_eq!(y.len(), self.dim, "matvec_transpose output length mismatch");
+        for (k, b) in self.blocks.iter().enumerate() {
+            let o = self.offsets[k];
+            match *b {
+                DiagBlock::Real(a) => y[o] = x[o] * a,
+                DiagBlock::Pair { re, im } => {
+                    // A^T block = [[re, -im], [im, re]].
+                    y[o] = x[o] * re - x[o + 1] * im;
+                    y[o + 1] = x[o] * im + x[o + 1] * re;
+                }
+            }
+        }
+    }
+
+    /// Solves `(A - theta I) y = x` exactly, block by block, `O(n)`.
+    ///
+    /// Set `transpose` to solve with `A^T` instead of `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn solve_shifted(&self, theta: C64, transpose: bool, x: &[C64], y: &mut [C64]) {
+        assert_eq!(x.len(), self.dim, "solve_shifted length mismatch");
+        assert_eq!(y.len(), self.dim, "solve_shifted output length mismatch");
+        for (k, b) in self.blocks.iter().enumerate() {
+            let o = self.offsets[k];
+            match *b {
+                DiagBlock::Real(a) => {
+                    y[o] = x[o] / (C64::from_real(a) - theta);
+                }
+                DiagBlock::Pair { re, im } => {
+                    // (A - theta I) block = [[re - theta, s*im], [-s*im, re - theta]]
+                    // with s = +1 for A, -1 for A^T.
+                    let d = C64::from_real(re) - theta;
+                    let b12 = if transpose { -im } else { im };
+                    let det = d * d + C64::from_real(b12 * b12);
+                    // inverse = [[d, -b12], [b12, d]] / det
+                    let x0 = x[o];
+                    let x1 = x[o + 1];
+                    y[o] = (d * x0 - x1 * b12) / det;
+                    y[o + 1] = (x0 * b12 + d * x1) / det;
+                }
+            }
+        }
+    }
+
+    /// Applies `(A - theta I)^{-1}` to `x`, allocating the result.
+    pub fn shift_invert_apply(&self, theta: C64, transpose: bool, x: &[C64]) -> Vec<C64> {
+        let mut y = vec![C64::zero(); self.dim];
+        self.solve_shifted(theta, transpose, x, &mut y);
+        y
+    }
+
+    /// Largest pole natural frequency, a cheap upper-bound proxy for the
+    /// model's dynamic bandwidth.
+    pub fn max_natural_frequency(&self) -> f64 {
+        self.blocks.iter().map(|b| b.pole().natural_frequency()).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pheig_linalg::{Lu, vector::nrm2};
+
+    fn sample() -> BlockDiagonal {
+        BlockDiagonal::new(vec![
+            DiagBlock::Real(-1.5),
+            DiagBlock::Pair { re: -0.3, im: 2.0 },
+            DiagBlock::Real(-4.0),
+            DiagBlock::Pair { re: -0.1, im: 7.5 },
+        ])
+    }
+
+    fn cvec(n: usize, seed: u64) -> Vec<C64> {
+        (0..n)
+            .map(|i| {
+                let t = (i as f64 + seed as f64) * 0.7;
+                C64::new(t.sin(), t.cos() * 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dims_and_offsets() {
+        let a = sample();
+        assert_eq!(a.dim(), 6);
+        assert_eq!(a.block_count(), 4);
+        assert_eq!(a.offset(0), 0);
+        assert_eq!(a.offset(1), 1);
+        assert_eq!(a.offset(2), 3);
+        assert_eq!(a.offset(3), 4);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let dense = a.to_dense().to_c64();
+        let x = cvec(a.dim(), 3);
+        let mut y = vec![C64::zero(); a.dim()];
+        a.matvec(&x, &mut y);
+        let yd = dense.matvec(&x);
+        for (u, v) in y.iter().zip(&yd) {
+            assert!((*u - *v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn matvec_transpose_matches_dense() {
+        let a = sample();
+        let dense = a.to_dense().transpose().to_c64();
+        let x = cvec(a.dim(), 5);
+        let mut y = vec![C64::zero(); a.dim()];
+        a.matvec_transpose(&x, &mut y);
+        let yd = dense.matvec(&x);
+        for (u, v) in y.iter().zip(&yd) {
+            assert!((*u - *v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn solve_shifted_matches_dense_lu() {
+        let a = sample();
+        let theta = C64::new(0.2, 1.3);
+        for &transpose in &[false, true] {
+            let base = if transpose { a.to_dense().transpose() } else { a.to_dense() };
+            let mut m = base.to_c64();
+            for i in 0..a.dim() {
+                m[(i, i)] -= theta;
+            }
+            let lu = Lu::new(m).unwrap();
+            let x = cvec(a.dim(), 9);
+            let want = lu.solve(&x).unwrap();
+            let got = a.shift_invert_apply(theta, transpose, &x);
+            for (u, v) in got.iter().zip(&want) {
+                assert!((*u - *v).abs() < 1e-12, "transpose={transpose}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_then_multiply_roundtrip() {
+        let a = sample();
+        let theta = C64::new(-0.7, 4.2);
+        let x = cvec(a.dim(), 11);
+        let y = a.shift_invert_apply(theta, false, &x);
+        // (A - theta) y must reproduce x.
+        let mut ay = vec![C64::zero(); a.dim()];
+        a.matvec(&y, &mut ay);
+        let mut resid = 0.0f64;
+        for i in 0..a.dim() {
+            resid = resid.max((ay[i] - y[i] * theta - x[i]).abs());
+        }
+        assert!(resid < 1e-12 * nrm2(&x).max(1.0));
+    }
+
+    #[test]
+    fn imaginary_shift_on_resonance_is_well_defined() {
+        // theta = i*im exactly at a pole pair's imaginary part: the shifted
+        // block is still nonsingular because the pole has a real part.
+        let a = BlockDiagonal::new(vec![DiagBlock::Pair { re: -0.01, im: 5.0 }]);
+        let theta = C64::from_imag(5.0);
+        let y = a.shift_invert_apply(theta, false, &[C64::one(), C64::zero()]);
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert!(nrm2(&y) > 1.0); // near-resonant -> large response
+    }
+
+    #[test]
+    fn max_natural_frequency() {
+        assert_eq!(sample().max_natural_frequency(), 0.1f64.hypot(7.5));
+    }
+
+    #[test]
+    fn pole_block_roundtrip() {
+        let p = Pole::Pair { re: -2.0, im: 3.0 };
+        let b: DiagBlock = p.into();
+        assert_eq!(b.pole(), p);
+        assert_eq!(b.order(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for macromodel construction and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or evaluating macromodels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A pole has a non-negative real part (the model must be strictly
+    /// stable for Hamiltonian passivity characterization).
+    UnstablePole {
+        /// Real part of the offending pole.
+        re: f64,
+    },
+    /// A residue vector length does not match the port count.
+    ResidueLength {
+        /// Expected length (number of ports).
+        expected: usize,
+        /// Actual length supplied.
+        found: usize,
+    },
+    /// The numbers of poles and residues differ within a column.
+    PoleResidueCount {
+        /// Column (port) index.
+        column: usize,
+    },
+    /// The direct-coupling matrix `D` has the wrong shape.
+    DirectTermShape {
+        /// Expected square dimension (ports).
+        expected: usize,
+        /// Actual shape `rows x cols`.
+        found: String,
+    },
+    /// The model violates strict asymptotic passivity
+    /// (`sigma_max(D) >= 1`), which the Hamiltonian test requires.
+    AsymptoticallyNonPassive {
+        /// Largest singular value of `D`.
+        sigma_max: f64,
+    },
+    /// Invalid construction argument (empty model, non-finite data, ...).
+    InvalidArgument {
+        /// Explanation of what was invalid.
+        message: String,
+    },
+    /// A downstream linear algebra kernel failed.
+    Linalg(pheig_linalg::LinalgError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnstablePole { re } => {
+                write!(f, "pole with non-negative real part {re} (model must be strictly stable)")
+            }
+            ModelError::ResidueLength { expected, found } => {
+                write!(f, "residue vector has length {found}, expected {expected} (ports)")
+            }
+            ModelError::PoleResidueCount { column } => {
+                write!(f, "column {column} has mismatched pole and residue counts")
+            }
+            ModelError::DirectTermShape { expected, found } => {
+                write!(f, "direct term must be {expected}x{expected}, found {found}")
+            }
+            ModelError::AsymptoticallyNonPassive { sigma_max } => {
+                write!(f, "sigma_max(D) = {sigma_max} >= 1 violates strict asymptotic passivity")
+            }
+            ModelError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+            ModelError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pheig_linalg::LinalgError> for ModelError {
+    fn from(e: pheig_linalg::LinalgError) -> Self {
+        ModelError::Linalg(e)
+    }
+}
+
+impl ModelError {
+    /// Convenience constructor for [`ModelError::InvalidArgument`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        ModelError::InvalidArgument { message: message.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ModelError::UnstablePole { re: 0.5 }.to_string().contains("0.5"));
+        assert!(ModelError::ResidueLength { expected: 4, found: 3 }.to_string().contains('4'));
+        assert!(ModelError::AsymptoticallyNonPassive { sigma_max: 1.2 }
+            .to_string()
+            .contains("1.2"));
+        let e: ModelError = pheig_linalg::LinalgError::Singular { at: 0 }.into();
+        assert!(e.to_string().contains("singular"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

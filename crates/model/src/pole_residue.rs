@@ -1,0 +1,324 @@
+//! Pole–residue transfer functions and their structured realization.
+
+use crate::block_diag::BlockDiagonal;
+use crate::error::ModelError;
+use crate::pole::Pole;
+use crate::state_space::StateSpace;
+use pheig_linalg::{C64, Matrix};
+
+/// The residue data attached to one pole of one port column.
+///
+/// The variant must match the pole kind: real poles carry real residue
+/// vectors, complex pairs carry the residue of the upper-half-plane member
+/// (the conjugate term is implicit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Residue {
+    /// Residue column (length `p`) of a real pole.
+    Real(Vec<f64>),
+    /// Residue column (length `p`) of the `+i im` member of a complex pair.
+    Complex(Vec<C64>),
+}
+
+impl Residue {
+    /// Length of the residue vector.
+    pub fn len(&self) -> usize {
+        match self {
+            Residue::Real(v) => v.len(),
+            Residue::Complex(v) => v.len(),
+        }
+    }
+
+    /// `true` when the residue vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Poles and residues of one port column (`H(s)` column `k`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnTerms {
+    /// This column's poles.
+    pub poles: Vec<Pole>,
+    /// One residue per pole, same order.
+    pub residues: Vec<Residue>,
+}
+
+impl ColumnTerms {
+    /// Number of states this column contributes to a realization.
+    pub fn order(&self) -> usize {
+        self.poles.iter().map(Pole::order).sum()
+    }
+}
+
+/// A rational macromodel in pole–residue form with per-column pole sets
+/// (the multi-SIMO structure of the paper's Eq. (2)).
+///
+/// # Example
+///
+/// ```
+/// use pheig_model::{ColumnTerms, Pole, PoleResidueModel, Residue};
+/// use pheig_linalg::{C64, Matrix};
+///
+/// # fn main() -> Result<(), pheig_model::ModelError> {
+/// let col = ColumnTerms {
+///     poles: vec![Pole::Real(-1.0)],
+///     residues: vec![Residue::Real(vec![0.5])],
+/// };
+/// let model = PoleResidueModel::new(vec![col], Matrix::from_diag(&[0.1]))?;
+/// let h0 = model.eval(C64::zero());
+/// assert!((h0[(0, 0)].re - 0.6).abs() < 1e-15); // D + r/(0 - a) = 0.1 + 0.5
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoleResidueModel {
+    columns: Vec<ColumnTerms>,
+    d: Matrix<f64>,
+}
+
+impl PoleResidueModel {
+    /// Builds and validates a pole–residue model.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::UnstablePole`] for poles with non-negative real part;
+    /// * [`ModelError::PoleResidueCount`] / [`ModelError::ResidueLength`]
+    ///   for inconsistent data;
+    /// * [`ModelError::DirectTermShape`] when `d` is not `p x p`;
+    /// * [`ModelError::InvalidArgument`] for variant mismatches or an empty
+    ///   model.
+    pub fn new(columns: Vec<ColumnTerms>, d: Matrix<f64>) -> Result<Self, ModelError> {
+        let p = columns.len();
+        if p == 0 {
+            return Err(ModelError::invalid("model must have at least one port"));
+        }
+        if d.rows() != p || d.cols() != p {
+            return Err(ModelError::DirectTermShape {
+                expected: p,
+                found: format!("{}x{}", d.rows(), d.cols()),
+            });
+        }
+        for (k, col) in columns.iter().enumerate() {
+            if col.poles.len() != col.residues.len() {
+                return Err(ModelError::PoleResidueCount { column: k });
+            }
+            for (pole, res) in col.poles.iter().zip(&col.residues) {
+                pole.ensure_stable()?;
+                if res.len() != p {
+                    return Err(ModelError::ResidueLength { expected: p, found: res.len() });
+                }
+                match (pole, res) {
+                    (Pole::Real(_), Residue::Real(_)) | (Pole::Pair { .. }, Residue::Complex(_)) => {}
+                    _ => {
+                        return Err(ModelError::invalid(format!(
+                            "column {k}: residue variant does not match pole kind"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(PoleResidueModel { columns, d })
+    }
+
+    /// Number of ports `p`.
+    pub fn ports(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Total dynamic order `n` of the structured realization.
+    pub fn order(&self) -> usize {
+        self.columns.iter().map(ColumnTerms::order).sum()
+    }
+
+    /// Per-column terms.
+    pub fn columns(&self) -> &[ColumnTerms] {
+        &self.columns
+    }
+
+    /// The direct coupling matrix `D`.
+    pub fn d(&self) -> &Matrix<f64> {
+        &self.d
+    }
+
+    /// Evaluates the `p x p` transfer matrix at a complex frequency `s`.
+    pub fn eval(&self, s: C64) -> Matrix<C64> {
+        let p = self.ports();
+        let mut h = self.d.to_c64();
+        for (k, col) in self.columns.iter().enumerate() {
+            for (pole, res) in col.poles.iter().zip(&col.residues) {
+                match (pole, res) {
+                    (Pole::Real(a), Residue::Real(r)) => {
+                        let g = C64::one() / (s - *a);
+                        for i in 0..p {
+                            h[(i, k)] += g * r[i];
+                        }
+                    }
+                    (Pole::Pair { re, im }, Residue::Complex(r)) => {
+                        let g_up = C64::one() / (s - C64::new(*re, *im));
+                        let g_dn = C64::one() / (s - C64::new(*re, -*im));
+                        for i in 0..p {
+                            h[(i, k)] += r[i] * g_up + r[i].conj() * g_dn;
+                        }
+                    }
+                    _ => unreachable!("validated at construction"),
+                }
+            }
+        }
+        h
+    }
+
+    /// Builds the structured state-space realization (Eq. (2) of the paper,
+    /// with the real transformation of ref. \[9\] applied to complex pairs).
+    pub fn realize(&self) -> StateSpace {
+        let p = self.ports();
+        let n = self.order();
+        let mut blocks = Vec::new();
+        let mut col_blocks = Vec::with_capacity(p);
+        let mut c = Matrix::zeros(p, n);
+        let mut state = 0usize;
+        for col in &self.columns {
+            let start_block = blocks.len();
+            for (pole, res) in col.poles.iter().zip(&col.residues) {
+                blocks.push((*pole).into());
+                match res {
+                    Residue::Real(r) => {
+                        for i in 0..p {
+                            c[(i, state)] = r[i];
+                        }
+                        state += 1;
+                    }
+                    Residue::Complex(r) => {
+                        for i in 0..p {
+                            c[(i, state)] = r[i].re;
+                            c[(i, state + 1)] = r[i].im;
+                        }
+                        state += 2;
+                    }
+                }
+            }
+            col_blocks.push(start_block..blocks.len());
+        }
+        let a = BlockDiagonal::new(blocks);
+        StateSpace::new(a, col_blocks, c, self.d.clone())
+            .expect("realization of a validated model is consistent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> PoleResidueModel {
+        let col0 = ColumnTerms {
+            poles: vec![Pole::Real(-1.0), Pole::Pair { re: -0.3, im: 4.0 }],
+            residues: vec![
+                Residue::Real(vec![0.2, -0.1]),
+                Residue::Complex(vec![C64::new(0.05, 0.4), C64::new(-0.2, 0.1)]),
+            ],
+        };
+        let col1 = ColumnTerms {
+            poles: vec![Pole::Pair { re: -0.8, im: 2.0 }],
+            residues: vec![Residue::Complex(vec![C64::new(0.1, -0.3), C64::new(0.3, 0.2)])],
+        };
+        let d = Matrix::from_rows(&[&[0.2, 0.01][..], &[0.01, 0.25][..]]);
+        PoleResidueModel::new(vec![col0, col1], d).unwrap()
+    }
+
+    #[test]
+    fn orders_and_ports() {
+        let m = sample_model();
+        assert_eq!(m.ports(), 2);
+        assert_eq!(m.order(), 3 + 2);
+    }
+
+    #[test]
+    fn eval_is_conjugate_symmetric() {
+        // Real-coefficient model: H(conj(s)) = conj(H(s)).
+        let m = sample_model();
+        let s = C64::new(0.3, 2.7);
+        let h1 = m.eval(s);
+        let h2 = m.eval(s.conj());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((h1[(i, j)].conj() - h2[(i, j)]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn realization_matches_pole_residue_eval() {
+        let m = sample_model();
+        let ss = m.realize();
+        assert_eq!(ss.order(), m.order());
+        assert_eq!(ss.ports(), m.ports());
+        for &omega in &[0.0, 0.5, 2.0, 4.0, 10.0] {
+            let s = C64::from_imag(omega);
+            let h_pr = m.eval(s);
+            let h_ss = ss.transfer(s);
+            assert!(
+                (&h_pr - &h_ss).max_abs() < 1e-12,
+                "mismatch at omega={omega}: {:?}",
+                (&h_pr - &h_ss).max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn high_frequency_limit_is_d() {
+        let m = sample_model();
+        let h = m.eval(C64::from_imag(1e9));
+        assert!((&h - &m.d().to_c64()).max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let d = Matrix::from_diag(&[0.0]);
+        // Unstable pole.
+        let col = ColumnTerms {
+            poles: vec![Pole::Real(0.5)],
+            residues: vec![Residue::Real(vec![1.0])],
+        };
+        assert!(matches!(
+            PoleResidueModel::new(vec![col], d.clone()),
+            Err(ModelError::UnstablePole { .. })
+        ));
+        // Residue length mismatch.
+        let col = ColumnTerms {
+            poles: vec![Pole::Real(-0.5)],
+            residues: vec![Residue::Real(vec![1.0, 2.0])],
+        };
+        assert!(matches!(
+            PoleResidueModel::new(vec![col], d.clone()),
+            Err(ModelError::ResidueLength { expected: 1, found: 2 })
+        ));
+        // Variant mismatch.
+        let col = ColumnTerms {
+            poles: vec![Pole::Pair { re: -0.5, im: 1.0 }],
+            residues: vec![Residue::Real(vec![1.0])],
+        };
+        assert!(PoleResidueModel::new(vec![col], d.clone()).is_err());
+        // Count mismatch.
+        let col = ColumnTerms { poles: vec![Pole::Real(-0.5)], residues: vec![] };
+        assert!(matches!(
+            PoleResidueModel::new(vec![col], d),
+            Err(ModelError::PoleResidueCount { column: 0 })
+        ));
+        // Empty model.
+        assert!(PoleResidueModel::new(vec![], Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn single_real_pole_partial_fraction() {
+        // H(s) = 0.1 + 2/(s + 3): check a few values exactly.
+        let col = ColumnTerms {
+            poles: vec![Pole::Real(-3.0)],
+            residues: vec![Residue::Real(vec![2.0])],
+        };
+        let m = PoleResidueModel::new(vec![col], Matrix::from_diag(&[0.1])).unwrap();
+        let h = m.eval(C64::from_real(1.0));
+        assert!((h[(0, 0)].re - (0.1 + 0.5)).abs() < 1e-15);
+        let ss = m.realize();
+        let g = ss.transfer(C64::from_real(1.0));
+        assert!((g[(0, 0)].re - 0.6).abs() < 1e-14);
+    }
+}

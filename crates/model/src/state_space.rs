@@ -1,0 +1,367 @@
+//! The realized `{A, B, C, D}` quadruple in the paper's multi-SIMO structure.
+
+use crate::block_diag::{BlockDiagonal, DiagBlock};
+use crate::error::ModelError;
+use pheig_linalg::{C64, Matrix};
+use std::ops::Range;
+
+/// A structured state-space realization `H(s) = D + C (sI - A)^{-1} B`.
+///
+/// * `A` is block diagonal ([`BlockDiagonal`]);
+/// * `B` is implicit: column `k` drives only the blocks owned by port
+///   column `k`, with entry `1` on real-pole states and `(2, 0)` on
+///   complex-pair states (the real-realization transformation of the
+///   paper's ref. \[9\]);
+/// * `C` is dense `p x n`;
+/// * `D` is dense `p x p`.
+///
+/// All matvec helpers run in `O(n)` or `O(np)` as appropriate; nothing in
+/// this type materializes an `n x n` dense matrix except the explicitly
+/// named `*_dense` methods used for validation.
+#[derive(Debug, Clone)]
+pub struct StateSpace {
+    a: BlockDiagonal,
+    col_blocks: Vec<Range<usize>>,
+    c: Matrix<f64>,
+    d: Matrix<f64>,
+}
+
+impl StateSpace {
+    /// Builds a realization from its parts.
+    ///
+    /// `col_blocks[k]` is the contiguous range of block indices of `a`
+    /// owned by port column `k`; the ranges must exactly partition the
+    /// blocks in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when shapes are inconsistent.
+    pub fn new(
+        a: BlockDiagonal,
+        col_blocks: Vec<Range<usize>>,
+        c: Matrix<f64>,
+        d: Matrix<f64>,
+    ) -> Result<Self, ModelError> {
+        let p = col_blocks.len();
+        if d.rows() != p || d.cols() != p {
+            return Err(ModelError::DirectTermShape {
+                expected: p,
+                found: format!("{}x{}", d.rows(), d.cols()),
+            });
+        }
+        if c.rows() != p || c.cols() != a.dim() {
+            return Err(ModelError::invalid(format!(
+                "C must be {p}x{}, found {}x{}",
+                a.dim(),
+                c.rows(),
+                c.cols()
+            )));
+        }
+        let mut expected_start = 0;
+        for (k, r) in col_blocks.iter().enumerate() {
+            if r.start != expected_start || r.end < r.start || r.end > a.block_count() {
+                return Err(ModelError::invalid(format!(
+                    "column {k} block range {r:?} does not partition the {} blocks",
+                    a.block_count()
+                )));
+            }
+            expected_start = r.end;
+        }
+        if expected_start != a.block_count() {
+            return Err(ModelError::invalid("column block ranges do not cover all blocks"));
+        }
+        Ok(StateSpace { a, col_blocks, c, d })
+    }
+
+    /// Number of states `n`.
+    pub fn order(&self) -> usize {
+        self.a.dim()
+    }
+
+    /// Number of ports `p`.
+    pub fn ports(&self) -> usize {
+        self.col_blocks.len()
+    }
+
+    /// The block-diagonal state matrix.
+    pub fn a(&self) -> &BlockDiagonal {
+        &self.a
+    }
+
+    /// The dense residue matrix `C`.
+    pub fn c(&self) -> &Matrix<f64> {
+        &self.c
+    }
+
+    /// Mutable access to `C` (used by passivity enforcement, which perturbs
+    /// residues only).
+    pub fn c_mut(&mut self) -> &mut Matrix<f64> {
+        &mut self.c
+    }
+
+    /// The direct coupling matrix `D`.
+    pub fn d(&self) -> &Matrix<f64> {
+        &self.d
+    }
+
+    /// Block index range of port column `k`.
+    pub fn column_blocks(&self, k: usize) -> Range<usize> {
+        self.col_blocks[k].clone()
+    }
+
+    /// Input gain pattern of a block (`[1]` or `[2, 0]`).
+    fn block_gains(block: &DiagBlock) -> &'static [f64] {
+        match block {
+            DiagBlock::Real(_) => &[1.0],
+            DiagBlock::Pair { .. } => &[2.0, 0.0],
+        }
+    }
+
+    /// `x = B u`, `O(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != self.ports()`.
+    pub fn apply_b(&self, u: &[C64]) -> Vec<C64> {
+        assert_eq!(u.len(), self.ports(), "apply_b length mismatch");
+        let mut x = vec![C64::zero(); self.order()];
+        for (k, range) in self.col_blocks.iter().enumerate() {
+            let uk = u[k];
+            for bi in range.clone() {
+                let o = self.a.offset(bi);
+                for (j, &g) in Self::block_gains(&self.a.blocks()[bi]).iter().enumerate() {
+                    if g != 0.0 {
+                        x[o + j] = uk * g;
+                    }
+                }
+            }
+        }
+        x
+    }
+
+    /// `u = B^T x`, `O(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.order()`.
+    pub fn apply_bt(&self, x: &[C64]) -> Vec<C64> {
+        assert_eq!(x.len(), self.order(), "apply_bt length mismatch");
+        let mut u = vec![C64::zero(); self.ports()];
+        for (k, range) in self.col_blocks.iter().enumerate() {
+            let mut acc = C64::zero();
+            for bi in range.clone() {
+                let o = self.a.offset(bi);
+                for (j, &g) in Self::block_gains(&self.a.blocks()[bi]).iter().enumerate() {
+                    if g != 0.0 {
+                        acc += x[o + j] * g;
+                    }
+                }
+            }
+            u[k] = acc;
+        }
+        u
+    }
+
+    /// `y = C x`, `O(np)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.order()`.
+    pub fn apply_c(&self, x: &[C64]) -> Vec<C64> {
+        assert_eq!(x.len(), self.order(), "apply_c length mismatch");
+        let p = self.ports();
+        let mut y = vec![C64::zero(); p];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = self.c.row(i);
+            let mut acc = C64::zero();
+            for (cij, xj) in row.iter().zip(x.iter()) {
+                acc += *xj * *cij;
+            }
+            *yi = acc;
+        }
+        y
+    }
+
+    /// `x = C^T y`, `O(np)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != self.ports()`.
+    pub fn apply_ct(&self, y: &[C64]) -> Vec<C64> {
+        assert_eq!(y.len(), self.ports(), "apply_ct length mismatch");
+        let n = self.order();
+        let mut x = vec![C64::zero(); n];
+        for (i, &yi) in y.iter().enumerate() {
+            let row = self.c.row(i);
+            for (xj, cij) in x.iter_mut().zip(row.iter()) {
+                *xj += yi * *cij;
+            }
+        }
+        x
+    }
+
+    /// Dense `B` (for validation and small-model tests only).
+    pub fn b_dense(&self) -> Matrix<f64> {
+        let mut b = Matrix::zeros(self.order(), self.ports());
+        for (k, range) in self.col_blocks.iter().enumerate() {
+            for bi in range.clone() {
+                let o = self.a.offset(bi);
+                for (j, &g) in Self::block_gains(&self.a.blocks()[bi]).iter().enumerate() {
+                    b[(o + j, k)] = g;
+                }
+            }
+        }
+        b
+    }
+
+    /// Dense `A` (for validation and small-model tests only).
+    pub fn a_dense(&self) -> Matrix<f64> {
+        self.a.to_dense()
+    }
+
+    /// Evaluates the transfer matrix `H(s) = D + C (sI - A)^{-1} B`
+    /// in `O(np)` per call using the block structure.
+    pub fn transfer(&self, s: C64) -> Matrix<C64> {
+        let p = self.ports();
+        let mut h = self.d.to_c64();
+        // Column k of (sI - A)^{-1} B is nonzero only on column k's states.
+        for k in 0..p {
+            for bi in self.col_blocks[k].clone() {
+                let o = self.a.offset(bi);
+                match self.a.blocks()[bi] {
+                    DiagBlock::Real(a) => {
+                        let x = C64::one() / (s - a);
+                        for i in 0..p {
+                            h[(i, k)] += x * self.c[(i, o)];
+                        }
+                    }
+                    DiagBlock::Pair { re, im } => {
+                        // (sI - P)^{-1} [2, 0]^T with P = [[re, im], [-im, re]].
+                        let d0 = s - re;
+                        let det = d0 * d0 + im * im;
+                        let x0 = d0 * 2.0 / det;
+                        let x1 = C64::from_real(-2.0 * im) / det;
+                        for i in 0..p {
+                            h[(i, k)] += x0 * self.c[(i, o)] + x1 * self.c[(i, o + 1)];
+                        }
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pheig_linalg::Lu;
+
+    fn small_ss() -> StateSpace {
+        let a = BlockDiagonal::new(vec![
+            DiagBlock::Real(-1.0),
+            DiagBlock::Pair { re: -0.2, im: 3.0 },
+            DiagBlock::Pair { re: -0.5, im: 1.0 },
+            DiagBlock::Real(-2.0),
+        ]);
+        // Column 0 owns blocks 0..2 (3 states), column 1 owns blocks 2..4 (3 states).
+        let col_blocks = vec![0..2, 2..4];
+        let c = Matrix::from_fn(2, 6, |i, j| ((i * 6 + j) as f64 * 0.17).sin());
+        let d = Matrix::from_rows(&[&[0.1, 0.02][..], &[0.02, 0.15][..]]);
+        StateSpace::new(a, col_blocks, c, d).unwrap()
+    }
+
+    #[test]
+    fn dims() {
+        let ss = small_ss();
+        assert_eq!(ss.order(), 6);
+        assert_eq!(ss.ports(), 2);
+        assert_eq!(ss.column_blocks(1), 2..4);
+    }
+
+    #[test]
+    fn b_structure() {
+        let ss = small_ss();
+        let b = ss.b_dense();
+        // Column 0: real block state then pair states.
+        assert_eq!(b[(0, 0)], 1.0);
+        assert_eq!(b[(1, 0)], 2.0);
+        assert_eq!(b[(2, 0)], 0.0);
+        // Column 1.
+        assert_eq!(b[(3, 1)], 2.0);
+        assert_eq!(b[(4, 1)], 0.0);
+        assert_eq!(b[(5, 1)], 1.0);
+        // No cross terms.
+        assert_eq!(b[(0, 1)], 0.0);
+        assert_eq!(b[(3, 0)], 0.0);
+    }
+
+    #[test]
+    fn apply_b_bt_match_dense() {
+        let ss = small_ss();
+        let bd = ss.b_dense().to_c64();
+        let u = vec![C64::new(1.0, -1.0), C64::new(0.5, 2.0)];
+        let x = ss.apply_b(&u);
+        let xd = bd.matvec(&u);
+        for (a, b) in x.iter().zip(&xd) {
+            assert!((*a - *b).abs() < 1e-15);
+        }
+        let z: Vec<C64> = (0..6).map(|i| C64::new(i as f64, -0.5)).collect();
+        let ut = ss.apply_bt(&z);
+        let utd = bd.transpose().matvec(&z);
+        for (a, b) in ut.iter().zip(&utd) {
+            assert!((*a - *b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn apply_c_ct_match_dense() {
+        let ss = small_ss();
+        let cd = ss.c().to_c64();
+        let x: Vec<C64> = (0..6).map(|i| C64::new((i as f64).cos(), (i as f64).sin())).collect();
+        let y = ss.apply_c(&x);
+        let yd = cd.matvec(&x);
+        for (a, b) in y.iter().zip(&yd) {
+            assert!((*a - *b).abs() < 1e-14);
+        }
+        let w = vec![C64::new(1.0, 2.0), C64::new(-0.3, 0.4)];
+        let xt = ss.apply_ct(&w);
+        let xtd = cd.transpose().matvec(&w);
+        for (a, b) in xt.iter().zip(&xtd) {
+            assert!((*a - *b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn transfer_matches_dense_formula() {
+        let ss = small_ss();
+        let s = C64::new(0.0, 2.2);
+        let h = ss.transfer(s);
+        // Dense check: D + C (sI - A)^{-1} B.
+        let n = ss.order();
+        let mut si_a = ss.a_dense().to_c64().scaled(C64::from_real(-1.0));
+        for i in 0..n {
+            si_a[(i, i)] += s;
+        }
+        let lu = Lu::new(si_a).unwrap();
+        let x = lu.solve_matrix(&ss.b_dense().to_c64()).unwrap();
+        let h_dense = &(&ss.c().to_c64() * &x) + &ss.d().to_c64();
+        assert!((&h - &h_dense).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let a = BlockDiagonal::new(vec![DiagBlock::Real(-1.0)]);
+        let c = Matrix::zeros(1, 1);
+        // D wrong shape.
+        assert!(matches!(
+            StateSpace::new(a.clone(), vec![0..1], c.clone(), Matrix::zeros(2, 2)),
+            Err(ModelError::DirectTermShape { .. })
+        ));
+        // C wrong shape.
+        assert!(StateSpace::new(a.clone(), vec![0..1], Matrix::zeros(1, 5), Matrix::zeros(1, 1))
+            .is_err());
+        // Ranges that do not partition.
+        assert!(StateSpace::new(a, vec![0..0], c, Matrix::zeros(1, 1)).is_err());
+    }
+}

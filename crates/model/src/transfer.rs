@@ -1,0 +1,194 @@
+//! Frequency-response evaluation helpers: singular-value sampling of the
+//! scattering matrix along the imaginary axis.
+
+use crate::pole_residue::PoleResidueModel;
+use crate::state_space::StateSpace;
+use pheig_linalg::svd::max_singular_value;
+use pheig_linalg::{C64, Matrix, vector};
+
+/// Anything that can evaluate its `p x p` transfer matrix at `s = j omega`.
+pub trait TransferEval {
+    /// Number of ports.
+    fn ports(&self) -> usize;
+    /// Transfer matrix at complex frequency `s`.
+    fn transfer_at(&self, s: C64) -> Matrix<C64>;
+}
+
+impl TransferEval for PoleResidueModel {
+    fn ports(&self) -> usize {
+        PoleResidueModel::ports(self)
+    }
+    fn transfer_at(&self, s: C64) -> Matrix<C64> {
+        self.eval(s)
+    }
+}
+
+impl TransferEval for StateSpace {
+    fn ports(&self) -> usize {
+        StateSpace::ports(self)
+    }
+    fn transfer_at(&self, s: C64) -> Matrix<C64> {
+        self.transfer(s)
+    }
+}
+
+/// Exact largest singular value of `H(j omega)` (Jacobi-based SVD).
+///
+/// # Errors
+///
+/// Propagates eigensolver failures.
+pub fn sigma_max(model: &impl TransferEval, omega: f64) -> Result<f64, pheig_linalg::LinalgError> {
+    max_singular_value(&model.transfer_at(C64::from_imag(omega)))
+}
+
+/// Fast estimate of the largest singular value of a matrix by power
+/// iteration on the Gram matrix; accurate to `tol` relative error for
+/// matrices with separated top singular values, and always a lower bound.
+pub fn sigma_max_estimate(h: &Matrix<C64>, tol: f64, max_iters: usize) -> f64 {
+    let (m, n) = h.shape();
+    if m == 0 || n == 0 {
+        return 0.0;
+    }
+    // Deterministic pseudo-random start vector to avoid orthogonal bad luck.
+    let mut v: Vec<C64> = (0..n)
+        .map(|i| {
+            let t = (i as f64 + 1.0) * 0.754877666;
+            C64::new((t * 13.0).sin() + 0.3, (t * 7.0).cos())
+        })
+        .collect();
+    vector::normalize(&mut v);
+    let mut sigma = 0.0f64;
+    for _ in 0..max_iters {
+        let hv = h.matvec(&v);
+        let s_new = vector::nrm2(&hv);
+        let mut w = h.conj_transpose_matvec(&hv);
+        let wn = vector::normalize(&mut w);
+        if wn == 0.0 {
+            return 0.0;
+        }
+        v = w;
+        if (s_new - sigma).abs() <= tol * s_new.max(1e-300) {
+            return s_new;
+        }
+        sigma = s_new;
+    }
+    sigma
+}
+
+/// Samples `sigma_max(H(j omega))` on a frequency grid (exact SVD per
+/// point).
+///
+/// # Errors
+///
+/// Propagates eigensolver failures.
+pub fn sigma_curve(
+    model: &impl TransferEval,
+    omegas: &[f64],
+) -> Result<Vec<f64>, pheig_linalg::LinalgError> {
+    omegas.iter().map(|&w| sigma_max(model, w)).collect()
+}
+
+/// Counts the crossings of the level `1` by a sampled curve — a grid
+/// estimate of the number of imaginary Hamiltonian eigenvalues in the band
+/// (used only by the synthetic generator's calibration; the solver computes
+/// the exact set).
+pub fn count_unit_crossings(curve: &[f64]) -> usize {
+    curve.windows(2).filter(|w| (w[0] - 1.0) * (w[1] - 1.0) < 0.0).count()
+}
+
+/// Locates the maximum of `f` on `[lo, hi]` by golden-section search,
+/// returning `(argmax, max)`. `f` is assumed unimodal on the interval; for
+/// multimodal curves, call per bracketed sub-interval.
+pub fn golden_section_max(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: f64) -> (f64, f64) {
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    let xm = 0.5 * (a + b);
+    (xm, f(xm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pole::Pole;
+    use crate::pole_residue::{ColumnTerms, Residue};
+
+    fn resonant_model(residue: f64) -> PoleResidueModel {
+        let col = ColumnTerms {
+            poles: vec![Pole::Pair { re: -0.05, im: 2.0 }],
+            residues: vec![Residue::Complex(vec![C64::new(0.0, -residue)])],
+        };
+        PoleResidueModel::new(vec![col], Matrix::from_diag(&[0.1])).unwrap()
+    }
+
+    #[test]
+    fn sigma_peaks_at_resonance() {
+        let m = resonant_model(0.08);
+        let s_res = sigma_max(&m, 2.0).unwrap();
+        let s_off = sigma_max(&m, 0.2).unwrap();
+        assert!(s_res > 1.0, "resonance should exceed unity, got {s_res}");
+        assert!(s_off < 1.0);
+    }
+
+    #[test]
+    fn estimate_matches_exact() {
+        let m = resonant_model(0.08);
+        for &w in &[0.5, 1.5, 2.0, 3.0] {
+            let h = m.eval(C64::from_imag(w));
+            let exact = max_singular_value(&h).unwrap();
+            let est = sigma_max_estimate(&h, 1e-10, 200);
+            assert!((exact - est).abs() < 1e-6 * exact.max(1.0), "omega={w}: {exact} vs {est}");
+        }
+    }
+
+    #[test]
+    fn estimate_on_larger_matrix() {
+        let h = Matrix::from_fn(12, 12, |i, j| {
+            C64::new(((i * 5 + j * 3) % 7) as f64 - 3.0, ((i + j) % 4) as f64 - 1.5)
+        });
+        let exact = max_singular_value(&h).unwrap();
+        let est = sigma_max_estimate(&h, 1e-12, 500);
+        assert!((exact - est).abs() < 1e-6 * exact);
+    }
+
+    #[test]
+    fn crossing_count_on_synthetic_curve() {
+        // Curve rises above 1 once: two crossings (up, down).
+        let curve = [0.5, 0.8, 1.2, 1.4, 0.9, 0.7];
+        assert_eq!(count_unit_crossings(&curve), 2);
+        assert_eq!(count_unit_crossings(&[0.2, 0.4]), 0);
+    }
+
+    #[test]
+    fn golden_section_finds_parabola_peak() {
+        let (x, v) = golden_section_max(|t| 3.0 - (t - 1.2) * (t - 1.2), 0.0, 4.0, 1e-10);
+        assert!((x - 1.2).abs() < 1e-7);
+        assert!((v - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_curve_len() {
+        let m = resonant_model(0.02);
+        let grid: Vec<f64> = (0..20).map(|k| k as f64 * 0.25).collect();
+        let c = sigma_curve(&m, &grid).unwrap();
+        assert_eq!(c.len(), 20);
+    }
+}

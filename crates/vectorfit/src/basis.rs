@@ -1,0 +1,147 @@
+//! Real partial-fraction basis functions.
+//!
+//! For a real pole `a`: one basis function `1/(s - a)` with a real
+//! coefficient. For a complex pair `a +/- jb`: two basis functions
+//!
+//! ```text
+//! phi_1(s) = 1/(s - q) + 1/(s - conj(q)),
+//! phi_2(s) = j/(s - q) - j/(s - conj(q)),      q = a + jb,
+//! ```
+//!
+//! with real coefficients `(c_1, c_2)` mapping to the complex residue
+//! `r = c_1 + j c_2` of the `+jb` member. Real coefficients make conjugate
+//! symmetry of the fit structural.
+
+use pheig_linalg::C64;
+use pheig_model::Pole;
+
+/// Number of real basis coefficients for a pole set (equals the dynamic
+/// order it realizes).
+pub fn coefficient_count(poles: &[Pole]) -> usize {
+    poles.iter().map(Pole::order).sum()
+}
+
+/// Evaluates all basis functions at `s`, in pole order (complex values;
+/// the LS assembly splits real/imaginary rows).
+pub fn basis_row(s: C64, poles: &[Pole]) -> Vec<C64> {
+    let mut row = Vec::with_capacity(coefficient_count(poles));
+    for pole in poles {
+        match *pole {
+            Pole::Real(a) => row.push(C64::one() / (s - a)),
+            Pole::Pair { re, im } => {
+                let g_up = C64::one() / (s - C64::new(re, im));
+                let g_dn = C64::one() / (s - C64::new(re, -im));
+                row.push(g_up + g_dn);
+                row.push(C64::i() * g_up - C64::i() * g_dn);
+            }
+        }
+    }
+    row
+}
+
+/// Converts real basis coefficients back to per-pole residues: real poles
+/// keep their coefficient; complex pairs combine `(c1, c2) -> c1 + j c2`.
+pub fn coefficients_to_residues(poles: &[Pole], coeffs: &[f64]) -> Vec<ResidueValue> {
+    let mut out = Vec::with_capacity(poles.len());
+    let mut k = 0;
+    for pole in poles {
+        match pole {
+            Pole::Real(_) => {
+                out.push(ResidueValue::Real(coeffs[k]));
+                k += 1;
+            }
+            Pole::Pair { .. } => {
+                out.push(ResidueValue::Complex(C64::new(coeffs[k], coeffs[k + 1])));
+                k += 2;
+            }
+        }
+    }
+    out
+}
+
+/// A scalar residue attached to a pole.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResidueValue {
+    /// Residue of a real pole.
+    Real(f64),
+    /// Residue of the upper member of a complex pair.
+    Complex(C64),
+}
+
+/// Log-spaced starting poles covering `[omega_lo, omega_hi]`: complex
+/// pairs with a prescribed damping ratio, plus one real pole when the
+/// count is odd.
+pub fn initial_poles(omega_lo: f64, omega_hi: f64, count: usize, damping: f64) -> Vec<Pole> {
+    let mut poles = Vec::with_capacity(count.div_ceil(2));
+    let n_pairs = count / 2;
+    let lo = omega_lo.max(omega_hi * 1e-3).max(1e-6);
+    for k in 0..n_pairs {
+        let t = if n_pairs == 1 { 0.5 } else { k as f64 / (n_pairs - 1) as f64 };
+        let w = lo * (omega_hi / lo).powf(t);
+        poles.push(Pole::Pair { re: -damping * w, im: w });
+    }
+    if count % 2 == 1 {
+        poles.push(Pole::Real(-0.5 * (lo + omega_hi)));
+    }
+    poles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let poles = vec![Pole::Real(-1.0), Pole::Pair { re: -0.1, im: 2.0 }];
+        assert_eq!(coefficient_count(&poles), 3);
+        assert_eq!(basis_row(C64::from_imag(1.0), &poles).len(), 3);
+    }
+
+    #[test]
+    fn pair_basis_reconstructs_conjugate_sum() {
+        // c1 phi1 + c2 phi2 must equal r/(s-q) + conj(r)/(s-conj(q)).
+        let pole = Pole::Pair { re: -0.3, im: 2.0 };
+        let (c1, c2) = (0.7, -1.1);
+        let r = C64::new(c1, c2);
+        let q = C64::new(-0.3, 2.0);
+        for &w in &[0.1, 1.0, 2.0, 5.0] {
+            let s = C64::from_imag(w);
+            let row = basis_row(s, &[pole]);
+            let via_basis = row[0] * c1 + row[1] * c2;
+            let direct = r / (s - q) + r.conj() / (s - q.conj());
+            assert!((via_basis - direct).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn real_pole_basis() {
+        let row = basis_row(C64::from_real(1.0), &[Pole::Real(-3.0)]);
+        assert!((row[0] - C64::from_real(0.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn residue_roundtrip() {
+        let poles = vec![Pole::Pair { re: -1.0, im: 4.0 }, Pole::Real(-2.0)];
+        let res = coefficients_to_residues(&poles, &[0.5, -0.25, 3.0]);
+        assert_eq!(res[0], ResidueValue::Complex(C64::new(0.5, -0.25)));
+        assert_eq!(res[1], ResidueValue::Real(3.0));
+    }
+
+    #[test]
+    fn initial_poles_are_stable_and_cover_band() {
+        let poles = initial_poles(0.1, 10.0, 9, 0.02);
+        assert_eq!(coefficient_count(&poles), 9);
+        for p in &poles {
+            assert!(p.is_stable());
+        }
+        let freqs: Vec<f64> = poles
+            .iter()
+            .filter_map(|p| match p {
+                Pole::Pair { im, .. } => Some(*im),
+                _ => None,
+            })
+            .collect();
+        assert!(freqs.iter().copied().fold(f64::INFINITY, f64::min) <= 0.2);
+        assert!(freqs.iter().copied().fold(0.0, f64::max) >= 9.9);
+    }
+}

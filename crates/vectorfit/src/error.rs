@@ -1,0 +1,72 @@
+//! Error type for Vector Fitting.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the rational fitting pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VectorFitError {
+    /// Invalid options (zero poles, more unknowns than equations, ...).
+    InvalidOptions {
+        /// Explanation.
+        message: String,
+    },
+    /// A least-squares or eigenvalue kernel failed.
+    Linalg(pheig_linalg::LinalgError),
+    /// The fitted model failed validation.
+    Model(pheig_model::ModelError),
+}
+
+impl fmt::Display for VectorFitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VectorFitError::InvalidOptions { message } => {
+                write!(f, "invalid vector fitting options: {message}")
+            }
+            VectorFitError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            VectorFitError::Model(e) => write!(f, "model assembly failure: {e}"),
+        }
+    }
+}
+
+impl Error for VectorFitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VectorFitError::Linalg(e) => Some(e),
+            VectorFitError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pheig_linalg::LinalgError> for VectorFitError {
+    fn from(e: pheig_linalg::LinalgError) -> Self {
+        VectorFitError::Linalg(e)
+    }
+}
+
+impl From<pheig_model::ModelError> for VectorFitError {
+    fn from(e: pheig_model::ModelError) -> Self {
+        VectorFitError::Model(e)
+    }
+}
+
+impl VectorFitError {
+    /// Convenience constructor for [`VectorFitError::InvalidOptions`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        VectorFitError::InvalidOptions { message: message.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(VectorFitError::invalid("x").to_string().contains('x'));
+        let e: VectorFitError = pheig_linalg::LinalgError::Singular { at: 2 }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,399 @@
+//! The Vector Fitting engine: sigma-stage least squares, pole relocation,
+//! and final residue identification.
+
+use crate::basis::{
+    basis_row, coefficient_count, coefficients_to_residues, initial_poles, ResidueValue,
+};
+use crate::error::VectorFitError;
+use crate::options::VectorFitOptions;
+use pheig_linalg::eig::eig_real;
+use pheig_linalg::{C64, Matrix, Qr};
+use pheig_model::block_diag::{BlockDiagonal, DiagBlock};
+use pheig_model::{ColumnTerms, FrequencySamples, Pole, PoleResidueModel, Residue};
+
+/// Result of a Vector Fitting run.
+#[derive(Debug, Clone)]
+pub struct VectorFitOutcome {
+    /// The fitted multi-SIMO pole–residue model.
+    pub model: PoleResidueModel,
+    /// Root-mean-square entrywise fit error over all samples.
+    pub rms_error: f64,
+    /// Largest entrywise fit error.
+    pub max_error: f64,
+}
+
+/// Fits a rational macromodel to tabulated frequency samples.
+///
+/// Each port column is fitted independently with its own pole set (the
+/// multi-SIMO structure the paper's solvers exploit).
+///
+/// # Errors
+///
+/// * [`VectorFitError::InvalidOptions`] when the sample count cannot
+///   support the requested order;
+/// * kernel failures from the least-squares / eigenvalue stages.
+///
+/// # Example
+///
+/// ```
+/// use pheig_model::generator::{generate_case, CaseSpec};
+/// use pheig_model::FrequencySamples;
+/// use pheig_vectorfit::{vector_fit, VectorFitOptions};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let reference = generate_case(&CaseSpec::new(8, 2).with_seed(3))?;
+/// let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 120)?;
+/// let fit = vector_fit(&samples, &VectorFitOptions::new(8))?;
+/// assert!(fit.rms_error < 1e-6, "rms {}", fit.rms_error);
+/// # Ok(())
+/// # }
+/// ```
+pub fn vector_fit(
+    samples: &FrequencySamples,
+    opts: &VectorFitOptions,
+) -> Result<VectorFitOutcome, VectorFitError> {
+    if opts.poles_per_column == 0 {
+        return Err(VectorFitError::invalid("poles_per_column must be positive"));
+    }
+    if opts.iterations == 0 {
+        return Err(VectorFitError::invalid("need at least one relocation iteration"));
+    }
+    let p = samples.ports();
+    let k_samples = samples.len();
+    let nb = opts.poles_per_column; // real coefficients per pole set
+    let sigma_cols = nb * p + if opts.fit_d { p } else { 0 } + nb;
+    if 2 * k_samples * p < sigma_cols {
+        return Err(VectorFitError::invalid(format!(
+            "underdetermined fit: {} real equations for {sigma_cols} unknowns",
+            2 * k_samples * p
+        )));
+    }
+    let omegas = samples.omegas();
+    let w_lo = omegas[0].max(omegas[omegas.len() - 1] * 1e-4);
+    let w_hi = omegas[omegas.len() - 1];
+
+    let mut columns = Vec::with_capacity(p);
+    let mut d = Matrix::<f64>::zeros(p, p);
+    for j in 0..p {
+        let responses = samples.column_responses(j); // K x p complex
+        let mut poles = initial_poles(w_lo, w_hi, opts.poles_per_column, opts.initial_damping);
+        for _ in 0..opts.iterations {
+            let sigma = sigma_stage(omegas, &responses, &poles, opts.fit_d)?;
+            poles = relocate_poles(&poles, &sigma)?;
+        }
+        let (col_terms, d_col) = residue_stage(omegas, &responses, &poles, opts.fit_d)?;
+        for (i, &di) in d_col.iter().enumerate() {
+            d[(i, j)] = di;
+        }
+        columns.push(col_terms);
+    }
+    let model = PoleResidueModel::new(columns, d)?;
+
+    // Fit-quality metrics on the input grid.
+    let mut sum_sq = 0.0f64;
+    let mut max_err = 0.0f64;
+    let mut count = 0usize;
+    for (k, &w) in omegas.iter().enumerate() {
+        let h = model.eval(C64::from_imag(w));
+        let target = &samples.matrices()[k];
+        for i in 0..p {
+            for jj in 0..p {
+                let e = (h[(i, jj)] - target[(i, jj)]).abs();
+                sum_sq += e * e;
+                max_err = max_err.max(e);
+                count += 1;
+            }
+        }
+    }
+    let rms_error = (sum_sq / count as f64).sqrt();
+    Ok(VectorFitOutcome { model, rms_error, max_error: max_err })
+}
+
+/// Solves the sigma-augmented LS problem and returns the sigma basis
+/// coefficients.
+fn sigma_stage(
+    omegas: &[f64],
+    responses: &Matrix<C64>, // K x p
+    poles: &[Pole],
+    fit_d: bool,
+) -> Result<Vec<f64>, VectorFitError> {
+    let k_samples = omegas.len();
+    let p = responses.cols();
+    let nb = coefficient_count(poles);
+    let d_cols = if fit_d { p } else { 0 };
+    let cols = nb * p + d_cols + nb;
+    let rows = 2 * k_samples * p;
+    let mut a = Matrix::<f64>::zeros(rows, cols);
+    let mut rhs = vec![0.0f64; rows];
+    for (k, &w) in omegas.iter().enumerate() {
+        let phi = basis_row(C64::from_imag(w), poles);
+        for i in 0..p {
+            let f = responses[(k, i)];
+            let r_re = 2 * (k * p + i);
+            let r_im = r_re + 1;
+            // Residue block of port i.
+            for (m, &ph) in phi.iter().enumerate() {
+                let c = i * nb + m;
+                a[(r_re, c)] = ph.re;
+                a[(r_im, c)] = ph.im;
+            }
+            // Constant term of port i.
+            if fit_d {
+                a[(r_re, nb * p + i)] = 1.0;
+                // (imaginary part of a real constant is zero)
+            }
+            // Shared sigma block: -phi_m * f.
+            for (m, &ph) in phi.iter().enumerate() {
+                let c = nb * p + d_cols + m;
+                let v = -(ph * f);
+                a[(r_re, c)] = v.re;
+                a[(r_im, c)] = v.im;
+            }
+            rhs[r_re] = f.re;
+            rhs[r_im] = f.im;
+        }
+    }
+    let sol = Qr::new(a)?.solve_least_squares(&rhs)?;
+    Ok(sol[nb * p + d_cols..].to_vec())
+}
+
+/// Relocates poles to the zeros of the sigma function: the eigenvalues of
+/// `A_sigma - b_sigma c_sigma^T`, with unstable results flipped.
+fn relocate_poles(poles: &[Pole], sigma_coeffs: &[f64]) -> Result<Vec<Pole>, VectorFitError> {
+    let blocks: Vec<DiagBlock> = poles.iter().map(|&pl| pl.into()).collect();
+    let a = BlockDiagonal::new(blocks);
+    let n = a.dim();
+    let mut m = a.to_dense();
+    // Subtract b c^T: b has entry 1 on real-pole states, (2, 0) on pair
+    // states; c carries the sigma coefficients in realization layout.
+    let mut state = 0usize;
+    let mut b = vec![0.0f64; n];
+    for pole in poles {
+        match pole {
+            Pole::Real(_) => {
+                b[state] = 1.0;
+                state += 1;
+            }
+            Pole::Pair { .. } => {
+                b[state] = 2.0;
+                state += 2;
+            }
+        }
+    }
+    for i in 0..n {
+        if b[i] == 0.0 {
+            continue;
+        }
+        for jj in 0..n {
+            m[(i, jj)] -= b[i] * sigma_coeffs[jj];
+        }
+    }
+    let eigs = eig_real(&m)?;
+    Ok(pair_spectrum(&eigs))
+}
+
+/// Robustly pairs a real-matrix spectrum into stable poles: conjugate
+/// partners are matched greedily, then unstable real parts are flipped.
+pub(crate) fn pair_spectrum(eigs: &[C64]) -> Vec<Pole> {
+    let scale = eigs.iter().map(|z| z.abs()).fold(0.0, f64::max).max(1e-300);
+    let tol = 1e-7 * scale;
+    let mut remaining: Vec<C64> = eigs.to_vec();
+    let mut poles = Vec::new();
+    while let Some((idx, _)) = remaining
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.im.abs().partial_cmp(&b.1.im.abs()).unwrap())
+    {
+        let z = remaining.swap_remove(idx);
+        if z.im.abs() <= tol {
+            poles.push(Pole::Real(-z.re.abs().max(1e-12 * scale)));
+            continue;
+        }
+        // Find and consume the conjugate partner.
+        if let Some((pidx, _)) = remaining
+            .iter()
+            .enumerate()
+            .min_by(|a, b| (*a.1 - z.conj()).abs().partial_cmp(&(*b.1 - z.conj()).abs()).unwrap())
+        {
+            let partner = remaining.swap_remove(pidx);
+            let re = 0.5 * (z.re + partner.re);
+            let im = 0.5 * (z.im.abs() + partner.im.abs());
+            poles.push(Pole::Pair {
+                re: -re.abs().max(1e-9 * im.max(1e-12 * scale)),
+                im,
+            });
+        } else {
+            // Unpaired complex value (should not happen): treat as a pair
+            // with itself.
+            poles.push(Pole::Pair { re: -z.re.abs().max(1e-12 * scale), im: z.im.abs() });
+        }
+    }
+    poles
+}
+
+/// Final residue identification with fixed poles (decoupled per port).
+fn residue_stage(
+    omegas: &[f64],
+    responses: &Matrix<C64>, // K x p
+    poles: &[Pole],
+    fit_d: bool,
+) -> Result<(ColumnTerms, Vec<f64>), VectorFitError> {
+    let k_samples = omegas.len();
+    let p = responses.cols();
+    let nb = coefficient_count(poles);
+    let cols = nb + usize::from(fit_d);
+    let rows = 2 * k_samples;
+    // The system matrix is shared by all ports; factor once.
+    let mut a = Matrix::<f64>::zeros(rows, cols);
+    for (k, &w) in omegas.iter().enumerate() {
+        let phi = basis_row(C64::from_imag(w), poles);
+        for (m, &ph) in phi.iter().enumerate() {
+            a[(2 * k, m)] = ph.re;
+            a[(2 * k + 1, m)] = ph.im;
+        }
+        if fit_d {
+            a[(2 * k, nb)] = 1.0;
+        }
+    }
+    let qr = Qr::new(a)?;
+    // Per-port solves; residues per pole collected across ports.
+    let mut per_port: Vec<Vec<ResidueValue>> = Vec::with_capacity(p);
+    let mut d_col = vec![0.0f64; p];
+    for i in 0..p {
+        let mut rhs = vec![0.0f64; rows];
+        for k in 0..k_samples {
+            let f = responses[(k, i)];
+            rhs[2 * k] = f.re;
+            rhs[2 * k + 1] = f.im;
+        }
+        let sol = qr.solve_least_squares(&rhs)?;
+        if fit_d {
+            d_col[i] = sol[nb];
+        }
+        per_port.push(coefficients_to_residues(poles, &sol[..nb]));
+    }
+    // Transpose: per-pole residue vectors (length p).
+    let mut residues = Vec::with_capacity(poles.len());
+    for (m, pole) in poles.iter().enumerate() {
+        match pole {
+            Pole::Real(_) => {
+                let v: Vec<f64> = per_port
+                    .iter()
+                    .map(|port| match port[m] {
+                        ResidueValue::Real(r) => r,
+                        ResidueValue::Complex(_) => unreachable!("kind fixed by pole"),
+                    })
+                    .collect();
+                residues.push(Residue::Real(v));
+            }
+            Pole::Pair { .. } => {
+                let v: Vec<C64> = per_port
+                    .iter()
+                    .map(|port| match port[m] {
+                        ResidueValue::Complex(r) => r,
+                        ResidueValue::Real(_) => unreachable!("kind fixed by pole"),
+                    })
+                    .collect();
+                residues.push(Residue::Complex(v));
+            }
+        }
+    }
+    Ok((ColumnTerms { poles: poles.to_vec(), residues }, d_col))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pheig_model::generator::{generate_case, CaseSpec};
+    use pheig_model::transfer::TransferEval;
+
+    #[test]
+    fn recovers_single_resonance_exactly() {
+        // Reference: one complex pair per column, fit with matching order.
+        let reference = generate_case(&CaseSpec::new(4, 2).with_seed(9)).unwrap();
+        let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 80).unwrap();
+        let fit = vector_fit(&samples, &VectorFitOptions::new(2)).unwrap();
+        assert!(fit.rms_error < 1e-8, "rms {}", fit.rms_error);
+        assert!(fit.max_error < 1e-6, "max {}", fit.max_error);
+    }
+
+    #[test]
+    fn fits_multi_pole_model() {
+        let reference = generate_case(&CaseSpec::new(12, 2).with_seed(4)).unwrap();
+        let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 160).unwrap();
+        let fit = vector_fit(&samples, &VectorFitOptions::new(6).with_iterations(8)).unwrap();
+        assert!(fit.rms_error < 1e-6, "rms {}", fit.rms_error);
+        // Off-grid check: the fit generalizes between sample points.
+        let w = 3.137;
+        let h_ref = reference.transfer_at(C64::from_imag(w));
+        let h_fit = fit.model.transfer_at(C64::from_imag(w));
+        assert!((&h_ref - &h_fit).max_abs() < 1e-4);
+    }
+
+    #[test]
+    fn overfitting_order_still_stable() {
+        // More poles than the reference needs: fit stays stable and tight.
+        let reference = generate_case(&CaseSpec::new(6, 2).with_seed(2)).unwrap();
+        let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 150).unwrap();
+        let fit = vector_fit(&samples, &VectorFitOptions::new(10)).unwrap();
+        assert!(fit.rms_error < 1e-5, "rms {}", fit.rms_error);
+        for col in fit.model.columns() {
+            for pole in &col.poles {
+                assert!(pole.is_stable());
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_samples_fit_within_noise_floor() {
+        let reference = generate_case(&CaseSpec::new(8, 2).with_seed(7)).unwrap();
+        let mut samples = Vec::new();
+        let mut omegas = Vec::new();
+        let count = 140;
+        let mut lcg = 0xDEADBEEFu64;
+        let mut noise = || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((lcg >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 2e-4
+        };
+        for k in 0..count {
+            let w = 0.01 + 12.0 * k as f64 / (count - 1) as f64;
+            let mut h = reference.eval(C64::from_imag(w));
+            for i in 0..2 {
+                for j in 0..2 {
+                    h[(i, j)] += C64::new(noise(), noise());
+                }
+            }
+            omegas.push(w);
+            samples.push(h);
+        }
+        let samples = FrequencySamples::new(omegas, samples).unwrap();
+        let fit = vector_fit(&samples, &VectorFitOptions::new(8)).unwrap();
+        assert!(fit.rms_error < 5e-4, "rms {}", fit.rms_error);
+    }
+
+    #[test]
+    fn rejects_degenerate_options() {
+        let reference = generate_case(&CaseSpec::new(4, 2).with_seed(1)).unwrap();
+        let samples = FrequencySamples::from_model(&reference, 0.1, 10.0, 30).unwrap();
+        assert!(vector_fit(&samples, &VectorFitOptions::new(0)).is_err());
+        assert!(vector_fit(&samples, &VectorFitOptions::new(4).with_iterations(0)).is_err());
+        // Far too many poles for the sample count.
+        assert!(vector_fit(&samples, &VectorFitOptions::new(60)).is_err());
+    }
+
+    #[test]
+    fn pair_spectrum_flips_unstable() {
+        let eigs = vec![
+            C64::new(0.5, 3.0),
+            C64::new(0.5, -3.0),
+            C64::new(2.0, 0.0),
+            C64::new(-1.0, 0.0),
+        ];
+        let poles = pair_spectrum(&eigs);
+        assert_eq!(poles.len(), 3);
+        for p in &poles {
+            assert!(p.is_stable(), "{p:?}");
+        }
+        assert!(poles.iter().any(|p| matches!(p, Pole::Pair { re, im }
+            if (*re + 0.5).abs() < 1e-12 && (*im - 3.0).abs() < 1e-12)));
+    }
+}

@@ -1,0 +1,50 @@
+//! # pheig — Parallel Hamiltonian Eigensolver for Passivity of Macromodels
+//!
+//! Facade crate re-exporting the `pheig` workspace: a production-oriented
+//! reproduction of
+//!
+//! > L. Gobbato, A. Chinea, S. Grivet-Talocia, *"A Parallel Hamiltonian
+//! > Eigensolver for Passivity Characterization and Enforcement of Large
+//! > Interconnect Macromodels"*, DATE 2011.
+//!
+//! The workspace implements, from scratch:
+//!
+//! * dense real/complex linear algebra ([`linalg`]);
+//! * structured state-space macromodels and synthetic generators ([`model`]);
+//! * Vector Fitting rational identification ([`vectorfit`]);
+//! * Hamiltonian matrices with O(np) shift-and-invert operators
+//!   ([`hamiltonian`]);
+//! * a restarted, deflated, shift-invert Arnoldi "single-shift iteration"
+//!   ([`arnoldi`]);
+//! * the paper's contribution: serial bisection and *parallel multi-shift*
+//!   drivers locating all purely imaginary Hamiltonian eigenvalues, plus
+//!   passivity characterization and enforcement ([`core`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pheig::model::generator::{CaseSpec, generate_case};
+//! use pheig::core::characterization::characterize;
+//! use pheig::core::solver::{SolverOptions, find_imaginary_eigenvalues};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build a small synthetic interconnect macromodel (n states, p ports).
+//! let model = generate_case(&CaseSpec::new(40, 4).with_seed(7))?;
+//! let ss = model.realize();
+//!
+//! // Locate all purely imaginary Hamiltonian eigenvalues.
+//! let outcome = find_imaginary_eigenvalues(&ss, &SolverOptions::default())?;
+//!
+//! // Turn them into a passivity report with violation bands.
+//! let report = characterize(&model, &outcome.frequencies)?;
+//! println!("passive: {}", report.is_passive());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use pheig_arnoldi as arnoldi;
+pub use pheig_core as core;
+pub use pheig_hamiltonian as hamiltonian;
+pub use pheig_linalg as linalg;
+pub use pheig_model as model;
+pub use pheig_vectorfit as vectorfit;

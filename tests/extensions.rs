@@ -1,0 +1,81 @@
+//! Integration tests for the extension features: immittance
+//! (positive-realness) Hamiltonians and text sample I/O, exercised through
+//! the same solver pipeline as the scattering path.
+
+use pheig::hamiltonian::immittance::{dense_hamiltonian_immittance, min_hermitian_eigenvalue};
+use pheig::hamiltonian::CLinearOp;
+use pheig::linalg::eig::eig_real;
+use pheig::linalg::{C64, Matrix};
+use pheig::model::generator::{generate_case, CaseSpec};
+use pheig::model::touchstone::{read_samples, write_samples};
+use pheig::model::{ColumnTerms, FrequencySamples, Pole, PoleResidueModel, Residue};
+use pheig::vectorfit::{vector_fit, VectorFitOptions};
+
+/// A small immittance model with one strong resonance.
+fn immittance_model(strength: f64) -> PoleResidueModel {
+    let col0 = ColumnTerms {
+        poles: vec![Pole::Pair { re: -0.1, im: 3.0 }],
+        residues: vec![Residue::Complex(vec![
+            C64::new(0.02, -strength),
+            C64::new(0.01, 0.02),
+        ])],
+    };
+    let col1 = ColumnTerms {
+        poles: vec![Pole::Real(-2.0)],
+        residues: vec![Residue::Real(vec![0.05, 0.4])],
+    };
+    let d = Matrix::from_rows(&[&[0.6, 0.02][..], &[0.01, 0.7][..]]);
+    PoleResidueModel::new(vec![col0, col1], d).unwrap()
+}
+
+#[test]
+fn immittance_violations_appear_and_disappear_with_strength() {
+    // Weak residues: positive real (no imaginary Hamiltonian eigenvalues).
+    let passive = immittance_model(0.02).realize();
+    let m = dense_hamiltonian_immittance(&passive).unwrap();
+    let eigs = eig_real(&m).unwrap();
+    let scale = m.max_abs();
+    assert_eq!(eigs.iter().filter(|z| z.re.abs() < 1e-9 * scale).count(), 0);
+
+    // Strong residues: crossings exist and match the Hermitian-part test.
+    let violating = immittance_model(0.8).realize();
+    let m = dense_hamiltonian_immittance(&violating).unwrap();
+    let eigs = eig_real(&m).unwrap();
+    let scale = m.max_abs();
+    let crossings: Vec<f64> = eigs
+        .iter()
+        .filter(|z| z.re.abs() < 1e-8 * scale && z.im > 0.0)
+        .map(|z| z.im)
+        .collect();
+    assert!(!crossings.is_empty());
+    for &w in &crossings {
+        let lam = min_hermitian_eigenvalue(&violating, w).unwrap();
+        assert!(lam.abs() < 1e-6, "lambda_min({w}) = {lam}");
+    }
+}
+
+#[test]
+fn touchstone_roundtrip_feeds_vector_fitting() {
+    // Serialize samples to text, parse them back, and fit: the full
+    // "import measurement data" path a downstream user would run.
+    let reference = generate_case(&CaseSpec::new(8, 2).with_seed(6)).unwrap();
+    let samples = FrequencySamples::from_model(&reference, 0.05, 11.0, 120).unwrap();
+    let text = write_samples(&samples);
+    assert!(text.contains("ports 2"));
+    let parsed = read_samples(&text).unwrap();
+    let fit = vector_fit(&parsed, &VectorFitOptions::new(8)).unwrap();
+    assert!(fit.rms_error < 1e-6, "rms through text roundtrip: {}", fit.rms_error);
+}
+
+#[test]
+fn dense_immittance_hamiltonian_is_a_usable_operator() {
+    // The dense immittance Hamiltonian plugs into the same operator
+    // abstraction the Arnoldi machinery consumes.
+    let ss = immittance_model(0.4).realize();
+    let m = dense_hamiltonian_immittance(&ss).unwrap().to_c64();
+    assert_eq!(m.dim(), 2 * ss.order());
+    let x = vec![C64::new(1.0, -0.5); m.dim()];
+    let y = m.apply(&x);
+    assert_eq!(y.len(), m.dim());
+    assert!(y.iter().all(|z| z.is_finite()));
+}

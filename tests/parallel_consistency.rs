@@ -1,0 +1,113 @@
+//! Consistency of the three execution modes: serial, real threads, and
+//! virtual-time simulation must all locate the same imaginary spectrum,
+//! and the simulator must expose the paper's scheduling behaviors.
+
+use pheig::core::simulate::{simulate_parallel, ScheduleMode};
+use pheig::core::solver::{find_imaginary_eigenvalues, SolverOptions};
+use pheig::model::generator::{generate_case, CaseSpec};
+use pheig::model::StateSpace;
+
+fn model() -> StateSpace {
+    generate_case(&CaseSpec::new(36, 3).with_seed(9).with_target_crossings(8))
+        .unwrap()
+        .realize()
+}
+
+#[test]
+fn all_modes_agree_on_omega() {
+    let ss = model();
+    let serial = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
+    let threaded =
+        find_imaginary_eigenvalues(&ss, &SolverOptions::default().with_threads(3)).unwrap();
+    let simulated =
+        simulate_parallel(&ss, 8, &SolverOptions::default(), ScheduleMode::Dynamic).unwrap();
+    let tol = 1e-5 * serial.band.1;
+    assert_eq!(serial.frequencies.len(), threaded.frequencies.len());
+    assert_eq!(serial.frequencies.len(), simulated.frequencies.len());
+    for ((a, b), c) in serial
+        .frequencies
+        .iter()
+        .zip(&threaded.frequencies)
+        .zip(&simulated.frequencies)
+    {
+        assert!((a - b).abs() < tol && (a - c).abs() < tol);
+    }
+}
+
+#[test]
+fn speedup_is_monotone_enough_and_superlinear_capable() {
+    // Virtual-time speedups must grow with workers on a workload with
+    // plenty of shifts; deletions of tentative shifts may push past the
+    // ideal line (the paper's superlinear effect).
+    let ss = model();
+    let s1 = simulate_parallel(&ss, 1, &SolverOptions::default(), ScheduleMode::Dynamic).unwrap();
+    let mut prev = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let sim =
+            simulate_parallel(&ss, threads, &SolverOptions::default(), ScheduleMode::Dynamic)
+                .unwrap();
+        let speedup = sim.speedup_vs(s1.total_cost);
+        assert!(
+            speedup >= prev * 0.8,
+            "speedup collapsed: T={threads} gives {speedup} after {prev}"
+        );
+        assert!(speedup >= 0.9, "T={threads}: speedup {speedup}");
+        prev = prev.max(speedup);
+    }
+    assert!(prev > 1.5, "parallelism never materialized: best speedup {prev}");
+}
+
+#[test]
+fn dynamic_beats_static_grid_on_work() {
+    // The ablation of Sec. IV: a static pre-distributed grid processes
+    // shifts whose intervals are already covered; the dynamic scheduler
+    // deletes them. Compare total executed work at equal thread count.
+    let ss = model();
+    let opts = SolverOptions::default();
+    let dynamic = simulate_parallel(&ss, 8, &opts, ScheduleMode::Dynamic).unwrap();
+    let n_static = (dynamic.shifts_processed * 2).max(16);
+    let static_grid =
+        simulate_parallel(&ss, 8, &opts, ScheduleMode::StaticGrid { n_shifts: n_static })
+            .unwrap();
+    assert!(
+        static_grid.total_cost > dynamic.total_cost,
+        "static grid ({}) should cost more work than dynamic ({})",
+        static_grid.total_cost,
+        dynamic.total_cost
+    );
+    // Both still correct.
+    assert_eq!(static_grid.frequencies.len(), dynamic.frequencies.len());
+}
+
+#[test]
+fn seed_variation_preserves_results_but_not_work() {
+    // The paper's Fig. 6 error bars: random Arnoldi start vectors change
+    // the work profile, never the spectrum.
+    let ss = model();
+    let mut costs = Vec::new();
+    let mut counts = Vec::new();
+    for seed in 0..4u64 {
+        let opts = SolverOptions::default().with_seed(seed);
+        let sim = simulate_parallel(&ss, 8, &opts, ScheduleMode::Dynamic).unwrap();
+        costs.push(sim.total_cost);
+        counts.push(sim.frequencies.len());
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "spectrum changed with seed: {counts:?}");
+    assert!(
+        costs.iter().any(|&c| c != costs[0]),
+        "work should vary with the random start vectors: {costs:?}"
+    );
+}
+
+#[test]
+fn thread_oversubscription_is_safe() {
+    // More threads than tentative shifts must not deadlock or change
+    // results.
+    let ss = generate_case(&CaseSpec::new(14, 2).with_seed(3).with_target_crossings(2))
+        .unwrap()
+        .realize();
+    let serial = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
+    let wide =
+        find_imaginary_eigenvalues(&ss, &SolverOptions::default().with_threads(16)).unwrap();
+    assert_eq!(serial.frequencies.len(), wide.frequencies.len());
+}
