@@ -109,7 +109,10 @@ pub struct GeneratedCase {
 /// # Errors
 ///
 /// Returns [`ModelError::InvalidArgument`] for degenerate specs
-/// (`order < ports`, `ports == 0`, `d_sigma >= 1`, empty band).
+/// (`order < ports`, `ports == 0`, `d_sigma >= 1`, empty or non-finite
+/// band/damping ranges), and for a positive `target_crossings` on a spec
+/// whose `order / ports` ratio leaves only real poles (no resonance peaks
+/// exist to calibrate against).
 pub fn generate_case(spec: &CaseSpec) -> Result<PoleResidueModel, ModelError> {
     Ok(generate_case_with_report(spec)?.model)
 }
@@ -182,33 +185,91 @@ pub fn generate_case_with_report(spec: &CaseSpec) -> Result<GeneratedCase, Model
     // Precompute G_k = H0(j w_k) - D on the grid once; then
     // H_gamma(j w_k) = D + gamma * G_k, so each gamma probe is cheap.
     let model0 = PoleResidueModel::new(columns, d.clone())?;
-    let n_grid = 240.max(4 * spec.target_crossings.unwrap_or(0) + 40);
-    let grid: Vec<f64> =
-        (0..n_grid).map(|k| 1.15 * w_hi * k as f64 / (n_grid - 1) as f64).collect();
     let d_c = d.to_c64();
-    let g_grid: Vec<Matrix<C64>> =
-        grid.iter().map(|&w| &model0.eval(C64::from_imag(w)) - &d_c).collect();
-    let sigma_curve = |gamma: f64| -> Vec<f64> {
-        g_grid
-            .iter()
-            .map(|g| {
-                let h = &d_c + &g.scaled(C64::from_real(gamma));
-                let est = sigma_max_estimate(&h, 1e-9, 400);
-                // Crossing counting is decided by the sign of sigma - 1;
-                // near the threshold the power-iteration estimate's noise
-                // would flicker across it, so switch to the exact SVD there.
-                if (est - 1.0).abs() < 2e-3 {
-                    pheig_linalg::svd::max_singular_value(&h).unwrap_or(est)
-                } else {
-                    est
-                }
-            })
-            .collect()
+    // Resonance frequencies of the candidate poles. The probe set used by
+    // the calibrations below is deterministically subsampled on very large
+    // models to bound cost (`sample_fraction` scales the peak-count target
+    // along); the full list is kept for the final passive-target sweep.
+    let all_res_freqs: Vec<f64> = model0
+        .columns()
+        .iter()
+        .flat_map(|col| col.poles.iter())
+        .filter_map(|p| match p {
+            Pole::Pair { im, .. } => Some(*im),
+            Pole::Real(_) => None,
+        })
+        .collect();
+    if all_res_freqs.is_empty() && matches!(spec.target_crossings, Some(t) if t > 0) {
+        // All-real pole sets have no resonance peaks to count, so a
+        // positive crossing target cannot be calibrated; fail fast with
+        // the right diagnostic before any grid work.
+        return Err(ModelError::invalid(
+            "cannot calibrate a positive crossing target without complex pole pairs \
+             (order/ports ratio leaves only real poles)",
+        ));
+    }
+    // Partition the resonances into probe (kept) and dropped sets in one
+    // place; the passive-target sweep below relies on the two being exact
+    // complements.
+    let max_probe = 600usize;
+    let keep_every =
+        if all_res_freqs.len() > max_probe { all_res_freqs.len().div_ceil(max_probe) } else { 1 };
+    let res_freqs: Vec<f64> = all_res_freqs.iter().copied().step_by(keep_every).collect();
+    let dropped_res_freqs: Vec<f64> = all_res_freqs
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i % keep_every != 0)
+        .map(|(_, &w)| w)
+        .collect();
+    let sample_fraction = res_freqs.len() as f64 / all_res_freqs.len().max(1) as f64;
+
+    // A uniform grid aliases: the lightly damped resonances are far narrower
+    // than any affordable grid step, so the continuous sigma peak can sit
+    // well above the sampled maximum and "passive" calibrations would leak
+    // genuine unit crossings between grid points. Interleaving the resonance
+    // frequencies themselves pins the peak estimate; each frequency is
+    // evaluated once, and `res_idx` remembers where the resonance probes
+    // landed after sorting (the crossing-count calibration reuses them).
+    let n_grid = 240.max(4 * spec.target_crossings.unwrap_or(0) + 40);
+    let mut freq_tagged: Vec<(f64, bool)> = (0..n_grid)
+        .map(|k| (1.15 * w_hi * k as f64 / (n_grid - 1) as f64, false))
+        .chain(res_freqs.iter().map(|&w| (w, true)))
+        .collect();
+    freq_tagged.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite frequencies"));
+    let g_grid: Vec<Matrix<C64>> = freq_tagged
+        .iter()
+        .map(|&(w, _)| &model0.eval(C64::from_imag(w)) - &d_c)
+        .collect();
+    let res_idx: Vec<usize> = freq_tagged
+        .iter()
+        .enumerate()
+        .filter(|(_, &(_, is_res))| is_res)
+        .map(|(i, _)| i)
+        .collect();
+    let sigma_at = |g: &Matrix<C64>, gamma: f64| -> f64 {
+        let h = &d_c + &g.scaled(C64::from_real(gamma));
+        let est = sigma_max_estimate(&h, 1e-9, 400);
+        // Crossing counting is decided by the sign of sigma - 1; near the
+        // threshold the power-iteration estimate's noise would flicker
+        // across it, so switch to the exact SVD there.
+        if (est - 1.0).abs() < 2e-3 {
+            pheig_linalg::svd::max_singular_value(&h).unwrap_or(est)
+        } else {
+            est
+        }
     };
+    let sigma_curve =
+        |gamma: f64| -> Vec<f64> { g_grid.iter().map(|g| sigma_at(g, gamma)).collect() };
     let peak = |curve: &[f64]| curve.iter().copied().fold(0.0f64, f64::max);
+    // The normalization bisection probes the full interleaved grid: the
+    // resonance entries pin the sharp peaks, but on sparse-resonance models
+    // the sigma peak can sit *between* resonances (overlapping tails and
+    // residue phases shift it), so restricting the probe set to `res_idx`
+    // under-measures the peak and mis-calibrates.
+    let peak_at = |gamma: f64| -> f64 { peak(&sigma_curve(gamma)) };
 
     // Normalize so that gamma = 1 puts the peak exactly at 1.0.
-    let p0 = peak(&sigma_curve(1.0));
+    let p0 = peak_at(1.0);
     if p0 <= spec.d_sigma {
         return Err(ModelError::invalid(
             "generated resonances are too weak to calibrate (degenerate spec)",
@@ -218,7 +279,7 @@ pub fn generate_case_with_report(spec: &CaseSpec) -> Result<GeneratedCase, Model
     // monotone-in-practice peak function.
     let mut lo = 1e-4;
     let mut hi = 1.0;
-    while peak(&sigma_curve(hi)) < 1.0 {
+    while peak_at(hi) < 1.0 {
         hi *= 2.0;
         if hi > 1e6 {
             return Err(ModelError::invalid("calibration diverged: cannot reach unit peak"));
@@ -226,7 +287,7 @@ pub fn generate_case_with_report(spec: &CaseSpec) -> Result<GeneratedCase, Model
     }
     for _ in 0..40 {
         let mid = 0.5 * (lo + hi);
-        if peak(&sigma_curve(mid)) < 1.0 {
+        if peak_at(mid) < 1.0 {
             lo = mid;
         } else {
             hi = mid;
@@ -235,7 +296,53 @@ pub fn generate_case_with_report(spec: &CaseSpec) -> Result<GeneratedCase, Model
     let gamma_unit = hi;
 
     let gamma = match spec.target_crossings {
-        Some(0) => 0.85 * gamma_unit,
+        Some(0) => {
+            let mut gamma = 0.85 * gamma_unit;
+            // The probe subsample can hide resonances on very large models
+            // (> `max_probe` pole pairs), and a dominant dropped resonance
+            // could still peak above 1 at this gamma. Sweep *every*
+            // resonance and back gamma off until the full set sits safely
+            // below the unit threshold.
+            if !dropped_res_freqs.is_empty() {
+                // sigma is floored near sigma_max(D) as gamma shrinks, so
+                // the acceptance threshold must sit strictly between that
+                // floor and 1 or the loop could never terminate early.
+                let pass_below = 0.95f64.max(0.5 * (1.0 + spec.d_sigma));
+                // The probe matrices are gamma-independent: kept resonances
+                // already live in g_grid, the dropped ones are built once.
+                let g_dropped: Vec<Matrix<C64>> = dropped_res_freqs
+                    .iter()
+                    .map(|&w| &model0.eval(C64::from_imag(w)) - &d_c)
+                    .collect();
+                let mut certified = false;
+                for _ in 0..8 {
+                    let worst = res_idx
+                        .iter()
+                        .map(|&i| &g_grid[i])
+                        .chain(g_dropped.iter())
+                        .map(|g| sigma_at(g, gamma))
+                        .fold(0.0f64, f64::max);
+                    if worst < pass_below {
+                        certified = true;
+                        break;
+                    }
+                    // Only the resonance excess above the sigma_max(D)
+                    // floor scales with gamma; step on that excess (with a
+                    // 0.9 margin) so convergence doesn't stall when the
+                    // floor is high.
+                    gamma *= 0.9 * (pass_below - spec.d_sigma) / (worst - spec.d_sigma);
+                }
+                if !certified {
+                    // Never return a "passive" model the sweep could not
+                    // certify.
+                    return Err(ModelError::invalid(
+                        "passive-target calibration failed: resonances outside the probe \
+                         subsample stay above the unit threshold",
+                    ));
+                }
+            }
+            gamma
+        }
         None => 1.1 * gamma_unit,
         Some(t) => {
             // Calibrate by counting resonance peaks above the threshold:
@@ -243,46 +350,11 @@ pub fn generate_case_with_report(spec: &CaseSpec) -> Result<GeneratedCase, Model
             // two crossings, and the count is monotone in gamma, so a clean
             // bisection applies. (A uniform grid on sigma_max aliases: the
             // sharp resonances of lightly damped poles are far narrower
-            // than any affordable grid step.)
-            let mut res_freqs: Vec<f64> = model0
-                .columns()
-                .iter()
-                .flat_map(|col| col.poles.iter())
-                .filter_map(|p| match p {
-                    Pole::Pair { im, .. } => Some(*im),
-                    Pole::Real(_) => None,
-                })
-                .collect();
-            // Bound the probe cost on very large models by deterministic
-            // subsampling; the peak-count target scales along.
-            let total_resonances = res_freqs.len().max(1);
-            let max_probe = 600usize;
-            if res_freqs.len() > max_probe {
-                let keep_every = res_freqs.len().div_ceil(max_probe);
-                res_freqs = res_freqs
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| i % keep_every == 0)
-                    .map(|(_, &w)| w)
-                    .collect();
-            }
-            let sample_fraction = res_freqs.len() as f64 / total_resonances as f64;
-            let g_res: Vec<Matrix<C64>> =
-                res_freqs.iter().map(|&w| &model0.eval(C64::from_imag(w)) - &d_c).collect();
+            // than any affordable grid step.) The probe set `res_idx` and
+            // the matching `sample_fraction` were computed above; an empty
+            // probe set was rejected there.
             let peaks_above = |gamma: f64| -> usize {
-                g_res
-                    .iter()
-                    .filter(|g| {
-                        let h = &d_c + &g.scaled(C64::from_real(gamma));
-                        let est = sigma_max_estimate(&h, 1e-9, 400);
-                        let s = if (est - 1.0).abs() < 2e-3 {
-                            pheig_linalg::svd::max_singular_value(&h).unwrap_or(est)
-                        } else {
-                            est
-                        };
-                        s > 1.0
-                    })
-                    .count()
+                res_idx.iter().filter(|&&i| sigma_at(&g_grid[i], gamma) > 1.0).count()
             };
             // Empirically each counted above-threshold resonance maps to
             // about one crossing (band merging halves the naive 2x factor).
@@ -334,10 +406,12 @@ fn validate_spec(spec: &CaseSpec) -> Result<(), ModelError> {
     if !(0.0..1.0).contains(&spec.d_sigma) {
         return Err(ModelError::AsymptoticallyNonPassive { sigma_max: spec.d_sigma });
     }
-    if spec.band.0 <= 0.0 || spec.band.1 <= spec.band.0 {
-        return Err(ModelError::invalid("band must satisfy 0 < lo < hi"));
+    // Positive conjunctions so NaN endpoints fail validation instead of
+    // slipping through inverted comparisons into a later panic.
+    if !(spec.band.0 > 0.0 && spec.band.1 > spec.band.0 && spec.band.1.is_finite()) {
+        return Err(ModelError::invalid("band must satisfy 0 < lo < hi (finite)"));
     }
-    if spec.damping.0 <= 0.0 || spec.damping.1 <= spec.damping.0 || spec.damping.1 >= 1.0 {
+    if !(spec.damping.0 > 0.0 && spec.damping.1 > spec.damping.0 && spec.damping.1 < 1.0) {
         return Err(ModelError::invalid("damping range must satisfy 0 < lo < hi < 1"));
     }
     Ok(())
@@ -469,6 +543,44 @@ mod tests {
     }
 
     #[test]
+    fn passive_target_holds_on_subsampled_models() {
+        // 1250 states / 2 ports -> 624 complex pairs, beyond the 600-probe
+        // subsample: the full-resonance back-off sweep must still keep
+        // every resonance below the unit threshold.
+        let spec = CaseSpec::new(1250, 2).with_seed(3).with_target_crossings(0);
+        let rep = generate_case_with_report(&spec).unwrap();
+        assert!(rep.peak_sigma < 1.0, "grid peak {}", rep.peak_sigma);
+        let res_freqs: Vec<f64> = rep
+            .model
+            .columns()
+            .iter()
+            .flat_map(|col| col.poles.iter())
+            .filter_map(|p| match p {
+                Pole::Pair { im, .. } => Some(*im),
+                Pole::Real(_) => None,
+            })
+            .collect();
+        assert!(res_freqs.len() > 600, "test must exceed the probe subsample");
+        for &w in &res_freqs {
+            let s = pheig_linalg::svd::max_singular_value(&rep.model.eval(C64::from_imag(w)))
+                .unwrap();
+            assert!(s < 1.0, "sigma({w}) = {s} on a passive-target model");
+        }
+    }
+
+    #[test]
+    fn positive_target_without_complex_poles_rejected() {
+        // order == ports gives every column a single real pole: no
+        // resonance peaks exist, so a positive crossing target must fail
+        // loudly instead of calibrating garbage.
+        let spec = CaseSpec::new(5, 5).with_target_crossings(2);
+        assert!(generate_case(&spec).is_err());
+        // The passive target is still fine without resonances.
+        let spec = CaseSpec::new(5, 5).with_target_crossings(0);
+        assert!(generate_case(&spec).is_ok());
+    }
+
+    #[test]
     fn invalid_specs_rejected() {
         assert!(generate_case(&CaseSpec::new(3, 5)).is_err());
         assert!(generate_case(&CaseSpec::new(10, 0)).is_err());
@@ -480,6 +592,15 @@ mod tests {
         ));
         let mut s = CaseSpec::new(10, 2);
         s.band = (2.0, 1.0);
+        assert!(generate_case(&s).is_err());
+        // Non-finite endpoints must be rejected, not panic downstream.
+        for band in [(f64::NAN, 5.0), (1.0, f64::NAN), (1.0, f64::INFINITY)] {
+            let mut s = CaseSpec::new(10, 2);
+            s.band = band;
+            assert!(generate_case(&s).is_err(), "band {band:?} accepted");
+        }
+        let mut s = CaseSpec::new(10, 2);
+        s.damping = (f64::NAN, 0.5);
         assert!(generate_case(&s).is_err());
     }
 

@@ -1,0 +1,122 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Supports the subset used by the pheig workspace: the [`proptest!`] test
+//! macro with `#![proptest_config(..)]`, `prop_assert!`/`prop_assert_eq!`,
+//! [`prop_oneof!`], the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `boxed`, range and tuple strategies, and
+//! `prop::collection::vec`.
+//!
+//! Cases are generated from a deterministic RNG seeded by the test name, so
+//! failures reproduce run-over-run. There is **no shrinking**: a failing
+//! case reports its index and message and panics immediately.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     // In real test code this carries `#[test]`; the doctest invokes the
+///     // generated function directly instead.
+///     fn addition_commutes(a in 0.0f64..10.0, b in 0.0f64..10.0) {
+///         prop_assert!((a + b - (b + a)).abs() == 0.0);
+///     }
+/// }
+/// # fn main() { addition_commutes(); }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@body $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($parm:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_test_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $parm =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest '{}' failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (rather than unwinding) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,12 @@
+//! Single-import surface mirroring `proptest::prelude`.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+/// Namespace mirror of the `prop` module re-export in upstream's prelude
+/// (`prop::collection::vec(..)`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
