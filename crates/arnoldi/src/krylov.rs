@@ -11,20 +11,66 @@ use pheig_linalg::vector::{axpy, dot, normalize, nrm2};
 use pheig_linalg::{C64, Matrix};
 
 /// An Arnoldi factorization of length `m`.
+///
+/// The storage (basis vectors and the Hessenberg matrix) is reusable: a
+/// factorization built by [`arnoldi_into`] retains its allocations across
+/// rebuilds, so restart loops run without steady-state heap traffic. `h`
+/// may be larger than `(steps+1) x steps`; only that leading block is
+/// meaningful.
 #[derive(Debug, Clone)]
 pub struct ArnoldiFactorization {
     /// Orthonormal basis vectors `v_0 .. v_m` (`m + 1` of them).
     pub basis: Vec<Vec<C64>>,
-    /// The `(m+1) x m` upper-Hessenberg projection.
+    /// The upper-Hessenberg projection (leading `(steps+1) x steps` block).
     pub h: Matrix<C64>,
     /// Achieved factorization length (may be shorter than requested on
     /// happy breakdown).
     pub steps: usize,
     /// `true` when the Krylov space became invariant (happy breakdown).
     pub breakdown: bool,
+    /// Retired basis-vector storage, recycled by the next rebuild.
+    pool: Vec<Vec<C64>>,
+}
+
+impl Default for ArnoldiFactorization {
+    fn default() -> Self {
+        Self::empty()
+    }
 }
 
 impl ArnoldiFactorization {
+    /// An empty factorization whose storage [`arnoldi_into`] will grow and
+    /// then reuse.
+    pub fn empty() -> Self {
+        ArnoldiFactorization {
+            basis: Vec::new(),
+            h: Matrix::zeros(1, 0),
+            steps: 0,
+            breakdown: false,
+            pool: Vec::new(),
+        }
+    }
+
+    /// Makes `basis[k]` exist with length `n`, recycling retired storage.
+    fn ensure_slot(&mut self, k: usize, n: usize) {
+        while self.basis.len() <= k {
+            let mut v = self.pool.pop().unwrap_or_default();
+            v.clear();
+            v.resize(n, C64::zero());
+            self.basis.push(v);
+        }
+        if self.basis[k].len() != n {
+            self.basis[k].clear();
+            self.basis[k].resize(n, C64::zero());
+        }
+    }
+
+    /// Moves basis slots beyond `keep` into the recycling pool.
+    fn retire_beyond(&mut self, keep: usize) {
+        while self.basis.len() > keep {
+            self.pool.push(self.basis.pop().expect("len checked"));
+        }
+    }
     /// The square `m x m` projected matrix `H_m`.
     pub fn projected(&self) -> Matrix<C64> {
         Matrix::from_fn(self.steps, self.steps, |i, j| self.h[(i, j)])
@@ -44,16 +90,30 @@ impl ArnoldiFactorization {
     ///
     /// # Panics
     ///
-    /// Panics if `y.len() != self.steps`.
+    /// Panics if `y.len() != self.steps` or the factorization is empty.
     pub fn lift(&self, y: &[C64]) -> Vec<C64> {
-        assert_eq!(y.len(), self.steps, "lift coefficient length mismatch");
-        let n = self.basis[0].len();
-        let mut v = vec![C64::zero(); n];
-        for (j, yj) in y.iter().enumerate() {
-            axpy(*yj, &self.basis[j], &mut v);
-        }
-        normalize(&mut v);
+        assert!(!self.basis.is_empty(), "lift on an empty factorization");
+        let mut v = vec![C64::zero(); self.basis[0].len()];
+        self.lift_into(y, &mut v);
         v
+    }
+
+    /// Lifts a projected vector into a caller-provided buffer (no heap
+    /// allocation): `out = V_m y`, normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != self.steps`, the factorization is empty, or
+    /// `out.len()` is not the operator dimension.
+    pub fn lift_into(&self, y: &[C64], out: &mut [C64]) {
+        assert_eq!(y.len(), self.steps, "lift coefficient length mismatch");
+        assert!(!self.basis.is_empty(), "lift on an empty factorization");
+        assert_eq!(out.len(), self.basis[0].len(), "lift output length mismatch");
+        out.fill(C64::zero());
+        for (j, yj) in y.iter().enumerate() {
+            axpy(*yj, &self.basis[j], out);
+        }
+        normalize(out);
     }
 }
 
@@ -81,64 +141,101 @@ pub fn arnoldi(
     locked: &[Vec<C64>],
     max_steps: usize,
 ) -> ArnoldiFactorization {
+    let mut fact = ArnoldiFactorization::empty();
+    arnoldi_into(op, start, locked, max_steps, &mut fact);
+    fact
+}
+
+/// Rebuilds `fact` as an Arnoldi factorization of `op` from `start`,
+/// deflating the `locked` orthonormal set. Identical to [`arnoldi`] except
+/// that it reuses `fact`'s basis and Hessenberg storage: after the first
+/// call at a given size, rebuilding performs no heap allocations (beyond
+/// whatever `op.apply_into` does).
+///
+/// # Panics
+///
+/// Panics if `start.len() != op.dim()` or any locked vector has the wrong
+/// length.
+pub fn arnoldi_into(
+    op: &dyn CLinearOp,
+    start: &[C64],
+    locked: &[Vec<C64>],
+    max_steps: usize,
+    fact: &mut ArnoldiFactorization,
+) {
     let n = op.dim();
     assert_eq!(start.len(), n, "start vector length mismatch");
     for q in locked {
         assert_eq!(q.len(), n, "locked vector length mismatch");
     }
-    let mut v0 = start.to_vec();
+    if fact.h.rows() != max_steps + 1 || fact.h.cols() != max_steps {
+        fact.h = Matrix::zeros(max_steps + 1, max_steps);
+    } else {
+        fact.h.fill(C64::zero());
+    }
+    fact.ensure_slot(0, n);
+    let v0 = &mut fact.basis[0];
+    v0.copy_from_slice(start);
     for q in locked {
-        project_out(&mut v0, q);
+        project_out(v0, q);
     }
     // Second pass for robustness when start is nearly inside the locked span.
     for q in locked {
-        project_out(&mut v0, q);
+        project_out(v0, q);
     }
-    let n0 = normalize(&mut v0);
-    let mut basis = vec![v0];
-    let mut h = Matrix::<C64>::zeros(max_steps + 1, max_steps);
+    let n0 = normalize(v0);
     if n0 == 0.0 {
-        return ArnoldiFactorization { basis, h, steps: 0, breakdown: true };
+        fact.steps = 0;
+        fact.breakdown = true;
+        fact.retire_beyond(1);
+        return;
     }
     let mut steps = 0;
     let mut breakdown = false;
     for j in 0..max_steps {
-        let mut w = op.apply(&basis[j]);
+        // The next basis slot doubles as the working vector `w`.
+        fact.ensure_slot(j + 1, n);
+        let (head, tail) = fact.basis.split_at_mut(j + 1);
+        let w = tail[0].as_mut_slice();
+        op.apply_into(&head[j], w);
         // Deflation: keep the recursion inside the complement of `locked`.
         for q in locked {
-            project_out(&mut w, q);
+            project_out(w, q);
         }
         // Modified Gram-Schmidt.
-        let before = nrm2(&w);
-        for (i, vi) in basis.iter().enumerate() {
-            let c = project_out(&mut w, vi);
-            h[(i, j)] += c;
+        let before = nrm2(w);
+        for (i, vi) in head.iter().enumerate() {
+            let c = project_out(w, vi);
+            fact.h[(i, j)] += c;
         }
         // One re-orthogonalization pass (always; cheap insurance against
         // the MGS loss of orthogonality for clustered spectra).
-        if nrm2(&w) < 0.7 * before {
+        if nrm2(w) < 0.7 * before {
             for q in locked {
-                project_out(&mut w, q);
+                project_out(w, q);
             }
-            for (i, vi) in basis.iter().enumerate() {
-                let c = project_out(&mut w, vi);
-                h[(i, j)] += c;
+            for (i, vi) in head.iter().enumerate() {
+                let c = project_out(w, vi);
+                fact.h[(i, j)] += c;
             }
         }
-        let beta = nrm2(&w);
+        let beta = nrm2(w);
         steps = j + 1;
-        h[(j + 1, j)] = C64::from_real(beta);
+        fact.h[(j + 1, j)] = C64::from_real(beta);
         if beta <= 1e-14 * before.max(1.0) {
             breakdown = true;
             break;
         }
         let inv = C64::from_real(1.0 / beta);
-        let vnext: Vec<C64> = w.iter().map(|&x| x * inv).collect();
-        basis.push(vnext);
+        for x in w.iter_mut() {
+            *x *= inv;
+        }
     }
-    // Trim H to the achieved size.
-    let h = Matrix::from_fn(steps + 1, steps, |i, j| h[(i, j)]);
-    ArnoldiFactorization { basis, h, steps, breakdown }
+    fact.steps = steps;
+    fact.breakdown = breakdown;
+    // On breakdown the last slot holds the (tiny) unnormalized residual,
+    // not a basis vector: retire it so `basis` ends at the meaningful set.
+    fact.retire_beyond(if breakdown { steps.max(1) } else { steps + 1 });
 }
 
 #[cfg(test)]

@@ -29,4 +29,7 @@ pub mod single_shift;
 
 pub use error::ArnoldiError;
 pub use options::SingleShiftOptions;
-pub use single_shift::{single_shift_iteration, ConvergedEigenpair, SingleShiftOutcome};
+pub use single_shift::{
+    single_shift_iteration, single_shift_iteration_with, ArnoldiWorkspace, ConvergedEigenpair,
+    SingleShiftOutcome,
+};

@@ -2,7 +2,7 @@
 //! non-inverted largest-eigenvalue estimator used to size the search band.
 
 use crate::error::ArnoldiError;
-use crate::krylov::arnoldi;
+use crate::krylov::{arnoldi_into, ArnoldiFactorization};
 use crate::options::SingleShiftOptions;
 use crate::ritz::ritz_pairs;
 use pheig_hamiltonian::{CLinearOp, ShiftInvertOp};
@@ -11,6 +11,28 @@ use pheig_linalg::C64;
 use pheig_model::StateSpace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Reusable scratch for the single-shift iteration: the Arnoldi
+/// factorization storage plus the restart vectors.
+///
+/// One workspace serves one worker; passing the same workspace to
+/// successive [`single_shift_on_op_with`] / [`single_shift_iteration_with`]
+/// calls reuses all of its allocations (the paper's drivers run thousands
+/// of shifts per sweep, so per-shift allocation churn is measurable).
+#[derive(Debug, Default)]
+pub struct ArnoldiWorkspace {
+    fact: ArnoldiFactorization,
+    start: Vec<C64>,
+    comb: Vec<C64>,
+    lifted: Vec<C64>,
+}
+
+impl ArnoldiWorkspace {
+    /// An empty workspace; storage grows on first use and is then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A converged Hamiltonian eigenpair produced by the single-shift iteration.
 #[derive(Debug, Clone)]
@@ -63,11 +85,31 @@ pub fn single_shift_on_op(
     scale: f64,
     opts: &SingleShiftOptions,
 ) -> Result<SingleShiftOutcome, ArnoldiError> {
+    single_shift_on_op_with(op, map, theta, rho0, scale, opts, &mut ArnoldiWorkspace::new())
+}
+
+/// [`single_shift_on_op`] with caller-owned scratch: the workspace's
+/// Krylov basis, Hessenberg storage, and restart vectors are reused across
+/// restarts *and* across calls, so a worker processing many shifts incurs
+/// no steady-state allocation churn from the iteration itself.
+///
+/// # Errors
+///
+/// Same as [`single_shift_on_op`].
+pub fn single_shift_on_op_with(
+    op: &dyn CLinearOp,
+    map: &dyn Fn(C64) -> C64,
+    theta: C64,
+    rho0: f64,
+    scale: f64,
+    opts: &SingleShiftOptions,
+    ws: &mut ArnoldiWorkspace,
+) -> Result<SingleShiftOutcome, ArnoldiError> {
     let n = op.dim();
     let tol_abs = (opts.tol * scale.max(f64::MIN_POSITIVE)).max(1e-300);
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
     let mut locked_vecs: Vec<Vec<C64>> = Vec::new();
-    let mut locked: Vec<ConvergedEigenpair> = Vec::new();
+    let mut locked_lambdas: Vec<C64> = Vec::new();
     let mut near_estimates: Vec<f64> = Vec::new();
     let mut matvecs = 0usize;
     let mut restarts = 0usize;
@@ -75,25 +117,35 @@ pub fn single_shift_on_op(
     // Collect a couple extra converged eigenvalues beyond n_theta so the
     // radius certificate has a "next eigenvalue" distance to lean on.
     let collect_target = opts.n_eigs + 1;
+    let ArnoldiWorkspace { fact, start, comb, lifted } = ws;
+    start.clear();
+    start.resize(n, C64::zero());
+    comb.clear();
+    comb.resize(n, C64::zero());
+    lifted.clear();
+    lifted.resize(n, C64::zero());
     // Explicit restart vector: the first start of a shift is random (the
     // paper's source of run-to-run variation); subsequent restarts reuse a
     // combination of the best unconverged Ritz vectors so progress
     // accumulates even when a single pass of `max_subspace` steps cannot
     // converge anything (dense spectra at large n).
-    let mut next_start: Option<Vec<C64>> = None;
+    let mut have_next_start = false;
 
-    while restarts < opts.max_restarts && locked.len() < collect_target {
-        let start: Vec<C64> = next_start.take().unwrap_or_else(|| {
-            (0..n).map(|_| C64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect()
-        });
-        let fact = arnoldi(op, &start, &locked_vecs, opts.max_subspace.min(n));
+    while restarts < opts.max_restarts && locked_lambdas.len() < collect_target {
+        if !have_next_start {
+            for s in start.iter_mut() {
+                *s = C64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
+            }
+        }
+        have_next_start = false;
+        arnoldi_into(op, start, &locked_vecs, opts.max_subspace.min(n), fact);
         matvecs += fact.steps;
         restarts += 1;
         if fact.steps == 0 {
             // Fully deflated: the reachable spectrum is exhausted.
             break;
         }
-        let pairs = ritz_pairs(&fact)?;
+        let pairs = ritz_pairs(fact)?;
         let mut newly = 0usize;
         near_estimates.clear();
         for pair in &pairs {
@@ -101,9 +153,9 @@ pub fn single_shift_on_op(
             let dist = (lambda - theta).abs();
             let err = pair.mapped_error_estimate();
             if err <= tol_abs {
-                let duplicate = locked
+                let duplicate = locked_lambdas
                     .iter()
-                    .any(|e| (e.lambda - lambda).abs() <= 100.0 * tol_abs + 1e-10 * dist);
+                    .any(|&l| (l - lambda).abs() <= 100.0 * tol_abs + 1e-10 * dist);
                 // Lift and re-orthogonalize against the locked set; a
                 // vanishing projection means we re-found a locked direction.
                 let mut v = fact.lift(&pair.y);
@@ -115,9 +167,11 @@ pub fn single_shift_on_op(
                 if nrm < 1e-8 {
                     continue;
                 }
-                locked_vecs.push(v.clone());
+                // The vector moves into the deflation set (no clone): the
+                // refinement below recovers eigenvectors from that set.
+                locked_vecs.push(v);
                 if !duplicate {
-                    locked.push(ConvergedEigenpair { lambda, vector: v, error_estimate: err });
+                    locked_lambdas.push(lambda);
                     newly += 1;
                 }
             } else if err <= 1e5 * tol_abs {
@@ -128,7 +182,7 @@ pub fn single_shift_on_op(
         }
         // Build the explicit-restart vector from the leading unconverged
         // Ritz directions (nearest to the shift first).
-        let mut comb = vec![C64::zero(); n];
+        comb.fill(C64::zero());
         let mut used = 0usize;
         for pair in &pairs {
             if used >= opts.n_eigs {
@@ -137,12 +191,13 @@ pub fn single_shift_on_op(
             if pair.mapped_error_estimate() <= tol_abs {
                 continue; // already locked this round
             }
-            let v = fact.lift(&pair.y);
-            axpy(C64::from_real(1.0 / (1.0 + used as f64)), &v, &mut comb);
+            fact.lift_into(&pair.y, lifted);
+            axpy(C64::from_real(1.0 / (1.0 + used as f64)), lifted, comb);
             used += 1;
         }
-        if used > 0 && normalize(&mut comb) > 0.0 {
-            next_start = Some(comb);
+        if used > 0 && normalize(comb) > 0.0 {
+            start.copy_from_slice(comb);
+            have_next_start = true;
         }
         if newly == 0 {
             stall += 1;
@@ -210,25 +265,22 @@ pub fn single_shift_on_op(
     }
 
     // ---- Radius certification (paper Sec. III bullet 3) -------------------
-    let mut order: Vec<usize> = (0..refined.len()).collect();
     let dist = |e: &ConvergedEigenpair| (e.lambda - theta).abs();
-    order.sort_by(|&a, &b| dist(&refined[a]).partial_cmp(&dist(&refined[b])).unwrap());
+    refined.sort_by(|a, b| dist(a).partial_cmp(&dist(b)).unwrap());
     // Distances within `gap_tol` of each other form one "shell" (mirror
     // eigenvalues sit at *exactly* equal distance up to round-off); the
     // certified radius must never cut through a shell.
     let gap_tol = (100.0 * tol_abs).max(1e-9 * scale);
     let mut m = opts.n_eigs.min(refined.len());
-    while m < refined.len()
-        && dist(&refined[order[m]]) - dist(&refined[order[m - 1]]) <= gap_tol
-    {
+    while m < refined.len() && dist(&refined[m]) - dist(&refined[m - 1]) <= gap_tol {
         m += 1;
     }
-    let d_m = dist(&refined[order[m - 1]]);
+    let d_m = dist(&refined[m - 1]);
     // Nearest excluded estimate: the (m+1)-th converged eigenvalue, the
     // closest still-converging Ritz estimate, or a doubtful refined value.
     let mut d_next = f64::INFINITY;
     if refined.len() > m {
-        d_next = d_next.min(dist(&refined[order[m]]));
+        d_next = d_next.min(dist(&refined[m]));
     }
     for &d in near_estimates.iter().chain(&doubtful_dists) {
         d_next = d_next.min(d);
@@ -239,8 +291,8 @@ pub fn single_shift_on_op(
     // certified (its partner may be an unconverged equidistant eigenvalue),
     // so cap the radius below such shells.
     let sym_tol = (1e3 * tol_abs).max(1e-10 * scale);
-    for &i in &order {
-        let lam = refined[i].lambda;
+    for e in &refined {
+        let lam = e.lambda;
         // Mirrors of lambda at exactly the same distance from theta:
         // -conj(lambda) for any theta on the imaginary axis, plus the rest
         // of the quadruple (conj(lambda), -lambda) when theta = 0.
@@ -253,9 +305,9 @@ pub fn single_shift_on_op(
             if (mirror - lam).abs() <= sym_tol {
                 continue; // self-mirrored
             }
-            let found = refined.iter().any(|e| (e.lambda - mirror).abs() <= sym_tol);
+            let found = refined.iter().any(|f| (f.lambda - mirror).abs() <= sym_tol);
             if !found {
-                d_next = d_next.min(dist(&refined[i]));
+                d_next = d_next.min(dist(e));
             }
         }
     }
@@ -289,12 +341,11 @@ pub fn single_shift_on_op(
         eprintln!("  near: {:?}", &ne[..ne.len().min(8)]);
     }
 
-    let in_disk: Vec<ConvergedEigenpair> = order
-        .iter()
-        .map(|&i| refined[i].clone())
-        .filter(|e| dist(e) <= radius)
-        .collect();
-    let all_converged = refined.iter().map(|e| e.lambda).collect();
+    let all_converged: Vec<C64> = refined.iter().map(|e| e.lambda).collect();
+    // `refined` is already sorted by distance; keep the disk's interior by
+    // moving (not cloning) the surviving eigenpairs.
+    let in_disk: Vec<ConvergedEigenpair> =
+        refined.into_iter().filter(|e| (e.lambda - theta).abs() <= radius).collect();
     Ok(SingleShiftOutcome { theta, radius, in_disk, all_converged, matvecs, restarts })
 }
 
@@ -314,6 +365,24 @@ pub fn single_shift_iteration(
     rho0: f64,
     scale: f64,
     opts: &SingleShiftOptions,
+) -> Result<SingleShiftOutcome, ArnoldiError> {
+    single_shift_iteration_with(ss, omega, rho0, scale, opts, &mut ArnoldiWorkspace::new())
+}
+
+/// [`single_shift_iteration`] with caller-owned scratch (see
+/// [`single_shift_on_op_with`]); the multi-shift drivers hand each worker
+/// one persistent workspace that survives across shifts.
+///
+/// # Errors
+///
+/// Same as [`single_shift_iteration`].
+pub fn single_shift_iteration_with(
+    ss: &StateSpace,
+    omega: f64,
+    rho0: f64,
+    scale: f64,
+    opts: &SingleShiftOptions,
+    ws: &mut ArnoldiWorkspace,
 ) -> Result<SingleShiftOutcome, ArnoldiError> {
     let mut theta = C64::from_imag(omega);
     let mut nudge = 1e-9 * scale.max(1.0);
@@ -336,7 +405,7 @@ pub fn single_shift_iteration(
         }
     };
     let map = |mu: C64| op.to_hamiltonian_eigenvalue(mu);
-    single_shift_on_op(&op, &map, theta, rho0, scale, opts)
+    single_shift_on_op_with(&op, &map, theta, rho0, scale, opts, ws)
 }
 
 /// Estimates the largest eigenvalue magnitude of an operator by restarted
@@ -358,8 +427,9 @@ pub fn largest_eigenvalue_magnitude(
     let mut matvecs = 0usize;
     let d = opts.max_subspace.min(n).max(2);
     let restarts = 4usize;
+    let mut fact = ArnoldiFactorization::empty();
     for _ in 0..restarts {
-        let fact = arnoldi(op, &start, &[], d);
+        arnoldi_into(op, &start, &[], d, &mut fact);
         matvecs += fact.steps;
         if fact.steps == 0 {
             break;

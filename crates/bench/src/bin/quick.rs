@@ -1,0 +1,280 @@
+//! Headless quick-mode performance harness.
+//!
+//! Runs the matvec-scaling micro-benchmarks (shift-invert apply, structured
+//! Hamiltonian matvec) and a small solver sweep without the criterion
+//! harness, and writes the results to `BENCH_matvec.json` so every PR has a
+//! machine-readable perf trajectory to compare against.
+//!
+//! A counting global allocator measures steady-state heap allocations per
+//! operator application — the quantity the allocation-free hot-path
+//! contract pins to zero.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p pheig-bench --bin bench-quick -- \
+//!     [--out BENCH_matvec.json] [--baseline old.json]
+//! ```
+//!
+//! With `--baseline`, per-apply times are compared against a previously
+//! recorded run and the speedup is printed per size.
+
+use pheig_core::solver::{find_imaginary_eigenvalues, SolverOptions};
+use pheig_hamiltonian::{CLinearOp, HamiltonianOp, ShiftInvertOp};
+use pheig_linalg::C64;
+use pheig_model::generator::{generate_case, CaseSpec};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation (alloc + realloc) made through the global
+/// allocator; frees are not counted (we care about churn, not leaks).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// One micro-benchmark row.
+struct ApplyRow {
+    n: usize,
+    p: usize,
+    per_apply_ns: f64,
+    matvecs_per_s: f64,
+    allocs_per_apply: f64,
+}
+
+/// One solver-sweep row.
+struct SolverRow {
+    n: usize,
+    p: usize,
+    threads: usize,
+    wall_ms: f64,
+    total_matvecs: usize,
+    shifts: usize,
+    crossings: usize,
+}
+
+/// Times `f` adaptively: enough repetitions to fill ~100 ms, after warmup.
+/// Returns (per_call_ns, allocations_per_call).
+fn measure(mut f: impl FnMut()) -> (f64, f64) {
+    for _ in 0..3 {
+        f();
+    }
+    // Calibrate the repetition count from a single timed call.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let reps = ((0.1 / once) as usize).clamp(10, 20_000);
+    let alloc0 = ALLOCATIONS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let total = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - alloc0;
+    (total * 1e9 / reps as f64, allocs as f64 / reps as f64)
+}
+
+fn test_vector(dim: usize) -> Vec<C64> {
+    (0..dim).map(|i| C64::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos())).collect()
+}
+
+fn bench_shift_invert(sizes: &[usize], p: usize) -> Vec<ApplyRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let ss = generate_case(&CaseSpec::new(n, p).with_seed(1)).unwrap().realize();
+            let op = ShiftInvertOp::new(&ss, C64::from_imag(3.0)).unwrap();
+            let x = test_vector(op.dim());
+            let mut y = vec![C64::zero(); op.dim()];
+            let (per_apply_ns, allocs_per_apply) = measure(|| {
+                op.apply_into(black_box(&x), black_box(&mut y));
+            });
+            eprintln!(
+                "shift_invert_apply n={n:>5} p={p}: {per_apply_ns:>10.0} ns/apply, \
+                 {allocs_per_apply:.2} allocs/apply"
+            );
+            ApplyRow { n, p, per_apply_ns, matvecs_per_s: 1e9 / per_apply_ns, allocs_per_apply }
+        })
+        .collect()
+}
+
+fn bench_hamiltonian(sizes: &[usize], p: usize) -> Vec<ApplyRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let ss = generate_case(&CaseSpec::new(n, p).with_seed(1)).unwrap().realize();
+            let op = HamiltonianOp::new(&ss).unwrap();
+            let x = test_vector(op.dim());
+            let mut y = vec![C64::zero(); op.dim()];
+            let (per_apply_ns, allocs_per_apply) = measure(|| {
+                op.apply_into(black_box(&x), black_box(&mut y));
+            });
+            eprintln!(
+                "hamiltonian_matvec n={n:>5} p={p}: {per_apply_ns:>10.0} ns/apply, \
+                 {allocs_per_apply:.2} allocs/apply"
+            );
+            ApplyRow { n, p, per_apply_ns, matvecs_per_s: 1e9 / per_apply_ns, allocs_per_apply }
+        })
+        .collect()
+}
+
+fn bench_solver() -> Vec<SolverRow> {
+    let (n, p) = (96, 3);
+    let ss = generate_case(&CaseSpec::new(n, p).with_seed(7).with_target_crossings(4))
+        .unwrap()
+        .realize();
+    [1usize, 4]
+        .iter()
+        .map(|&threads| {
+            let opts = SolverOptions::default().with_threads(threads);
+            let t0 = Instant::now();
+            let out = find_imaginary_eigenvalues(&ss, &opts).unwrap();
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            eprintln!(
+                "solver_sweep n={n} p={p} T={threads}: {wall_ms:.1} ms, \
+                 {} matvecs, {} shifts, {} crossings",
+                out.stats.total_matvecs,
+                out.shift_log.len(),
+                out.frequencies.len()
+            );
+            SolverRow {
+                n,
+                p,
+                threads,
+                wall_ms,
+                total_matvecs: out.stats.total_matvecs,
+                shifts: out.shift_log.len(),
+                crossings: out.frequencies.len(),
+            }
+        })
+        .collect()
+}
+
+fn apply_rows_json(rows: &[ApplyRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"n\": {}, \"p\": {}, \"per_apply_ns\": {:.1}, \
+                 \"matvecs_per_s\": {:.1}, \"allocs_per_apply\": {:.2}}}",
+                r.n, r.p, r.per_apply_ns, r.matvecs_per_s, r.allocs_per_apply
+            )
+        })
+        .collect();
+    items.join(",\n")
+}
+
+fn solver_rows_json(rows: &[SolverRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"n\": {}, \"p\": {}, \"threads\": {}, \"wall_ms\": {:.1}, \
+                 \"total_matvecs\": {}, \"shifts\": {}, \"crossings\": {}}}",
+                r.n, r.p, r.threads, r.wall_ms, r.total_matvecs, r.shifts, r.crossings
+            )
+        })
+        .collect();
+    items.join(",\n")
+}
+
+/// Extracts the `per_apply_ns` values of the named array from a previously
+/// written report (naive positional scan; the files are machine-written).
+fn baseline_per_apply(json: &str, section: &str) -> Vec<f64> {
+    let Some(start) = json.find(&format!("\"{section}\"")) else { return Vec::new() };
+    let Some(end) = json[start..].find(']') else { return Vec::new() };
+    json[start..start + end]
+        .match_indices("\"per_apply_ns\":")
+        .filter_map(|(i, key)| {
+            let rest = &json[start + i + key.len()..start + end];
+            let num: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            num.parse().ok()
+        })
+        .collect()
+}
+
+fn compare_with_baseline(path: &str, shift_invert: &[ApplyRow], hamiltonian: &[ApplyRow]) {
+    let Ok(old) = std::fs::read_to_string(path) else {
+        eprintln!("baseline {path} unreadable; skipping comparison");
+        return;
+    };
+    for (section, rows) in
+        [("shift_invert_apply", shift_invert), ("hamiltonian_matvec", hamiltonian)]
+    {
+        let base = baseline_per_apply(&old, section);
+        for (row, b) in rows.iter().zip(&base) {
+            eprintln!(
+                "{section} n={:>5}: {:>10.0} ns vs baseline {b:>10.0} ns ({:.2}x)",
+                row.n,
+                row.per_apply_ns,
+                b / row.per_apply_ns
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out_path = String::from("BENCH_matvec.json");
+    let mut baseline: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--baseline" if i + 1 < args.len() => {
+                baseline = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}; expected --out/--baseline <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sizes = [250usize, 1000, 4000];
+    let p = 20;
+    let shift_invert = bench_shift_invert(&sizes, p);
+    let hamiltonian = bench_hamiltonian(&sizes, p);
+    let solver = bench_solver();
+    if let Some(path) = &baseline {
+        compare_with_baseline(path, &shift_invert, &hamiltonian);
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"pheig-bench-quick/v1\",\n  \"profile\": \"{}\",\n  \
+         \"shift_invert_apply\": [\n{}\n  ],\n  \"hamiltonian_matvec\": [\n{}\n  ],\n  \
+         \"solver_sweep\": [\n{}\n  ]\n}}\n",
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        apply_rows_json(&shift_invert),
+        apply_rows_json(&hamiltonian),
+        solver_rows_json(&solver)
+    );
+    std::fs::write(&out_path, json).expect("write report");
+    eprintln!("wrote {out_path}");
+}

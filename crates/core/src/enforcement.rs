@@ -25,7 +25,7 @@
 
 use crate::characterization::{characterize, PassivityReport};
 use crate::error::SolverError;
-use crate::solver::{find_imaginary_eigenvalues, SolverOptions};
+use crate::solver::{find_imaginary_eigenvalues_with, SolverOptions, SolverWorkspace};
 use crate::spectrum::ImaginaryEigenpair;
 use pheig_hamiltonian::build::port_coupling_inverses;
 use pheig_linalg::{C64, Lu, Matrix};
@@ -310,7 +310,11 @@ fn enforce_once(
     let p = ss.ports();
     let (r_inv, s_inv) = port_coupling_inverses(ss.d())?;
     let mut current = ss.clone();
-    let mut outcome = find_imaginary_eigenvalues(&current, &opts.solver)?;
+    // One workspace serves every eigenvalue sweep of the enforcement loop
+    // (the initial characterization, each line-search trial, and the final
+    // verification): worker scratch persists across passivity iterations.
+    let mut solver_ws = SolverWorkspace::new();
+    let mut outcome = find_imaginary_eigenvalues_with(&current, &opts.solver, &mut solver_ws)?;
     let initial_report = characterize(&current, &outcome.frequencies)?;
     let mut report = initial_report.clone();
     let c0 = ss.c().clone();
@@ -493,7 +497,7 @@ fn enforce_once(
                     }
                 }
             }
-            let trial_outcome = find_imaginary_eigenvalues(&trial, &opts.solver)?;
+            let trial_outcome = find_imaginary_eigenvalues_with(&trial, &opts.solver, &mut solver_ws)?;
             let trial_report = characterize(&trial, &trial_outcome.frequencies)?;
             if opts.trace {
                 eprintln!(
@@ -550,6 +554,7 @@ fn enforce_once(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solver::find_imaginary_eigenvalues;
     use pheig_model::generator::{generate_case, CaseSpec};
 
     #[test]

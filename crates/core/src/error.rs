@@ -16,6 +16,21 @@ pub enum SolverError {
     },
     /// The search band could not be estimated.
     BandEstimation(String),
+    /// A band override in [`crate::solver::SolverOptions`] is unusable:
+    /// non-finite, inverted (`hi <= lo`), or negative.
+    InvalidBand {
+        /// Lower edge as given.
+        lo: f64,
+        /// Upper edge as given.
+        hi: f64,
+    },
+    /// The initial-radius overlap factor is unusable: the paper requires
+    /// `alpha >= 1` (Eq. (23)), and NaN breaks the scheduler's interval
+    /// arithmetic.
+    InvalidAlpha {
+        /// The factor as given.
+        alpha: f64,
+    },
     /// Enforcement did not reach a passive model within its iteration
     /// budget.
     EnforcementStalled {
@@ -41,6 +56,14 @@ impl fmt::Display for SolverError {
                 write!(f, "single-shift iteration at omega = {omega} failed: {reason}")
             }
             SolverError::BandEstimation(m) => write!(f, "search band estimation failed: {m}"),
+            SolverError::InvalidBand { lo, hi } => write!(
+                f,
+                "invalid band override [{lo}, {hi}]: edges must be finite, \
+                 non-negative, and ordered lo < hi"
+            ),
+            SolverError::InvalidAlpha { alpha } => {
+                write!(f, "invalid overlap factor alpha = {alpha}: must be finite and >= 1")
+            }
             SolverError::EnforcementStalled { iterations, residual_violation } => write!(
                 f,
                 "passivity enforcement stalled after {iterations} iterations \

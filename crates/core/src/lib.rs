@@ -31,4 +31,7 @@ pub mod solver;
 pub mod spectrum;
 
 pub use error::SolverError;
-pub use solver::{find_imaginary_eigenvalues, SolverOptions, SolverOutcome};
+pub use solver::{
+    find_imaginary_eigenvalues, find_imaginary_eigenvalues_with, SolverOptions, SolverOutcome,
+    SolverWorkspace,
+};

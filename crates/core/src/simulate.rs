@@ -126,6 +126,9 @@ pub fn simulate_parallel(
         }
     };
 
+    // The simulator executes shifts inline on the caller's thread; one
+    // workspace is reused across every simulated shift.
+    let mut ws = pheig_arnoldi::ArnoldiWorkspace::new();
     let mut clock: u64 = 0;
     let mut seq: u64 = 0;
     let mut idle = threads;
@@ -140,7 +143,7 @@ pub fn simulate_parallel(
         while idle > 0 {
             match scheduler.next_shift() {
                 Some(task) => {
-                    let outcome = run_shift(ss, &task, scale, opts)?;
+                    let outcome = run_shift(ss, &task, scale, opts, &mut ws)?;
                     let cost = cost_units(&outcome);
                     total_cost += cost;
                     heap.push(Reverse(Event { finish: clock + cost, seq, task, outcome }));

@@ -10,9 +10,35 @@ use crate::scheduler::{Scheduler, SchedulerStats, ShiftTask};
 use crate::spectrum::{self, ImaginaryEigenpair};
 use parking_lot::{Condvar, Mutex};
 use pheig_arnoldi::single_shift::SingleShiftOutcome;
-use pheig_arnoldi::{single_shift_iteration, SingleShiftOptions};
+use pheig_arnoldi::{single_shift_iteration_with, ArnoldiWorkspace, SingleShiftOptions};
 use pheig_model::StateSpace;
 use std::time::{Duration, Instant};
+
+/// Reusable solver scratch: one Arnoldi workspace per worker thread.
+///
+/// A workspace created once and passed to repeated
+/// [`find_imaginary_eigenvalues_with`] calls (as the passivity-enforcement
+/// loop does) keeps every worker's Krylov basis storage alive across
+/// sweeps, eliminating steady-state allocation churn from the hot path.
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    per_thread: Vec<ArnoldiWorkspace>,
+}
+
+impl SolverWorkspace {
+    /// An empty workspace; per-thread scratch grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the per-thread scratch list to `threads` entries.
+    fn ensure_threads(&mut self, threads: usize) -> &mut [ArnoldiWorkspace] {
+        if self.per_thread.len() < threads {
+            self.per_thread.resize_with(threads, ArnoldiWorkspace::new);
+        }
+        &mut self.per_thread[..threads]
+    }
+}
 
 /// Options for [`find_imaginary_eigenvalues`].
 #[derive(Debug, Clone, PartialEq)]
@@ -135,6 +161,7 @@ pub(crate) fn run_shift(
     task: &ShiftTask,
     scale_floor: f64,
     opts: &SolverOptions,
+    ws: &mut ArnoldiWorkspace,
 ) -> Result<SingleShiftOutcome, SolverError> {
     // Tolerances must track the *local* magnitude: the global spectral
     // radius of M can exceed the pole band by orders of magnitude (large
@@ -160,7 +187,7 @@ pub(crate) fn run_shift(
             k => task.rho0 * 0.017 * k as f64 * if k % 2 == 0 { -1.0 } else { 1.0 },
         };
         let omega = (task.omega + nudge).max(0.0);
-        match single_shift_iteration(ss, omega, task.rho0, scale, &aopts) {
+        match single_shift_iteration_with(ss, omega, task.rho0, scale, &aopts, ws) {
             Ok(out) if out.radius > min_radius => return Ok(out),
             Ok(out) => last = format!("radius {} below resolution", out.radius),
             Err(e) => last = e.to_string(),
@@ -185,11 +212,20 @@ pub(crate) fn pole_scale(ss: &StateSpace) -> f64 {
 fn assemble(
     band: (f64, f64),
     axis_scale: f64,
-    completions: Vec<(ShiftTask, SingleShiftOutcome, Duration)>,
+    mut completions: Vec<(ShiftTask, SingleShiftOutcome, Duration)>,
     sched_stats: SchedulerStats,
     opts: &SolverOptions,
     wall: Duration,
 ) -> SolverOutcome {
+    // Under `threads > 1` completions land in mutex-acquisition order,
+    // which varies run to run; sort by shift frequency (radius as the
+    // tie-break) so `shift_log` and everything derived from it is
+    // deterministic for a given completion set.
+    completions.sort_by(|a, b| {
+        (a.1.theta.im, a.1.radius)
+            .partial_cmp(&(b.1.theta.im, b.1.radius))
+            .expect("shift frequencies and radii are finite")
+    });
     let scale = axis_scale;
     let axis_tol = axis_tolerance(opts, scale);
     let mut all_pairs = Vec::new();
@@ -248,7 +284,28 @@ pub fn find_imaginary_eigenvalues(
     ss: &StateSpace,
     opts: &SolverOptions,
 ) -> Result<SolverOutcome, SolverError> {
+    find_imaginary_eigenvalues_with(ss, opts, &mut SolverWorkspace::new())
+}
+
+/// [`find_imaginary_eigenvalues`] with caller-owned scratch.
+///
+/// Repeated sweeps over perturbed models (the passivity-enforcement inner
+/// loop) should create one [`SolverWorkspace`] and pass it to every call:
+/// each worker thread then reuses its Krylov storage across shifts *and*
+/// across sweeps.
+///
+/// # Errors
+///
+/// Same as [`find_imaginary_eigenvalues`], plus
+/// [`SolverError::InvalidBand`] / [`SolverError::InvalidAlpha`] for
+/// unusable option overrides.
+pub fn find_imaginary_eigenvalues_with(
+    ss: &StateSpace,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace,
+) -> Result<SolverOutcome, SolverError> {
     let t0 = Instant::now();
+    validate_options(opts)?;
     let band = match opts.band {
         Some(b) => b,
         None => estimate_band(ss, &opts.arnoldi)?,
@@ -258,11 +315,26 @@ pub fn find_imaginary_eigenvalues(
     let scale = pole_scale(ss);
 
     let (completions, sched_stats) = if opts.threads <= 1 {
-        run_serial(ss, scheduler, scale, opts)?
+        run_serial(ss, scheduler, scale, opts, &mut ws.ensure_threads(1)[0])?
     } else {
-        run_parallel(ss, scheduler, scale, opts)?
+        run_parallel(ss, scheduler, scale, opts, ws.ensure_threads(opts.threads))?
     };
     Ok(assemble(band, scale, completions, sched_stats, opts, t0.elapsed()))
+}
+
+/// Rejects option combinations the scheduler cannot run on: a scheduler
+/// constructed over a garbage band or overlap factor would silently cover
+/// nothing (or spin), so fail fast with a typed error instead.
+fn validate_options(opts: &SolverOptions) -> Result<(), SolverError> {
+    if let Some((lo, hi)) = opts.band {
+        if !lo.is_finite() || !hi.is_finite() || lo < 0.0 || hi <= lo {
+            return Err(SolverError::InvalidBand { lo, hi });
+        }
+    }
+    if !opts.alpha.is_finite() || opts.alpha < 1.0 {
+        return Err(SolverError::InvalidAlpha { alpha: opts.alpha });
+    }
+    Ok(())
 }
 
 type Completions = Vec<(ShiftTask, SingleShiftOutcome, Duration)>;
@@ -272,11 +344,12 @@ fn run_serial(
     mut scheduler: Scheduler,
     scale: f64,
     opts: &SolverOptions,
+    ws: &mut ArnoldiWorkspace,
 ) -> Result<(Completions, SchedulerStats), SolverError> {
     let mut completions = Vec::new();
     while let Some(task) = scheduler.next_shift() {
         let started = Instant::now();
-        let out = run_shift(ss, &task, scale, opts)?;
+        let out = run_shift(ss, &task, scale, opts, ws)?;
         scheduler.complete(&task, out.theta.im, out.radius);
         completions.push((task, out, started.elapsed()));
     }
@@ -295,12 +368,15 @@ fn run_parallel(
     scheduler: Scheduler,
     scale: f64,
     opts: &SolverOptions,
+    workspaces: &mut [ArnoldiWorkspace],
 ) -> Result<(Completions, SchedulerStats), SolverError> {
     let shared = Mutex::new(SharedState { scheduler, completions: Vec::new(), error: None });
     let cv = Condvar::new();
     std::thread::scope(|scope| {
-        for _ in 0..opts.threads {
-            scope.spawn(|| loop {
+        let shared = &shared;
+        let cv = &cv;
+        for ws in workspaces.iter_mut() {
+            scope.spawn(move || loop {
                 let task = {
                     let mut guard = shared.lock();
                     loop {
@@ -315,7 +391,7 @@ fn run_parallel(
                     }
                 };
                 let started = Instant::now();
-                let result = run_shift(ss, &task, scale, opts);
+                let result = run_shift(ss, &task, scale, opts, ws);
                 let mut guard = shared.lock();
                 match result {
                     Ok(out) => {
@@ -450,6 +526,100 @@ mod tests {
             // still be near it.
             assert!(*w <= 3.0 * 1.5);
         }
+    }
+
+    #[test]
+    fn garbage_options_are_rejected_with_typed_errors() {
+        let ss = generate_case(&CaseSpec::new(10, 2).with_seed(1)).unwrap().realize();
+        let cases: &[(Option<(f64, f64)>, f64)] = &[
+            (Some((f64::NAN, 5.0)), 1.05),
+            (Some((0.0, f64::INFINITY)), 1.05),
+            (Some((3.0, 1.0)), 1.05),
+            (Some((2.0, 2.0)), 1.05),
+            (Some((-1.0, 5.0)), 1.05),
+            (None, f64::NAN),
+            (None, 0.5),
+        ];
+        for &(band, alpha) in cases {
+            let mut opts = SolverOptions::default();
+            opts.band = band;
+            opts.alpha = alpha;
+            let err = find_imaginary_eigenvalues(&ss, &opts).unwrap_err();
+            match (band, &err) {
+                (Some(_), SolverError::InvalidBand { .. }) => {}
+                (None, SolverError::InvalidAlpha { .. }) => {}
+                other => panic!("band={band:?} alpha={alpha}: wrong error {other:?}"),
+            }
+        }
+        // Valid overrides still pass validation.
+        assert!(find_imaginary_eigenvalues(
+            &ss,
+            &SolverOptions::default().with_band(0.0, 3.0)
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn parallel_failure_propagates_without_deadlock() {
+        // Force every shift to fail: a zero restart budget means no Ritz
+        // value can ever converge, so run_shift exhausts its retries.
+        let ss = generate_case(&CaseSpec::new(16, 2).with_seed(4).with_target_crossings(2))
+            .unwrap()
+            .realize();
+        let mut opts = SolverOptions::default().with_threads(4);
+        opts.arnoldi.max_restarts = 0;
+        opts.max_shift_retries = 1;
+        let err = find_imaginary_eigenvalues(&ss, &opts).unwrap_err();
+        assert!(
+            matches!(err, SolverError::ShiftFailed { .. }),
+            "expected ShiftFailed, got {err:?}"
+        );
+        // The same failure must also surface from the serial driver.
+        opts.threads = 1;
+        assert!(matches!(
+            find_imaginary_eigenvalues(&ss, &opts),
+            Err(SolverError::ShiftFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_shift_log_is_deterministically_ordered() {
+        let ss = generate_case(&CaseSpec::new(24, 2).with_seed(31).with_target_crossings(4))
+            .unwrap()
+            .realize();
+        for threads in [1usize, 4] {
+            let out = find_imaginary_eigenvalues(
+                &ss,
+                &SolverOptions::default().with_threads(threads),
+            )
+            .unwrap();
+            let keys: Vec<(f64, f64)> =
+                out.shift_log.iter().map(|r| (r.omega, r.radius)).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(keys, sorted, "T={threads}: shift_log not in sorted order");
+        }
+    }
+
+    #[test]
+    fn reused_workspace_gives_identical_results() {
+        // The workspace is pure scratch: passing a dirty workspace from a
+        // previous (different) model must not change any result.
+        let ss1 = generate_case(&CaseSpec::new(20, 2).with_seed(6).with_target_crossings(2))
+            .unwrap()
+            .realize();
+        let ss2 = generate_case(&CaseSpec::new(14, 3).with_seed(9)).unwrap().realize();
+        let opts = SolverOptions::default();
+        let mut ws = SolverWorkspace::new();
+        let _ = find_imaginary_eigenvalues_with(&ss2, &opts, &mut ws).unwrap();
+        let dirty = find_imaginary_eigenvalues_with(&ss1, &opts, &mut ws).unwrap();
+        let fresh = find_imaginary_eigenvalues(&ss1, &opts).unwrap();
+        assert_eq!(dirty.frequencies, fresh.frequencies);
+        assert_eq!(
+            dirty.shift_log.len(),
+            fresh.shift_log.len(),
+            "workspace reuse changed the shift schedule"
+        );
     }
 
     #[test]

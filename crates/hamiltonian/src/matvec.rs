@@ -4,19 +4,41 @@ use crate::error::HamiltonianError;
 use crate::op::CLinearOp;
 use pheig_linalg::{C64, Matrix};
 use pheig_model::StateSpace;
+use std::sync::Mutex;
+
+/// Owned apply workspace (see the note on [`crate::ShiftInvertOp`]'s
+/// scratch: the [`Mutex`] keeps the operator [`Sync`] and is uncontended in
+/// every driver).
+#[derive(Debug)]
+struct ApplyScratch {
+    /// `C x1` (length `p`).
+    w: Vec<C64>,
+    /// `B^T x2` (length `p`).
+    u1: Vec<C64>,
+    /// `D^T w + u1`, then reused for `D R^{-1} u1` (length `p`).
+    rhs: Vec<C64>,
+    /// `R^{-1} rhs` (length `p`).
+    t: Vec<C64>,
+    /// `S^{-1} w + D R^{-1} u1` (length `p`).
+    v: Vec<C64>,
+    /// State-space temporary (length `n`).
+    nbuf: Vec<C64>,
+}
 
 /// The Hamiltonian matrix `M` of a state-space macromodel as an implicit
-/// operator: `apply` costs `O(np)` instead of the `O(n^2)` of a dense
-/// product.
+/// operator: `apply_into` costs `O(np)` instead of the `O(n^2)` of a dense
+/// product, and performs no steady-state heap allocations.
 ///
-/// Internally precomputes the small real inverses `R^{-1}`, `S^{-1}` and
-/// `D R^{-1}` once (`O(p^3)`).
-#[derive(Debug, Clone)]
+/// Internally precomputes the small real inverses `R^{-1}`, `S^{-1}`,
+/// `D R^{-1}`, and `D^T` once (`O(p^3)`).
+#[derive(Debug)]
 pub struct HamiltonianOp<'a> {
     ss: &'a StateSpace,
     r_inv: Matrix<f64>,
     s_inv: Matrix<f64>,
     d_r_inv: Matrix<f64>,
+    d_t: Matrix<f64>,
+    scratch: Mutex<ApplyScratch>,
 }
 
 impl<'a> HamiltonianOp<'a> {
@@ -31,7 +53,17 @@ impl<'a> HamiltonianOp<'a> {
         let r_inv = r_lu.inverse();
         let s_inv = s_lu.inverse();
         let d_r_inv = ss.d() * &r_inv;
-        Ok(HamiltonianOp { ss, r_inv, s_inv, d_r_inv })
+        let d_t = ss.d().transpose();
+        let (n, p) = (ss.order(), ss.ports());
+        let scratch = Mutex::new(ApplyScratch {
+            w: vec![C64::zero(); p],
+            u1: vec![C64::zero(); p],
+            rhs: vec![C64::zero(); p],
+            t: vec![C64::zero(); p],
+            v: vec![C64::zero(); p],
+            nbuf: vec![C64::zero(); n],
+        });
+        Ok(HamiltonianOp { ss, r_inv, s_inv, d_r_inv, d_t, scratch })
     }
 
     /// The underlying model.
@@ -39,8 +71,8 @@ impl<'a> HamiltonianOp<'a> {
         self.ss
     }
 
-    fn mixed_matvec(m: &Matrix<f64>, x: &[C64]) -> Vec<C64> {
-        let mut y = vec![C64::zero(); m.rows()];
+    /// `y = M x` for a real matrix applied to a complex vector.
+    fn mixed_matvec_into(m: &Matrix<f64>, x: &[C64], y: &mut [C64]) {
         for (i, yi) in y.iter_mut().enumerate() {
             let row = m.row(i);
             let mut acc = C64::zero();
@@ -49,7 +81,6 @@ impl<'a> HamiltonianOp<'a> {
             }
             *yi = acc;
         }
-        y
     }
 }
 
@@ -58,41 +89,43 @@ impl CLinearOp for HamiltonianOp<'_> {
         2 * self.ss.order()
     }
 
-    fn apply(&self, x: &[C64]) -> Vec<C64> {
+    fn apply_into(&self, x: &[C64], y: &mut [C64]) {
         let n = self.ss.order();
         assert_eq!(x.len(), 2 * n, "HamiltonianOp apply length mismatch");
+        assert_eq!(y.len(), 2 * n, "HamiltonianOp apply output length mismatch");
         let (x1, x2) = x.split_at(n);
+        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let ApplyScratch { w, u1, rhs, t, v, nbuf } = &mut *guard;
 
         // Port-space intermediates.
-        let w = self.ss.apply_c(x1); // C x1                 (p)
-        let u1 = self.ss.apply_bt(x2); // B^T x2              (p)
+        self.ss.apply_c_into(x1, w); // C x1                 (p)
+        self.ss.apply_bt_into(x2, u1); // B^T x2              (p)
         // t = R^{-1} (D^T w + u1)
-        let dt_w = Self::mixed_matvec(&self.ss.d().transpose(), &w);
-        let rhs: Vec<C64> = dt_w.iter().zip(&u1).map(|(a, b)| *a + *b).collect();
-        let t = Self::mixed_matvec(&self.r_inv, &rhs);
-        // v = S^{-1} w + D R^{-1} u1
-        let s_w = Self::mixed_matvec(&self.s_inv, &w);
-        let dr_u1 = Self::mixed_matvec(&self.d_r_inv, &u1);
-        let v: Vec<C64> = s_w.iter().zip(&dr_u1).map(|(a, b)| *a + *b).collect();
+        Self::mixed_matvec_into(&self.d_t, w, rhs);
+        for (r, u) in rhs.iter_mut().zip(u1.iter()) {
+            *r += *u;
+        }
+        Self::mixed_matvec_into(&self.r_inv, rhs, t);
+        // v = S^{-1} w + D R^{-1} u1 (rhs reused for the second term).
+        Self::mixed_matvec_into(&self.s_inv, w, v);
+        Self::mixed_matvec_into(&self.d_r_inv, u1, rhs);
+        for (vi, r) in v.iter_mut().zip(rhs.iter()) {
+            *vi += *r;
+        }
 
+        let (y1, y2) = y.split_at_mut(n);
         // y1 = A x1 - B t.
-        let mut y1 = vec![C64::zero(); n];
-        self.ss.a().matvec(x1, &mut y1);
-        let bt_term = self.ss.apply_b(&t);
-        for (yi, bi) in y1.iter_mut().zip(&bt_term) {
+        self.ss.a().matvec(x1, y1);
+        self.ss.apply_b_into(t, nbuf);
+        for (yi, bi) in y1.iter_mut().zip(nbuf.iter()) {
             *yi -= *bi;
         }
         // y2 = C^T v - A^T x2.
-        let mut at_x2 = vec![C64::zero(); n];
-        self.ss.a().matvec_transpose(x2, &mut at_x2);
-        let mut y2 = self.ss.apply_ct(&v);
-        for (yi, ai) in y2.iter_mut().zip(&at_x2) {
+        self.ss.apply_ct_into(v, y2);
+        self.ss.a().matvec_transpose(x2, nbuf);
+        for (yi, ai) in y2.iter_mut().zip(nbuf.iter()) {
             *yi -= *ai;
         }
-
-        let mut y = y1;
-        y.extend_from_slice(&y2);
-        y
     }
 }
 

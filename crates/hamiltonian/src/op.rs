@@ -11,12 +11,30 @@ pub trait CLinearOp: Sync {
     /// Operator dimension.
     fn dim(&self) -> usize;
 
-    /// Applies the operator: `y = Op(x)`.
+    /// Applies the operator into a caller-provided buffer: `y = Op(x)`.
+    ///
+    /// This is the hot-path entry point: implementations must not allocate
+    /// in steady state (owned scratch sized at construction is fine).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len() != self.dim()` or
+    /// `y.len() != self.dim()`.
+    fn apply_into(&self, x: &[C64], y: &mut [C64]);
+
+    /// Applies the operator, allocating the result: `y = Op(x)`.
+    ///
+    /// Convenience wrapper over [`CLinearOp::apply_into`] for cold paths
+    /// and tests.
     ///
     /// # Panics
     ///
     /// Implementations may panic if `x.len() != self.dim()`.
-    fn apply(&self, x: &[C64]) -> Vec<C64>;
+    fn apply(&self, x: &[C64]) -> Vec<C64> {
+        let mut y = vec![C64::zero(); self.dim()];
+        self.apply_into(x, &mut y);
+        y
+    }
 }
 
 /// Dense matrices are trivially operators (used in tests and the baseline).
@@ -24,8 +42,8 @@ impl CLinearOp for Matrix<C64> {
     fn dim(&self) -> usize {
         self.rows()
     }
-    fn apply(&self, x: &[C64]) -> Vec<C64> {
-        self.matvec(x)
+    fn apply_into(&self, x: &[C64], y: &mut [C64]) {
+        self.matvec_into(x, y);
     }
 }
 

@@ -25,16 +25,40 @@ use crate::op::CLinearOp;
 use pheig_linalg::{C64, Lu, Matrix};
 use pheig_model::block_diag::DiagBlock;
 use pheig_model::StateSpace;
+use std::sync::Mutex;
+
+/// Owned apply workspace, sized once at construction so that
+/// [`CLinearOp::apply_into`] performs zero steady-state heap allocations.
+///
+/// Kept behind a [`Mutex`] so the operator stays [`Sync`] (the trait
+/// contract); in practice each solver worker owns its operator, so the lock
+/// is always uncontended and costs a few nanoseconds against an `O(np)`
+/// solve.
+#[derive(Debug)]
+struct ApplyScratch {
+    /// `K x` upper half (length `n`).
+    w1: Vec<C64>,
+    /// `K x` lower half, negated (length `n`).
+    w2: Vec<C64>,
+    /// Port-space intermediate `V w`, then `W^{-1} V w` (length `2p`).
+    t: Vec<C64>,
+    /// `B s1` (length `n`).
+    u1: Vec<C64>,
+    /// `C^T s2` (length `n`).
+    u2: Vec<C64>,
+}
 
 /// The shifted-and-inverted Hamiltonian operator
 /// `y = (M - theta I)^{-1} x` for one fixed shift.
 ///
-/// Setup costs `O(np + p^3)`; each [`CLinearOp::apply`] costs `O(np)`.
+/// Setup costs `O(np + p^3)`; each [`CLinearOp::apply_into`] costs `O(np)`
+/// and performs no heap allocations (owned scratch, sized at construction).
 #[derive(Debug)]
 pub struct ShiftInvertOp<'a> {
     ss: &'a StateSpace,
     theta: C64,
     w_lu: Lu<C64>,
+    scratch: Mutex<ApplyScratch>,
 }
 
 impl<'a> ShiftInvertOp<'a> {
@@ -81,7 +105,15 @@ impl<'a> ShiftInvertOp<'a> {
             }
             Err(e) => return Err(e.into()),
         };
-        Ok(ShiftInvertOp { ss, theta, w_lu })
+        let n = ss.order();
+        let scratch = Mutex::new(ApplyScratch {
+            w1: vec![C64::zero(); n],
+            w2: vec![C64::zero(); n],
+            t: vec![C64::zero(); 2 * p],
+            u1: vec![C64::zero(); n],
+            u2: vec![C64::zero(); n],
+        });
+        Ok(ShiftInvertOp { ss, theta, w_lu, scratch })
     }
 
     /// The shift this operator was built for.
@@ -139,48 +171,44 @@ impl CLinearOp for ShiftInvertOp<'_> {
         2 * self.ss.order()
     }
 
-    fn apply(&self, x: &[C64]) -> Vec<C64> {
+    fn apply_into(&self, x: &[C64], y: &mut [C64]) {
         let n = self.ss.order();
         assert_eq!(x.len(), 2 * n, "ShiftInvertOp apply length mismatch");
+        assert_eq!(y.len(), 2 * n, "ShiftInvertOp apply output length mismatch");
         let (x1, x2) = x.split_at(n);
         let a = self.ss.a();
+        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let ApplyScratch { w1, w2, t, u1, u2 } = &mut *guard;
 
         // w = K x.
-        let mut w1 = vec![C64::zero(); n];
-        a.solve_shifted(self.theta, false, x1, &mut w1);
-        let mut w2 = vec![C64::zero(); n];
-        a.solve_shifted(-self.theta, true, x2, &mut w2);
+        a.solve_shifted(self.theta, false, x1, w1);
+        a.solve_shifted(-self.theta, true, x2, w2);
         for v in w2.iter_mut() {
             *v = -*v;
         }
 
         // t = V w = [C w1; B^T w2], then s = W^{-1} t.
-        let mut t = self.ss.apply_c(&w1);
-        t.extend(self.ss.apply_bt(&w2));
-        self.w_lu.solve_in_place(&mut t);
         let p = self.ss.ports();
+        {
+            let (t1, t2) = t.split_at_mut(p);
+            self.ss.apply_c_into(w1, t1);
+            self.ss.apply_bt_into(w2, t2);
+        }
+        self.w_lu.solve_in_place(t);
         let (s1, s2) = t.split_at(p);
 
-        // u = U s = [B s1; C^T s2], then z = K u.
-        let u1 = self.ss.apply_b(s1);
-        let u2 = self.ss.apply_ct(s2);
-        let mut z1 = vec![C64::zero(); n];
-        a.solve_shifted(self.theta, false, &u1, &mut z1);
-        let mut z2 = vec![C64::zero(); n];
-        a.solve_shifted(-self.theta, true, &u2, &mut z2);
-        for v in z2.iter_mut() {
-            *v = -*v;
+        // u = U s = [B s1; C^T s2], then z = K u, y = w - z.
+        self.ss.apply_b_into(s1, u1);
+        self.ss.apply_ct_into(s2, u2);
+        let (y1, y2) = y.split_at_mut(n);
+        a.solve_shifted(self.theta, false, u1, y1); // y1 holds z1
+        for (yi, wi) in y1.iter_mut().zip(w1.iter()) {
+            *yi = *wi - *yi;
         }
-
-        // y = w - z.
-        let mut y = Vec::with_capacity(2 * n);
-        for i in 0..n {
-            y.push(w1[i] - z1[i]);
+        a.solve_shifted(-self.theta, true, u2, y2); // y2 holds -z2
+        for (yi, wi) in y2.iter_mut().zip(w2.iter()) {
+            *yi += *wi;
         }
-        for i in 0..n {
-            y.push(w2[i] - z2[i]);
-        }
-        y
     }
 }
 

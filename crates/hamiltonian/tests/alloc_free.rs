@@ -1,0 +1,63 @@
+//! Pins the allocation-free hot-path contract: once constructed, the
+//! structured operators must not touch the heap in `apply_into`.
+//!
+//! Uses a counting global allocator, so this file deliberately holds a
+//! single test (a second test running concurrently would pollute the
+//! counter).
+
+use pheig_hamiltonian::{CLinearOp, HamiltonianOp, ShiftInvertOp};
+use pheig_linalg::C64;
+use pheig_model::generator::{generate_case, CaseSpec};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Counts allocations across `reps` steady-state applications of `op`.
+fn allocations_during_applies(op: &dyn CLinearOp, reps: usize) -> u64 {
+    let x: Vec<C64> =
+        (0..op.dim()).map(|i| C64::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos())).collect();
+    let mut y = vec![C64::zero(); op.dim()];
+    // Warm-up: first application settles any lazy OS/runtime state.
+    op.apply_into(&x, &mut y);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..reps {
+        op.apply_into(&x, &mut y);
+    }
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn steady_state_applies_do_not_allocate() {
+    let ss = generate_case(&CaseSpec::new(60, 4).with_seed(3)).unwrap().realize();
+
+    let si = ShiftInvertOp::new(&ss, C64::from_imag(2.0)).unwrap();
+    let si_allocs = allocations_during_applies(&si, 200);
+    assert_eq!(si_allocs, 0, "ShiftInvertOp::apply_into allocated {si_allocs} times in 200 applies");
+
+    let ham = HamiltonianOp::new(&ss).unwrap();
+    let ham_allocs = allocations_during_applies(&ham, 200);
+    assert_eq!(
+        ham_allocs, 0,
+        "HamiltonianOp::apply_into allocated {ham_allocs} times in 200 applies"
+    );
+}

@@ -177,17 +177,28 @@ impl<S: Scalar> Matrix<S> {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[S]) -> Vec<S> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![S::ZERO; self.rows];
-        for i in 0..self.rows {
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product `y = A x` into a caller-provided buffer
+    /// (no heap allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[S], y: &mut [S]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = S::ZERO;
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += *a * *b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
-        y
     }
 
     /// Matrix-vector product with the conjugate transpose, `y = A^H x`.
@@ -196,8 +207,21 @@ impl<S: Scalar> Matrix<S> {
     ///
     /// Panics if `x.len() != self.rows()`.
     pub fn conj_transpose_matvec(&self, x: &[S]) -> Vec<S> {
-        assert_eq!(x.len(), self.rows, "conj_transpose_matvec dimension mismatch");
         let mut y = vec![S::ZERO; self.cols];
+        self.conj_transpose_matvec_into(x, &mut y);
+        y
+    }
+
+    /// Conjugate-transpose matrix-vector product `y = A^H x` into a
+    /// caller-provided buffer (no heap allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()` or `y.len() != self.cols()`.
+    pub fn conj_transpose_matvec_into(&self, x: &[S], y: &mut [S]) {
+        assert_eq!(x.len(), self.rows, "conj_transpose_matvec dimension mismatch");
+        assert_eq!(y.len(), self.cols, "conj_transpose_matvec output dimension mismatch");
+        y.fill(S::ZERO);
         for i in 0..self.rows {
             let row = self.row(i);
             let xi = x[i];
@@ -205,7 +229,11 @@ impl<S: Scalar> Matrix<S> {
                 *yj += a.conj() * xi;
             }
         }
-        y
+    }
+
+    /// Overwrites every entry with `value` (keeps the allocation).
+    pub fn fill(&mut self, value: S) {
+        self.data.fill(value);
     }
 
     /// Dense matrix product.

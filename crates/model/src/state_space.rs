@@ -123,8 +123,20 @@ impl StateSpace {
     ///
     /// Panics if `u.len() != self.ports()`.
     pub fn apply_b(&self, u: &[C64]) -> Vec<C64> {
-        assert_eq!(u.len(), self.ports(), "apply_b length mismatch");
         let mut x = vec![C64::zero(); self.order()];
+        self.apply_b_into(u, &mut x);
+        x
+    }
+
+    /// `x = B u` into a caller-provided buffer (no heap allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != self.ports()` or `x.len() != self.order()`.
+    pub fn apply_b_into(&self, u: &[C64], x: &mut [C64]) {
+        assert_eq!(u.len(), self.ports(), "apply_b length mismatch");
+        assert_eq!(x.len(), self.order(), "apply_b output length mismatch");
+        x.fill(C64::zero());
         for (k, range) in self.col_blocks.iter().enumerate() {
             let uk = u[k];
             for bi in range.clone() {
@@ -136,7 +148,6 @@ impl StateSpace {
                 }
             }
         }
-        x
     }
 
     /// `u = B^T x`, `O(n)`.
@@ -145,8 +156,19 @@ impl StateSpace {
     ///
     /// Panics if `x.len() != self.order()`.
     pub fn apply_bt(&self, x: &[C64]) -> Vec<C64> {
-        assert_eq!(x.len(), self.order(), "apply_bt length mismatch");
         let mut u = vec![C64::zero(); self.ports()];
+        self.apply_bt_into(x, &mut u);
+        u
+    }
+
+    /// `u = B^T x` into a caller-provided buffer (no heap allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.order()` or `u.len() != self.ports()`.
+    pub fn apply_bt_into(&self, x: &[C64], u: &mut [C64]) {
+        assert_eq!(x.len(), self.order(), "apply_bt length mismatch");
+        assert_eq!(u.len(), self.ports(), "apply_bt output length mismatch");
         for (k, range) in self.col_blocks.iter().enumerate() {
             let mut acc = C64::zero();
             for bi in range.clone() {
@@ -159,7 +181,6 @@ impl StateSpace {
             }
             u[k] = acc;
         }
-        u
     }
 
     /// `y = C x`, `O(np)`.
@@ -168,9 +189,19 @@ impl StateSpace {
     ///
     /// Panics if `x.len() != self.order()`.
     pub fn apply_c(&self, x: &[C64]) -> Vec<C64> {
+        let mut y = vec![C64::zero(); self.ports()];
+        self.apply_c_into(x, &mut y);
+        y
+    }
+
+    /// `y = C x` into a caller-provided buffer (no heap allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.order()` or `y.len() != self.ports()`.
+    pub fn apply_c_into(&self, x: &[C64], y: &mut [C64]) {
         assert_eq!(x.len(), self.order(), "apply_c length mismatch");
-        let p = self.ports();
-        let mut y = vec![C64::zero(); p];
+        assert_eq!(y.len(), self.ports(), "apply_c output length mismatch");
         for (i, yi) in y.iter_mut().enumerate() {
             let row = self.c.row(i);
             let mut acc = C64::zero();
@@ -179,7 +210,6 @@ impl StateSpace {
             }
             *yi = acc;
         }
-        y
     }
 
     /// `x = C^T y`, `O(np)`.
@@ -188,16 +218,26 @@ impl StateSpace {
     ///
     /// Panics if `y.len() != self.ports()`.
     pub fn apply_ct(&self, y: &[C64]) -> Vec<C64> {
+        let mut x = vec![C64::zero(); self.order()];
+        self.apply_ct_into(y, &mut x);
+        x
+    }
+
+    /// `x = C^T y` into a caller-provided buffer (no heap allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != self.ports()` or `x.len() != self.order()`.
+    pub fn apply_ct_into(&self, y: &[C64], x: &mut [C64]) {
         assert_eq!(y.len(), self.ports(), "apply_ct length mismatch");
-        let n = self.order();
-        let mut x = vec![C64::zero(); n];
+        assert_eq!(x.len(), self.order(), "apply_ct output length mismatch");
+        x.fill(C64::zero());
         for (i, &yi) in y.iter().enumerate() {
             let row = self.c.row(i);
             for (xj, cij) in x.iter_mut().zip(row.iter()) {
                 *xj += yi * *cij;
             }
         }
-        x
     }
 
     /// Dense `B` (for validation and small-model tests only).

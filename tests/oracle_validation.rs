@@ -23,11 +23,8 @@ fn oracle_crossings(ss: &StateSpace) -> Vec<f64> {
     out
 }
 
-#[test]
-fn solver_matches_dense_oracle_across_seeds() {
-    for (seed, n, p, target) in
-        [(1u64, 20, 2, 2), (2, 24, 3, 4), (3, 30, 2, 6), (4, 24, 4, 0), (5, 36, 3, 8)]
-    {
+fn assert_solver_matches_oracle(cases: &[(u64, usize, usize, usize)]) {
+    for &(seed, n, p, target) in cases {
         let spec = CaseSpec::new(n, p).with_seed(seed).with_target_crossings(target);
         let ss = generate_case(&spec).unwrap().realize();
         let want = oracle_crossings(&ss);
@@ -46,6 +43,17 @@ fn solver_matches_dense_oracle_across_seeds() {
             );
         }
     }
+}
+
+#[test]
+fn solver_matches_dense_oracle_across_seeds() {
+    assert_solver_matches_oracle(&[(1u64, 20, 2, 2), (2, 24, 3, 4), (4, 24, 4, 0)]);
+}
+
+#[test]
+#[ignore = "largest oracle cases (~5 s debug); run with --ignored (CI slow-tests job)"]
+fn solver_matches_dense_oracle_large_cases() {
+    assert_solver_matches_oracle(&[(3u64, 30, 2, 6), (5, 36, 3, 8)]);
 }
 
 #[test]
