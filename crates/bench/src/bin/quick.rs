@@ -13,16 +13,24 @@
 //!
 //! ```text
 //! cargo run --release -p pheig-bench --bin bench-quick -- \
-//!     [--out BENCH_matvec.json] [--baseline old.json]
+//!     [--out BENCH_matvec.json] [--pipeline-out BENCH_pipeline.json] \
+//!     [--baseline old.json]
 //! ```
 //!
 //! With `--baseline`, per-apply times are compared against a previously
 //! recorded run and the speedup is printed per size.
+//!
+//! Alongside the matvec trajectory, a pipeline-level timing (Touchstone
+//! parse -> vector fit -> characterize -> enforce, single-model and
+//! batched) is written to `BENCH_pipeline.json`.
 
+use pheig_core::pipeline::{run_batch, Pipeline, PipelineOptions};
 use pheig_core::solver::{find_imaginary_eigenvalues, SolverOptions};
 use pheig_hamiltonian::{CLinearOp, HamiltonianOp, ShiftInvertOp};
 use pheig_linalg::C64;
 use pheig_model::generator::{generate_case, CaseSpec};
+use pheig_model::touchstone::{write_touchstone, TouchstoneOptions};
+use pheig_model::FrequencySamples;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -168,6 +176,120 @@ fn bench_solver() -> Vec<SolverRow> {
         .collect()
 }
 
+/// One pipeline-level timing row.
+struct PipelineRow {
+    label: String,
+    jobs: usize,
+    batch_threads: usize,
+    parse_ms: f64,
+    fit_ms: f64,
+    sweep_ms: f64,
+    enforce_ms: f64,
+    total_ms: f64,
+    crossings_before: usize,
+    bands_after: usize,
+}
+
+/// Times the full Touchstone -> fit -> characterize -> enforce flow: one
+/// non-passive deck end to end, then a small batch (all-passive plus the
+/// non-passive deck) on 1 and 4 workers.
+fn bench_pipeline() -> Vec<PipelineRow> {
+    let opts = PipelineOptions::default();
+    let mut rows = Vec::new();
+
+    // Single model with enforcement (the canonical non-passive demo case).
+    let reference = generate_case(&CaseSpec::demo_nonpassive()).unwrap();
+    let samples = FrequencySamples::from_model(&reference, 0.01, 13.0, 200).unwrap();
+    let deck = write_touchstone(&samples, &TouchstoneOptions::default());
+    let t0 = Instant::now();
+    let pipeline = Pipeline::from_touchstone(&deck, Some(2)).unwrap();
+    let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let out = pipeline.run(&opts).unwrap();
+    let report = &out.report;
+    let row = PipelineRow {
+        label: "single_enforced".into(),
+        jobs: 1,
+        batch_threads: 1,
+        parse_ms,
+        fit_ms: report.fit.wall.as_secs_f64() * 1e3,
+        sweep_ms: report.sweep.wall.as_secs_f64() * 1e3,
+        enforce_ms: report
+            .enforcement
+            .as_ref()
+            .map_or(0.0, |e| e.wall.as_secs_f64() * 1e3),
+        total_ms: parse_ms + report.wall.as_secs_f64() * 1e3,
+        crossings_before: report.sweep.crossings,
+        bands_after: report.residual_violations(),
+    };
+    eprintln!(
+        "pipeline {}: parse {:.1} ms, fit {:.1} ms, sweep {:.1} ms, enforce {:.1} ms \
+         ({} crossings -> {} bands)",
+        row.label, row.parse_ms, row.fit_ms, row.sweep_ms, row.enforce_ms,
+        row.crossings_before, row.bands_after
+    );
+    rows.push(row);
+
+    // Batch of 6 jobs (one non-passive) on 1 and 4 workers. References are
+    // 16-state so the default 8-poles-per-column fit matches the order
+    // exactly.
+    let mut jobs = vec![pipeline];
+    for seed in 40u64..45 {
+        let model =
+            generate_case(&CaseSpec::new(16, 2).with_seed(seed).with_target_crossings(0)).unwrap();
+        let s = FrequencySamples::from_model(&model, 0.01, 12.0, 200).unwrap();
+        jobs.push(Pipeline::from_samples(s));
+    }
+    for batch_threads in [1usize, 4] {
+        let t0 = Instant::now();
+        let results = run_batch(&jobs, &opts, batch_threads);
+        let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(ok, jobs.len(), "batch jobs must all succeed");
+        eprintln!(
+            "pipeline batch x{} T={batch_threads}: {total_ms:.1} ms total",
+            jobs.len()
+        );
+        rows.push(PipelineRow {
+            label: format!("batch_t{batch_threads}"),
+            jobs: jobs.len(),
+            batch_threads,
+            parse_ms: 0.0,
+            fit_ms: 0.0,
+            sweep_ms: 0.0,
+            enforce_ms: 0.0,
+            total_ms,
+            crossings_before: 0,
+            bands_after: 0,
+        });
+    }
+    rows
+}
+
+fn pipeline_rows_json(rows: &[PipelineRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"label\": \"{}\", \"jobs\": {}, \"batch_threads\": {}, \
+                 \"parse_ms\": {:.2}, \"fit_ms\": {:.2}, \"sweep_ms\": {:.2}, \
+                 \"enforce_ms\": {:.2}, \"total_ms\": {:.2}, \
+                 \"crossings_before\": {}, \"bands_after\": {}}}",
+                r.label,
+                r.jobs,
+                r.batch_threads,
+                r.parse_ms,
+                r.fit_ms,
+                r.sweep_ms,
+                r.enforce_ms,
+                r.total_ms,
+                r.crossings_before,
+                r.bands_after
+            )
+        })
+        .collect();
+    items.join(",\n")
+}
+
 fn apply_rows_json(rows: &[ApplyRow]) -> String {
     let items: Vec<String> = rows
         .iter()
@@ -238,6 +360,7 @@ fn compare_with_baseline(path: &str, shift_invert: &[ApplyRow], hamiltonian: &[A
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut out_path = String::from("BENCH_matvec.json");
+    let mut pipeline_out_path = String::from("BENCH_pipeline.json");
     let mut baseline: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
@@ -246,12 +369,18 @@ fn main() {
                 out_path = args[i + 1].clone();
                 i += 2;
             }
+            "--pipeline-out" if i + 1 < args.len() => {
+                pipeline_out_path = args[i + 1].clone();
+                i += 2;
+            }
             "--baseline" if i + 1 < args.len() => {
                 baseline = Some(args[i + 1].clone());
                 i += 2;
             }
             other => {
-                eprintln!("unknown argument {other}; expected --out/--baseline <path>");
+                eprintln!(
+                    "unknown argument {other}; expected --out/--pipeline-out/--baseline <path>"
+                );
                 std::process::exit(2);
             }
         }
@@ -277,4 +406,14 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write report");
     eprintln!("wrote {out_path}");
+
+    let pipeline = bench_pipeline();
+    let pipeline_json = format!(
+        "{{\n  \"schema\": \"pheig-bench-pipeline/v1\",\n  \"profile\": \"{}\",\n  \
+         \"pipeline\": [\n{}\n  ]\n}}\n",
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        pipeline_rows_json(&pipeline)
+    );
+    std::fs::write(&pipeline_out_path, pipeline_json).expect("write pipeline report");
+    eprintln!("wrote {pipeline_out_path}");
 }

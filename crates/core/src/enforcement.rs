@@ -25,7 +25,9 @@
 
 use crate::characterization::{characterize, PassivityReport};
 use crate::error::SolverError;
-use crate::solver::{find_imaginary_eigenvalues_with, SolverOptions, SolverWorkspace};
+use crate::solver::{
+    find_imaginary_eigenvalues_with, SolverOptions, SolverOutcome, SolverWorkspace,
+};
 use crate::spectrum::ImaginaryEigenpair;
 use pheig_hamiltonian::build::port_coupling_inverses;
 use pheig_linalg::{C64, Lu, Matrix};
@@ -285,15 +287,51 @@ pub fn enforce_passivity(
     ss: &StateSpace,
     opts: &EnforcementOptions,
 ) -> Result<EnforcementOutcome, SolverError> {
+    // One workspace serves every eigenvalue sweep of the enforcement loop
+    // (the initial characterization, each line-search trial, and the final
+    // verification): worker scratch persists across passivity iterations.
+    enforce_passivity_with(ss, opts, &mut SolverWorkspace::new())
+}
+
+/// [`enforce_passivity`] with caller-owned solver scratch.
+///
+/// Batch drivers that enforce many models on one worker (the pipeline's
+/// [`crate::pipeline::run_batch`]) should create one [`SolverWorkspace`]
+/// per worker and pass it to every call, extending the workspace-reuse
+/// contract across models.
+///
+/// # Errors
+///
+/// Same as [`enforce_passivity`].
+pub fn enforce_passivity_with(
+    ss: &StateSpace,
+    opts: &EnforcementOptions,
+    solver_ws: &mut SolverWorkspace,
+) -> Result<EnforcementOutcome, SolverError> {
+    enforce_with_seed(ss, opts, solver_ws, None)
+}
+
+/// [`enforce_passivity_with`] reusing a characterization of `ss` the
+/// caller already computed with the *same* solver options — the pipeline's
+/// stage-2 sweep — so the enforcement loop does not repeat the most
+/// expensive step of the flow before its first perturbation.
+pub(crate) fn enforce_with_seed(
+    ss: &StateSpace,
+    opts: &EnforcementOptions,
+    solver_ws: &mut SolverWorkspace,
+    seed: Option<(&SolverOutcome, &PassivityReport)>,
+) -> Result<EnforcementOutcome, SolverError> {
     // The first-order scheme can stall on degenerate crossing geometry
     // for a specific contraction factor; retrying the whole loop with a
     // damped or over-shot factor resolves this in practice (the factors
-    // change which crossing pairs annihilate first).
+    // change which crossing pairs annihilate first). Every attempt starts
+    // from the unperturbed `ss`, so the seeded characterization stays
+    // valid across attempts.
     let mut last_err = None;
     for factor in [1.0, 0.6, 1.25, 0.4] {
         let mut attempt = opts.clone();
         attempt.contraction = opts.contraction * factor;
-        match enforce_once(ss, &attempt) {
+        match enforce_once(ss, &attempt, solver_ws, seed) {
             Ok(out) => return Ok(out),
             Err(e @ SolverError::EnforcementStalled { .. }) => last_err = Some(e),
             Err(e) => return Err(e),
@@ -305,17 +343,21 @@ pub fn enforce_passivity(
 fn enforce_once(
     ss: &StateSpace,
     opts: &EnforcementOptions,
+    solver_ws: &mut SolverWorkspace,
+    seed: Option<(&SolverOutcome, &PassivityReport)>,
 ) -> Result<EnforcementOutcome, SolverError> {
     let n = ss.order();
     let p = ss.ports();
     let (r_inv, s_inv) = port_coupling_inverses(ss.d())?;
     let mut current = ss.clone();
-    // One workspace serves every eigenvalue sweep of the enforcement loop
-    // (the initial characterization, each line-search trial, and the final
-    // verification): worker scratch persists across passivity iterations.
-    let mut solver_ws = SolverWorkspace::new();
-    let mut outcome = find_imaginary_eigenvalues_with(&current, &opts.solver, &mut solver_ws)?;
-    let initial_report = characterize(&current, &outcome.frequencies)?;
+    let (mut outcome, initial_report) = match seed {
+        Some((outcome, report)) => (outcome.clone(), report.clone()),
+        None => {
+            let outcome = find_imaginary_eigenvalues_with(&current, &opts.solver, solver_ws)?;
+            let report = characterize(&current, &outcome.frequencies)?;
+            (outcome, report)
+        }
+    };
     let mut report = initial_report.clone();
     let c0 = ss.c().clone();
     let mut stall_count = 0usize;
@@ -497,7 +539,7 @@ fn enforce_once(
                     }
                 }
             }
-            let trial_outcome = find_imaginary_eigenvalues_with(&trial, &opts.solver, &mut solver_ws)?;
+            let trial_outcome = find_imaginary_eigenvalues_with(&trial, &opts.solver, solver_ws)?;
             let trial_report = characterize(&trial, &trial_outcome.frequencies)?;
             if opts.trace {
                 eprintln!(

@@ -47,6 +47,8 @@ pub enum SolverError {
     Linalg(pheig_linalg::LinalgError),
     /// A downstream model failure.
     Model(pheig_model::ModelError),
+    /// A Vector Fitting failure in the pipeline's identification stage.
+    VectorFit(pheig_vectorfit::VectorFitError),
 }
 
 impl fmt::Display for SolverError {
@@ -73,6 +75,7 @@ impl fmt::Display for SolverError {
             SolverError::Hamiltonian(e) => write!(f, "hamiltonian failure: {e}"),
             SolverError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             SolverError::Model(e) => write!(f, "model failure: {e}"),
+            SolverError::VectorFit(e) => write!(f, "vector fitting failure: {e}"),
         }
     }
 }
@@ -84,6 +87,7 @@ impl Error for SolverError {
             SolverError::Hamiltonian(e) => Some(e),
             SolverError::Linalg(e) => Some(e),
             SolverError::Model(e) => Some(e),
+            SolverError::VectorFit(e) => Some(e),
             _ => None,
         }
     }
@@ -107,6 +111,11 @@ impl From<pheig_linalg::LinalgError> for SolverError {
 impl From<pheig_model::ModelError> for SolverError {
     fn from(e: pheig_model::ModelError) -> Self {
         SolverError::Model(e)
+    }
+}
+impl From<pheig_vectorfit::VectorFitError> for SolverError {
+    fn from(e: pheig_vectorfit::VectorFitError) -> Self {
+        SolverError::VectorFit(e)
     }
 }
 

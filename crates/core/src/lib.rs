@@ -19,18 +19,23 @@
 //!    `Omega` into singular-value violation bands;
 //! 6. [`enforcement`] perturbs residues (first-order displacement of the
 //!    imaginary Hamiltonian eigenvalues, ref. \[8\]) until the model is
-//!    passive.
+//!    passive;
+//! 7. [`pipeline`] chains the whole tool flow — Touchstone deck in,
+//!    vector-fitted and passivity-enforced macromodel out — with per-stage
+//!    diagnostics and a batched multi-model driver.
 
 pub mod band;
 pub mod characterization;
 pub mod enforcement;
 pub mod error;
+pub mod pipeline;
 pub mod scheduler;
 pub mod simulate;
 pub mod solver;
 pub mod spectrum;
 
 pub use error::SolverError;
+pub use pipeline::{run_batch, PassiveModel, Pipeline, PipelineOptions, PipelineReport};
 pub use solver::{
     find_imaginary_eigenvalues, find_imaginary_eigenvalues_with, SolverOptions, SolverOutcome,
     SolverWorkspace,

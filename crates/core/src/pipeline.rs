@@ -1,0 +1,500 @@
+//! The end-to-end macromodeling pipeline the paper's introduction
+//! motivates: tabulated frequency data (a Touchstone deck) is fitted to a
+//! rational macromodel (Vector Fitting), realized as the structured
+//! state-space quadruple, passivity-characterized via the multi-shift
+//! Hamiltonian sweep, and — when violations exist — perturbatively
+//! enforced passive.
+//!
+//! Stage boundaries follow the workspace layering (each stage is the
+//! public entry point of one crate, so every stage stays independently
+//! testable):
+//!
+//! ```text
+//! Touchstone text/path        pheig-model::touchstone (S/Y/Z -> S)
+//!   -> FrequencySamples
+//!   -> VectorFitOutcome       pheig-vectorfit::vector_fit
+//!   -> StateSpace             VectorFitOutcome::state_space
+//!   -> SolverOutcome          pheig-core::solver (multi-shift sweep)
+//!   -> PassivityReport        pheig-core::characterization
+//!   -> EnforcementOutcome     pheig-core::enforcement (skipped if passive)
+//!   -> PassiveModel + PipelineReport
+//! ```
+//!
+//! [`run_batch`] drives many decks through this flow on a pool of worker
+//! threads, each owning one [`SolverWorkspace`] for its whole batch share
+//! — the PR 2 scratch-reuse contract extended across models.
+
+use crate::characterization::{characterize, PassivityReport};
+use crate::enforcement::EnforcementOptions;
+use crate::error::SolverError;
+use crate::scheduler::SchedulerStats;
+use crate::solver::{
+    find_imaginary_eigenvalues_with, ShiftRecord, SolverOptions, SolverWorkspace,
+};
+use parking_lot::Mutex;
+use pheig_model::touchstone::{read_touchstone, read_touchstone_path};
+use pheig_model::{FrequencySamples, PoleResidueModel, StateSpace};
+use pheig_vectorfit::{vector_fit, VectorFitOptions};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Options for one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Vector Fitting configuration (order, iterations, starts).
+    pub vectorfit: VectorFitOptions,
+    /// Eigensolver configuration for *every* sweep of the run: the
+    /// characterization stage, the enforcement re-characterizations, and
+    /// the final verification all use this one configuration, so the
+    /// before/after reports are directly comparable.
+    pub solver: SolverOptions,
+    /// Enforcement tuning (iterations, contraction, regularization).
+    /// Its `solver` sub-options are ignored — [`PipelineOptions::solver`]
+    /// is used instead, so the two sweep configurations cannot drift
+    /// apart.
+    pub enforcement: EnforcementOptions,
+}
+
+impl PipelineOptions {
+    /// Defaults: 8 poles per column, 8 relocation iterations, serial
+    /// solver, default enforcement.
+    pub fn new() -> Self {
+        PipelineOptions {
+            vectorfit: VectorFitOptions::new(8).with_iterations(8),
+            solver: SolverOptions::default(),
+            enforcement: EnforcementOptions::default(),
+        }
+    }
+
+    /// Sets the Vector Fitting order (poles per port column).
+    pub fn with_poles_per_column(mut self, poles: usize) -> Self {
+        self.vectorfit.poles_per_column = poles;
+        self
+    }
+
+    /// Sets the worker-thread count of every eigensolver sweep.
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.solver = self.solver.with_threads(threads);
+        self
+    }
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Diagnostics of the identification stage.
+#[derive(Debug, Clone)]
+pub struct FitDiagnostics {
+    /// Root-mean-square entrywise fit error over the input grid.
+    pub rms_error: f64,
+    /// Largest entrywise fit error.
+    pub max_error: f64,
+    /// Dynamic order of the fitted realization.
+    pub order: usize,
+    /// Port count.
+    pub ports: usize,
+    /// Number of frequency samples consumed.
+    pub samples: usize,
+    /// Wall-clock time of the fit.
+    pub wall: Duration,
+}
+
+/// Diagnostics of one eigenvalue sweep (characterization stage).
+#[derive(Debug, Clone)]
+pub struct SweepDiagnostics {
+    /// Crossing frequencies located.
+    pub crossings: usize,
+    /// The search band covered.
+    pub band: (f64, f64),
+    /// Scheduler counters (processed / deleted / trimmed / split).
+    pub scheduler: SchedulerStats,
+    /// Total operator applications across all shifts.
+    pub total_matvecs: usize,
+    /// Per-shift telemetry in deterministic (frequency) order.
+    pub shift_log: Vec<ShiftRecord>,
+    /// Wall-clock time of the sweep.
+    pub wall: Duration,
+}
+
+/// Diagnostics of the enforcement stage (`None` when the fitted model was
+/// already passive and the stage was skipped).
+#[derive(Debug, Clone)]
+pub struct EnforcementDiagnostics {
+    /// Outer enforcement iterations performed.
+    pub iterations: usize,
+    /// Frobenius norm of the total applied residue perturbation.
+    pub delta_c_norm: f64,
+    /// Wall-clock time of the enforcement loop.
+    pub wall: Duration,
+}
+
+/// Per-stage report of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Identification diagnostics.
+    pub fit: FitDiagnostics,
+    /// Characterization sweep diagnostics.
+    pub sweep: SweepDiagnostics,
+    /// Passivity report of the *fitted* model (violations before).
+    pub initial_report: PassivityReport,
+    /// Enforcement diagnostics (`None` when skipped).
+    pub enforcement: Option<EnforcementDiagnostics>,
+    /// Passivity report of the *output* model (violations after; empty
+    /// bands on success).
+    pub final_report: PassivityReport,
+    /// End-to-end wall-clock time.
+    pub wall: Duration,
+}
+
+impl PipelineReport {
+    /// Number of violation bands remaining in the output model (0 on
+    /// success).
+    pub fn residual_violations(&self) -> usize {
+        self.final_report.bands.len()
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fit:       order {} / {} port(s), {} samples, rms {:.3e}, max {:.3e} ({:.1} ms)",
+            self.fit.order,
+            self.fit.ports,
+            self.fit.samples,
+            self.fit.rms_error,
+            self.fit.max_error,
+            self.fit.wall.as_secs_f64() * 1e3
+        )?;
+        writeln!(
+            f,
+            "sweep:     {} crossing(s) on [{:.4}, {:.4}], {} shift(s), {} matvecs, \
+             {} deleted tentative ({:.1} ms)",
+            self.sweep.crossings,
+            self.sweep.band.0,
+            self.sweep.band.1,
+            self.sweep.shift_log.len(),
+            self.sweep.total_matvecs,
+            self.sweep.scheduler.deleted_tentative,
+            self.sweep.wall.as_secs_f64() * 1e3
+        )?;
+        writeln!(
+            f,
+            "violations before: {} band(s), max sigma {:.6}",
+            self.initial_report.bands.len(),
+            self.initial_report.max_sigma()
+        )?;
+        match &self.enforcement {
+            Some(e) => writeln!(
+                f,
+                "enforce:   {} iteration(s), ||Delta C||_F = {:.3e} ({:.1} ms)",
+                e.iterations,
+                e.delta_c_norm,
+                e.wall.as_secs_f64() * 1e3
+            )?,
+            None => writeln!(f, "enforce:   skipped (already passive)")?,
+        }
+        write!(
+            f,
+            "violations after:  {} band(s), max sigma {:.6} (total {:.1} ms)",
+            self.residual_violations(),
+            self.final_report.max_sigma(),
+            self.wall.as_secs_f64() * 1e3
+        )
+    }
+}
+
+/// A passivity-enforced macromodel with full provenance.
+#[derive(Debug, Clone)]
+pub struct PassiveModel {
+    /// The fitted pole–residue model (pre-enforcement; poles and `D` are
+    /// shared with the output realization).
+    pub fitted: PoleResidueModel,
+    /// The enforced state-space realization (perturbed `C`).
+    pub state_space: StateSpace,
+    /// Per-stage diagnostics.
+    pub report: PipelineReport,
+}
+
+/// One macromodeling job: frequency samples waiting to be fitted,
+/// characterized, and enforced.
+///
+/// # Example
+///
+/// ```no_run
+/// use pheig_core::pipeline::{Pipeline, PipelineOptions};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let out = Pipeline::from_touchstone_path("device.s2p")?
+///     .run(&PipelineOptions::default())?;
+/// assert_eq!(out.report.residual_violations(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    samples: FrequencySamples,
+}
+
+impl Pipeline {
+    /// Builds a pipeline directly from frequency samples.
+    pub fn from_samples(samples: FrequencySamples) -> Self {
+        Pipeline { samples }
+    }
+
+    /// Parses a Touchstone deck from text. Y and Z decks are converted to
+    /// scattering form with the option-line reference resistance.
+    ///
+    /// `ports` is the port count when known (wrapped records require it);
+    /// `None` infers it from the first data line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`pheig_model::ModelError`] parse/conversion failures as
+    /// [`SolverError::Model`].
+    pub fn from_touchstone(text: &str, ports: Option<usize>) -> Result<Self, SolverError> {
+        let deck = read_touchstone(text, ports)?;
+        Ok(Pipeline { samples: deck.into_scattering_samples()? })
+    }
+
+    /// Parses a Touchstone deck from a file, inferring the port count from
+    /// the `.sNp` extension.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::from_touchstone`], plus I/O failures.
+    pub fn from_touchstone_path(path: impl AsRef<std::path::Path>) -> Result<Self, SolverError> {
+        let deck = read_touchstone_path(path)?;
+        Ok(Pipeline { samples: deck.into_scattering_samples()? })
+    }
+
+    /// The samples this pipeline will fit.
+    pub fn samples(&self) -> &FrequencySamples {
+        &self.samples
+    }
+
+    /// Runs the full flow: fit, characterize, enforce (when needed),
+    /// re-verify.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::VectorFit`] when the identification stage fails
+    ///   (e.g. an underdetermined fit);
+    /// * solver and enforcement failures from the downstream stages.
+    pub fn run(&self, opts: &PipelineOptions) -> Result<PassiveModel, SolverError> {
+        self.run_with(opts, &mut SolverWorkspace::new())
+    }
+
+    /// [`Pipeline::run`] with caller-owned solver scratch, reused across
+    /// every sweep of the run (characterization, enforcement trials, and
+    /// final verification) — and across *models* when the caller loops.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::run`].
+    pub fn run_with(
+        &self,
+        opts: &PipelineOptions,
+        ws: &mut SolverWorkspace,
+    ) -> Result<PassiveModel, SolverError> {
+        let t0 = Instant::now();
+
+        // Stage 1: rational identification.
+        let t_fit = Instant::now();
+        let fit = vector_fit(&self.samples, &opts.vectorfit)?;
+        let ss = fit.state_space();
+        let fit_diag = FitDiagnostics {
+            rms_error: fit.rms_error,
+            max_error: fit.max_error,
+            order: ss.order(),
+            ports: ss.ports(),
+            samples: self.samples.len(),
+            wall: t_fit.elapsed(),
+        };
+
+        // Stage 2: passivity characterization (multi-shift sweep).
+        let t_sweep = Instant::now();
+        let outcome = find_imaginary_eigenvalues_with(&ss, &opts.solver, ws)?;
+        let initial_report = characterize(&ss, &outcome.frequencies)?;
+        let sweep_diag = SweepDiagnostics {
+            crossings: outcome.frequencies.len(),
+            band: outcome.band,
+            scheduler: outcome.stats.scheduler,
+            total_matvecs: outcome.stats.total_matvecs,
+            shift_log: outcome.shift_log.clone(),
+            wall: t_sweep.elapsed(),
+        };
+
+        // Stage 3: enforcement (skipped when already passive). The stage-2
+        // characterization seeds the enforcement loop so the sweep — the
+        // dominant cost — is not repeated on the unperturbed model, and
+        // every sweep runs under the same `opts.solver` configuration.
+        let (state_space, enforcement, final_report) = if initial_report.is_passive() {
+            (ss, None, initial_report.clone())
+        } else {
+            let t_enf = Instant::now();
+            let mut enf_opts = opts.enforcement.clone();
+            enf_opts.solver = opts.solver.clone();
+            let enforced = crate::enforcement::enforce_with_seed(
+                &ss,
+                &enf_opts,
+                ws,
+                Some((&outcome, &initial_report)),
+            )?;
+            let diag = EnforcementDiagnostics {
+                iterations: enforced.iterations,
+                delta_c_norm: enforced.delta_c_norm,
+                wall: t_enf.elapsed(),
+            };
+            (enforced.state_space, Some(diag), enforced.final_report)
+        };
+
+        Ok(PassiveModel {
+            fitted: fit.model,
+            state_space,
+            report: PipelineReport {
+                fit: fit_diag,
+                sweep: sweep_diag,
+                initial_report,
+                enforcement,
+                final_report,
+                wall: t0.elapsed(),
+            },
+        })
+    }
+}
+
+/// Drives many pipelines on `threads` worker threads.
+///
+/// Each worker owns one [`SolverWorkspace`] for its entire share of the
+/// batch, so Krylov scratch is reused across shifts, sweeps, *and* models
+/// (the PR 2 contract lifted to the batch level). Jobs are pulled from a
+/// shared counter, so stragglers do not serialize the batch; results keep
+/// input order. `threads = 1` degenerates to a sequential loop with one
+/// workspace — batch parallelism composes with (and is independent from)
+/// `opts.solver.threads` sweep parallelism.
+///
+/// Per-job errors are reported per slot rather than aborting the batch.
+pub fn run_batch(
+    pipelines: &[Pipeline],
+    opts: &PipelineOptions,
+    threads: usize,
+) -> Vec<Result<PassiveModel, SolverError>> {
+    let threads = threads.max(1).min(pipelines.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<PassiveModel, SolverError>>>> =
+        pipelines.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut ws = SolverWorkspace::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(pipeline) = pipelines.get(idx) else { break };
+                    *results[idx].lock() = Some(pipeline.run_with(opts, &mut ws));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot filled by a worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pheig_model::generator::{generate_case, CaseSpec};
+    use pheig_model::touchstone::{write_touchstone, TouchstoneOptions};
+    use pheig_model::transfer::sigma_max;
+
+    fn nonpassive_deck() -> String {
+        let reference = generate_case(&CaseSpec::demo_nonpassive()).unwrap();
+        let samples = FrequencySamples::from_model(&reference, 0.01, 13.0, 200).unwrap();
+        write_touchstone(&samples, &TouchstoneOptions::default())
+    }
+
+    #[test]
+    fn touchstone_deck_to_passive_model() {
+        let deck = nonpassive_deck();
+        let pipeline = Pipeline::from_touchstone(&deck, None).unwrap();
+        let out = pipeline.run(&PipelineOptions::default()).unwrap();
+        assert!(out.report.fit.rms_error < 1e-5, "rms {}", out.report.fit.rms_error);
+        assert!(!out.report.initial_report.is_passive(), "reference has violations");
+        assert!(out.report.enforcement.is_some());
+        assert_eq!(out.report.residual_violations(), 0);
+        assert!(out.report.final_report.is_passive());
+        // Old peaks are at or below the threshold in the output model.
+        for b in &out.report.initial_report.bands {
+            let s = sigma_max(&out.state_space, b.peak_omega).unwrap();
+            assert!(s <= 1.0 + 1e-9, "sigma({}) = {s}", b.peak_omega);
+        }
+        // The Display form mentions the headline numbers.
+        let text = out.report.to_string();
+        assert!(text.contains("violations after:  0 band(s)"), "{text}");
+    }
+
+    #[test]
+    fn passive_deck_skips_enforcement() {
+        let reference =
+            generate_case(&CaseSpec::new(12, 2).with_seed(55).with_target_crossings(0)).unwrap();
+        let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 160).unwrap();
+        let out = Pipeline::from_samples(samples).run(&PipelineOptions::default()).unwrap();
+        assert!(out.report.enforcement.is_none());
+        assert!(out.report.initial_report.is_passive());
+        assert_eq!(out.report.residual_violations(), 0);
+        assert!(out.report.to_string().contains("skipped"));
+    }
+
+    #[test]
+    fn batch_results_keep_order_and_match_sequential() {
+        let mut jobs = Vec::new();
+        for seed in [55u64, 56] {
+            let reference = generate_case(
+                &CaseSpec::new(10, 2).with_seed(seed).with_target_crossings(0),
+            )
+            .unwrap();
+            let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 140).unwrap();
+            jobs.push(Pipeline::from_samples(samples));
+        }
+        let opts = PipelineOptions::default();
+        let parallel = run_batch(&jobs, &opts, 2);
+        assert_eq!(parallel.len(), 2);
+        for (job, got) in jobs.iter().zip(&parallel) {
+            let want = job.run(&opts).unwrap();
+            let got = got.as_ref().expect("batch job succeeded");
+            assert_eq!(got.report.sweep.crossings, want.report.sweep.crossings);
+            assert_eq!(got.report.fit.order, want.report.fit.order);
+            assert!((got.report.fit.rms_error - want.report.fit.rms_error).abs() < 1e-12);
+        }
+        // Degenerate batches are fine.
+        assert!(run_batch(&[], &opts, 4).is_empty());
+    }
+
+    #[test]
+    fn batch_reports_per_job_errors() {
+        // Job 0 is unfittable with these options (underdetermined); job 1
+        // is fine — the batch must return one Err and one Ok.
+        let reference =
+            generate_case(&CaseSpec::new(8, 2).with_seed(7).with_target_crossings(0)).unwrap();
+        let tiny = FrequencySamples::from_model(&reference, 0.1, 10.0, 3).unwrap();
+        let good = FrequencySamples::from_model(&reference, 0.01, 12.0, 120).unwrap();
+        let jobs = vec![Pipeline::from_samples(tiny), Pipeline::from_samples(good)];
+        let results = run_batch(&jobs, &PipelineOptions::default(), 2);
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn malformed_touchstone_is_a_typed_error() {
+        assert!(matches!(
+            Pipeline::from_touchstone("# GHz S XX\n1.0 0.0 0.0\n", None),
+            Err(SolverError::Model(pheig_model::ModelError::TouchstoneSyntax { .. }))
+        ));
+        assert!(Pipeline::from_touchstone_path("/nonexistent/x.s2p").is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Extends the PR 2 allocation-free hot-path contract to the pipeline
+//! path: the state space that comes out of `Touchstone -> vector fit ->
+//! realize` must drive the structured operators with **zero** steady-state
+//! heap allocations per matvec, exactly like generator-built models — the
+//! realization route must not silently regress the contract.
+//!
+//! Same counting-global-allocator pattern as
+//! `crates/hamiltonian/tests/alloc_free.rs`; one test per file because a
+//! concurrently running test would pollute the counter.
+
+use pheig_core::pipeline::{Pipeline, PipelineOptions};
+use pheig_hamiltonian::{CLinearOp, HamiltonianOp, ShiftInvertOp};
+use pheig_linalg::C64;
+use pheig_model::generator::{generate_case, CaseSpec};
+use pheig_model::touchstone::{write_touchstone, TouchstoneOptions};
+use pheig_model::FrequencySamples;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Counts allocations across `reps` steady-state applications of `op`.
+fn allocations_during_applies(op: &dyn CLinearOp, reps: usize) -> u64 {
+    let x: Vec<C64> =
+        (0..op.dim()).map(|i| C64::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos())).collect();
+    let mut y = vec![C64::zero(); op.dim()];
+    // Warm-up: first application settles any lazy OS/runtime state.
+    op.apply_into(&x, &mut y);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..reps {
+        op.apply_into(&x, &mut y);
+    }
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn pipeline_realized_models_keep_the_zero_alloc_matvec_contract() {
+    // Drive a deck through the real pipeline front end (Touchstone parse +
+    // vector fit + realization); the reference is passive so the output
+    // realization is exactly the fitted one.
+    let reference =
+        generate_case(&CaseSpec::new(24, 3).with_seed(55).with_target_crossings(0)).unwrap();
+    let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 200).unwrap();
+    let deck = write_touchstone(&samples, &TouchstoneOptions::default());
+    let out = Pipeline::from_touchstone(&deck, Some(3))
+        .unwrap()
+        .run(&PipelineOptions::default().with_poles_per_column(8))
+        .unwrap();
+    let ss = out.state_space;
+    assert_eq!(ss.ports(), 3);
+
+    let si = ShiftInvertOp::new(&ss, C64::from_imag(2.0)).unwrap();
+    let si_allocs = allocations_during_applies(&si, 200);
+    assert_eq!(
+        si_allocs, 0,
+        "ShiftInvertOp::apply_into on a pipeline-realized model allocated {si_allocs} times \
+         in 200 applies"
+    );
+
+    let ham = HamiltonianOp::new(&ss).unwrap();
+    let ham_allocs = allocations_during_applies(&ham, 200);
+    assert_eq!(
+        ham_allocs, 0,
+        "HamiltonianOp::apply_into on a pipeline-realized model allocated {ham_allocs} times \
+         in 200 applies"
+    );
+}

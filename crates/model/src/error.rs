@@ -43,6 +43,14 @@ pub enum ModelError {
         /// Explanation of what was invalid.
         message: String,
     },
+    /// A Touchstone deck could not be parsed. Carries the 1-based line
+    /// number of the offending text so tooling can point at it.
+    TouchstoneSyntax {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// What was wrong on that line.
+        message: String,
+    },
     /// A downstream linear algebra kernel failed.
     Linalg(pheig_linalg::LinalgError),
 }
@@ -66,6 +74,9 @@ impl fmt::Display for ModelError {
                 write!(f, "sigma_max(D) = {sigma_max} >= 1 violates strict asymptotic passivity")
             }
             ModelError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+            ModelError::TouchstoneSyntax { line, message } => {
+                write!(f, "touchstone syntax error at line {line}: {message}")
+            }
             ModelError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
     }
@@ -90,6 +101,12 @@ impl ModelError {
     /// Convenience constructor for [`ModelError::InvalidArgument`].
     pub fn invalid(message: impl Into<String>) -> Self {
         ModelError::InvalidArgument { message: message.into() }
+    }
+
+    /// Convenience constructor for [`ModelError::TouchstoneSyntax`] with a
+    /// 0-based line index (as produced by `lines().enumerate()`).
+    pub fn touchstone(line_index: usize, message: impl Into<String>) -> Self {
+        ModelError::TouchstoneSyntax { line: line_index + 1, message: message.into() }
     }
 }
 

@@ -91,6 +91,17 @@ impl CaseSpec {
         self.damping = (lo, hi);
         self
     }
+
+    /// The canonical small *non-passive* demo case shared by the pipeline
+    /// tests, benches, and examples: a 16-state, 2-port model calibrated
+    /// to two unit-singular-value crossings, with damping soft enough
+    /// that an order-matched vector fit (8 poles per column over
+    /// `[0.01, 13]` rad/s) reproduces the violations faithfully. Kept in
+    /// one place so the "known non-passive reference" contract — which
+    /// several tests assert on — cannot drift apart across call sites.
+    pub fn demo_nonpassive() -> Self {
+        CaseSpec::new(16, 2).with_seed(101).with_target_crossings(2).with_damping(0.02, 0.09)
+    }
 }
 
 /// A generated benchmark model plus calibration telemetry.

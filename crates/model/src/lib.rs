@@ -24,7 +24,9 @@
 //! * [`generator`] — synthetic benchmark models matching the paper's
 //!   Table I test-case dimensions;
 //! * [`samples`] — tabulated frequency samples (input to Vector Fitting);
-//! * [`touchstone`] — plain-text sample import/export.
+//! * [`touchstone`] — plain-text sample import/export, including hardened
+//!   Touchstone v1 (`.sNp`) decks with unit/format/R-line handling and
+//!   S/Y/Z parameter types.
 
 pub mod block_diag;
 pub mod error;
@@ -42,3 +44,6 @@ pub use pole::Pole;
 pub use pole_residue::{ColumnTerms, PoleResidueModel, Residue};
 pub use samples::FrequencySamples;
 pub use state_space::StateSpace;
+pub use touchstone::{
+    read_touchstone, read_touchstone_path, write_touchstone, TouchstoneDeck, TouchstoneOptions,
+};

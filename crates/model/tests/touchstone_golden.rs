@@ -1,0 +1,130 @@
+//! Golden-file and round-trip coverage for the Touchstone reader/writer:
+//! a hand-written deck with known values pins the parser's unit
+//! conversion, MA decoding, comment handling, record wrapping, and the
+//! two-port ordering quirk; round-trip tests pin `write ∘ read` as the
+//! identity on every unit/format combination.
+
+use pheig_linalg::C64;
+use pheig_model::generator::{generate_case, CaseSpec};
+use pheig_model::touchstone::{
+    read_touchstone, write_touchstone, DataFormat, FreqUnit, ParameterKind, TouchstoneOptions,
+};
+use pheig_model::{FrequencySamples, ModelError};
+
+const GOLDEN: &str = include_str!("data/golden.s2p");
+
+fn ma(mag: f64, deg: f64) -> C64 {
+    let rad = deg.to_radians();
+    C64::new(mag * rad.cos(), mag * rad.sin())
+}
+
+#[test]
+fn golden_deck_parses_to_known_values() {
+    let deck = read_touchstone(GOLDEN, Some(2)).unwrap();
+    assert_eq!(deck.ports(), 2);
+    assert_eq!(deck.options.unit, FreqUnit::KHz);
+    assert_eq!(deck.options.kind, ParameterKind::Scattering);
+    assert_eq!(deck.options.format, DataFormat::MagAngle);
+    assert_eq!(deck.options.resistance, 75.0);
+    assert_eq!(deck.samples.len(), 4);
+
+    // Frequencies: omega = 2 pi * f_kHz * 1e3.
+    let expected_omega: Vec<f64> =
+        [10.0, 25.0, 50.0, 100.0].iter().map(|f| 2.0 * std::f64::consts::PI * f * 1e3).collect();
+    for (got, want) in deck.samples.omegas().iter().zip(&expected_omega) {
+        assert!((got - want).abs() < 1e-9 * want, "omega {got} vs {want}");
+    }
+
+    // Spot values, including the quirk ordering (2nd slot is S21) and the
+    // record that wraps across two lines (the 50 kHz point).
+    let m0 = &deck.samples.matrices()[0];
+    assert!((m0[(0, 0)] - ma(0.98, -2.0)).abs() < 1e-14);
+    assert!((m0[(1, 0)] - ma(0.10, 85.0)).abs() < 1e-14); // S21 before S12
+    assert!((m0[(0, 1)] - ma(0.10, 85.0)).abs() < 1e-14);
+    assert!((m0[(1, 1)] - ma(0.95, -5.0)).abs() < 1e-14);
+    let m2 = &deck.samples.matrices()[2];
+    assert!((m2[(0, 1)] - ma(0.50, 30.0)).abs() < 1e-14); // from the wrapped line
+    assert!((m2[(1, 1)] - ma(0.75, -30.0)).abs() < 1e-14);
+}
+
+#[test]
+fn golden_deck_roundtrips_through_writer() {
+    let deck = read_touchstone(GOLDEN, Some(2)).unwrap();
+    let rewritten = write_touchstone(&deck.samples, &deck.options);
+    let back = read_touchstone(&rewritten, Some(2)).unwrap();
+    assert_eq!(back.options, deck.options);
+    assert_eq!(back.samples.len(), deck.samples.len());
+    for k in 0..deck.samples.len() {
+        let w = deck.samples.omegas()[k];
+        assert!((back.samples.omegas()[k] - w).abs() <= 1e-12 * w);
+        assert!(
+            (&back.samples.matrices()[k] - &deck.samples.matrices()[k]).max_abs() < 1e-13,
+            "matrix {k} drifted through the writer"
+        );
+    }
+}
+
+#[test]
+fn write_read_identity_across_units_formats_and_ports() {
+    for (p, seed) in [(1usize, 2u64), (2, 4), (4, 9)] {
+        let model = generate_case(&CaseSpec::new(4 * p, p).with_seed(seed)).unwrap();
+        let samples = FrequencySamples::from_model(&model, 0.05, 8.0, 9).unwrap();
+        for unit in [FreqUnit::Hz, FreqUnit::KHz, FreqUnit::MHz, FreqUnit::GHz] {
+            for format in [DataFormat::RealImag, DataFormat::MagAngle, DataFormat::DbAngle] {
+                let opts = TouchstoneOptions {
+                    unit,
+                    kind: ParameterKind::Scattering,
+                    format,
+                    resistance: 50.0,
+                };
+                let text = write_touchstone(&samples, &opts);
+                let deck = read_touchstone(&text, Some(p)).unwrap();
+                assert_eq!(deck.ports(), p);
+                for k in 0..samples.len() {
+                    let w = samples.omegas()[k];
+                    assert!(
+                        (deck.samples.omegas()[k] - w).abs() <= 1e-12 * w.max(1.0),
+                        "{unit:?}/{format:?} p={p}: omega {k}"
+                    );
+                    assert!(
+                        (&deck.samples.matrices()[k] - &samples.matrices()[k]).max_abs() < 1e-11,
+                        "{unit:?}/{format:?} p={p}: matrix {k}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn malformed_decks_fail_with_typed_errors_not_panics() {
+    // Each case must produce ModelError — never a panic — and option-line
+    // defects specifically must carry a line number.
+    let option_line_defects = [
+        "# parsecs S RI\n1.0 0.0 0.0\n",
+        "# GHz T RI\n1.0 0.0 0.0\n",
+        "# GHz S CSV\n1.0 0.0 0.0\n",
+        "# GHz S RI R\n1.0 0.0 0.0\n",
+        "# GHz S RI R zero\n1.0 0.0 0.0\n",
+        "# GHz S RI R 0\n1.0 0.0 0.0\n",
+        "# GHz S RI\n# GHz S RI\n1.0 0.0 0.0\n",
+    ];
+    for text in option_line_defects {
+        match read_touchstone(text, None) {
+            Err(ModelError::TouchstoneSyntax { line, .. }) => {
+                assert!(line >= 1, "line numbers are 1-based");
+            }
+            other => panic!("{text:?}: expected TouchstoneSyntax, got {other:?}"),
+        }
+    }
+    let other_garbage = [
+        "",
+        "! nothing but comments\n",
+        "# GHz S RI\nnot a number at all\n",
+        "# GHz S RI\n1.0 0.5\n",                  // un-inferable width
+        "# GHz S RI\n1.0 0.0 0.0\n0.5 0.0 0.0\n", // decreasing frequency
+    ];
+    for text in other_garbage {
+        assert!(read_touchstone(text, None).is_err(), "{text:?} must be rejected");
+    }
+}

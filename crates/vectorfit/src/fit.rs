@@ -9,7 +9,7 @@ use crate::options::VectorFitOptions;
 use pheig_linalg::eig::eig_real;
 use pheig_linalg::{C64, Matrix, Qr};
 use pheig_model::block_diag::{BlockDiagonal, DiagBlock};
-use pheig_model::{ColumnTerms, FrequencySamples, Pole, PoleResidueModel, Residue};
+use pheig_model::{ColumnTerms, FrequencySamples, Pole, PoleResidueModel, Residue, StateSpace};
 
 /// Result of a Vector Fitting run.
 #[derive(Debug, Clone)]
@@ -20,6 +20,37 @@ pub struct VectorFitOutcome {
     pub rms_error: f64,
     /// Largest entrywise fit error.
     pub max_error: f64,
+}
+
+impl VectorFitOutcome {
+    /// Realizes the fitted model as the structured `{A, B, C, D}`
+    /// quadruple the Hamiltonian passivity machinery consumes — the
+    /// fit-to-state-space bridge of the macromodeling pipeline.
+    pub fn state_space(&self) -> StateSpace {
+        self.model.realize()
+    }
+}
+
+/// Flips unstable poles into the open left half plane, leaving stable ones
+/// untouched: `re >= 0` becomes `-re` (with a small floor so marginal
+/// poles do not land exactly on the axis). This is the safeguard applied
+/// to user-supplied starting poles
+/// ([`VectorFitOptions::initial_poles`]); the sigma-iteration relocation
+/// applies the same left-half-plane flip internally while pairing the
+/// relocated spectrum (`pair_spectrum`, which additionally mirrors by
+/// `|re|` since its input is a raw eigenvalue set).
+pub fn flip_unstable(poles: &[Pole]) -> Vec<Pole> {
+    let scale = poles.iter().map(Pole::natural_frequency).fold(0.0, f64::max).max(1e-300);
+    poles
+        .iter()
+        .map(|&p| match p {
+            Pole::Real(re) if re >= 0.0 => Pole::Real(-re.max(1e-12 * scale)),
+            Pole::Pair { re, im } if re >= 0.0 => {
+                Pole::Pair { re: -re.max(1e-9 * im.abs().max(1e-12 * scale)), im: im.abs() }
+            }
+            stable => stable,
+        })
+        .collect()
 }
 
 /// Fits a rational macromodel to tabulated frequency samples.
@@ -51,15 +82,28 @@ pub fn vector_fit(
     samples: &FrequencySamples,
     opts: &VectorFitOptions,
 ) -> Result<VectorFitOutcome, VectorFitError> {
-    if opts.poles_per_column == 0 {
-        return Err(VectorFitError::invalid("poles_per_column must be positive"));
-    }
     if opts.iterations == 0 {
         return Err(VectorFitError::invalid("need at least one relocation iteration"));
     }
     let p = samples.ports();
     let k_samples = samples.len();
-    let nb = opts.poles_per_column; // real coefficients per pole set
+    let omegas = samples.omegas();
+    let w_lo = omegas[0].max(omegas[omegas.len() - 1] * 1e-4);
+    let w_hi = omegas[omegas.len() - 1];
+    // Starting poles: explicit (stabilized by pole flipping) or log-spaced.
+    let start_poles = match &opts.initial_poles {
+        Some(poles) if poles.is_empty() => {
+            return Err(VectorFitError::invalid("initial_poles must be non-empty"));
+        }
+        Some(poles) => flip_unstable(poles),
+        None => {
+            if opts.poles_per_column == 0 {
+                return Err(VectorFitError::invalid("poles_per_column must be positive"));
+            }
+            initial_poles(w_lo, w_hi, opts.poles_per_column, opts.initial_damping)
+        }
+    };
+    let nb = coefficient_count(&start_poles); // real coefficients per pole set
     let sigma_cols = nb * p + if opts.fit_d { p } else { 0 } + nb;
     if 2 * k_samples * p < sigma_cols {
         return Err(VectorFitError::invalid(format!(
@@ -67,15 +111,12 @@ pub fn vector_fit(
             2 * k_samples * p
         )));
     }
-    let omegas = samples.omegas();
-    let w_lo = omegas[0].max(omegas[omegas.len() - 1] * 1e-4);
-    let w_hi = omegas[omegas.len() - 1];
 
     let mut columns = Vec::with_capacity(p);
     let mut d = Matrix::<f64>::zeros(p, p);
     for j in 0..p {
         let responses = samples.column_responses(j); // K x p complex
-        let mut poles = initial_poles(w_lo, w_hi, opts.poles_per_column, opts.initial_damping);
+        let mut poles = start_poles.clone();
         for _ in 0..opts.iterations {
             let sigma = sigma_stage(omegas, &responses, &poles, opts.fit_d)?;
             poles = relocate_poles(&poles, &sigma)?;
@@ -378,6 +419,55 @@ mod tests {
         assert!(vector_fit(&samples, &VectorFitOptions::new(4).with_iterations(0)).is_err());
         // Far too many poles for the sample count.
         assert!(vector_fit(&samples, &VectorFitOptions::new(60)).is_err());
+    }
+
+    #[test]
+    fn flip_unstable_mirrors_into_left_half_plane() {
+        let flipped = flip_unstable(&[
+            Pole::Real(2.0),
+            Pole::Real(-3.0),
+            Pole::Pair { re: 0.5, im: 4.0 },
+            Pole::Pair { re: -0.1, im: 1.0 },
+        ]);
+        assert!(flipped.iter().all(Pole::is_stable), "{flipped:?}");
+        assert_eq!(flipped[1], Pole::Real(-3.0)); // stable poles untouched
+        assert_eq!(flipped[3], Pole::Pair { re: -0.1, im: 1.0 });
+        assert!(matches!(flipped[0], Pole::Real(re) if (re + 2.0).abs() < 1e-12));
+        assert!(matches!(flipped[2], Pole::Pair { re, im }
+            if (re + 0.5).abs() < 1e-12 && (im - 4.0).abs() < 1e-12));
+        // A marginal pole on the axis gets a strictly negative real part.
+        assert!(flip_unstable(&[Pole::Real(0.0), Pole::Real(-1.0)])[0].is_stable());
+    }
+
+    #[test]
+    fn explicit_initial_poles_are_used_and_stabilized() {
+        let reference = generate_case(&CaseSpec::new(8, 2).with_seed(3)).unwrap();
+        let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 120).unwrap();
+        // Deliberately unstable starts: flipping must rescue the fit.
+        let starts = vec![
+            Pole::Pair { re: 0.05, im: 0.5 },
+            Pole::Pair { re: 0.05, im: 2.0 },
+            Pole::Pair { re: -0.1, im: 5.0 },
+            Pole::Pair { re: 0.02, im: 9.0 },
+        ];
+        let opts = VectorFitOptions::new(0).with_initial_poles(starts).with_iterations(8);
+        let fit = vector_fit(&samples, &opts).unwrap();
+        assert!(fit.rms_error < 1e-6, "rms {}", fit.rms_error);
+        // Empty explicit starts are rejected.
+        assert!(vector_fit(&samples, &VectorFitOptions::new(4).with_initial_poles(vec![]))
+            .is_err());
+    }
+
+    #[test]
+    fn state_space_conversion_matches_model() {
+        let reference = generate_case(&CaseSpec::new(8, 2).with_seed(6)).unwrap();
+        let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 100).unwrap();
+        let fit = vector_fit(&samples, &VectorFitOptions::new(6)).unwrap();
+        let ss = fit.state_space();
+        assert_eq!(ss.ports(), 2);
+        assert_eq!(ss.order(), fit.model.order());
+        let s = C64::from_imag(2.4);
+        assert!((&fit.model.eval(s) - &ss.transfer(s)).max_abs() < 1e-11);
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Vector Fitting tuning knobs.
 
+use pheig_model::Pole;
+
 /// Options for [`crate::vector_fit`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct VectorFitOptions {
     /// Number of poles fitted per port column (complex pairs preferred;
-    /// an odd count adds one real pole).
+    /// an odd count adds one real pole). Ignored when
+    /// [`VectorFitOptions::initial_poles`] supplies explicit starts.
     pub poles_per_column: usize,
     /// Pole-relocation iterations (3–10 typical).
     pub iterations: usize,
@@ -12,13 +15,24 @@ pub struct VectorFitOptions {
     pub initial_damping: f64,
     /// Whether to fit a constant (direct coupling) term per column.
     pub fit_d: bool,
+    /// Explicit starting poles shared by every column (e.g. from a prior
+    /// fit of a related structure). Unstable entries are flipped into the
+    /// left half plane before use ([`crate::fit::flip_unstable`]), so a
+    /// start set harvested from a raw eigenvalue computation is safe.
+    pub initial_poles: Option<Vec<Pole>>,
 }
 
 impl VectorFitOptions {
     /// Defaults: 10 poles/column, 6 relocation iterations, 1% starting
     /// damping, constant term fitted.
     pub fn new(poles_per_column: usize) -> Self {
-        VectorFitOptions { poles_per_column, iterations: 6, initial_damping: 0.01, fit_d: true }
+        VectorFitOptions {
+            poles_per_column,
+            iterations: 6,
+            initial_damping: 0.01,
+            fit_d: true,
+            initial_poles: None,
+        }
     }
 
     /// Sets the relocation iteration count.
@@ -30,6 +44,12 @@ impl VectorFitOptions {
     /// Disables the constant term (for strictly proper responses).
     pub fn without_d(mut self) -> Self {
         self.fit_d = false;
+        self
+    }
+
+    /// Supplies explicit starting poles (stabilized automatically).
+    pub fn with_initial_poles(mut self, poles: Vec<Pole>) -> Self {
+        self.initial_poles = Some(poles);
         self
     }
 }
@@ -45,5 +65,8 @@ mod tests {
         assert_eq!(o.iterations, 3);
         assert!(!o.fit_d);
         assert!(o.initial_damping > 0.0);
+        assert!(o.initial_poles.is_none());
+        let o = o.with_initial_poles(vec![Pole::Real(-1.0)]);
+        assert_eq!(o.initial_poles.as_deref(), Some(&[Pole::Real(-1.0)][..]));
     }
 }

@@ -1,0 +1,77 @@
+//! The full macromodeling pipeline on a Touchstone deck: parse (with unit
+//! conversion and the 2-port ordering quirk), vector-fit, characterize
+//! passivity via the multi-shift Hamiltonian sweep, enforce, and print the
+//! per-stage [`pheig::PipelineReport`].
+//!
+//! The deck itself is synthesized by sampling a reference model with
+//! deliberate passivity violations and exporting it with
+//! `write_touchstone` — the pipeline only ever sees the deck text, exactly
+//! as it would a solver/VNA export.
+//!
+//! Run with `cargo run --release --example touchstone_pipeline`.
+
+use pheig::model::generator::{generate_case, CaseSpec};
+use pheig::model::touchstone::{write_touchstone, DataFormat, FreqUnit, ParameterKind, TouchstoneOptions};
+use pheig::model::FrequencySamples;
+use pheig::{run_batch, Pipeline, PipelineOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Step 0: a Touchstone deck ------------------------------------
+    // Reference "device" with two unit-singular-value crossings (the
+    // canonical non-passive demo case); its sampled scattering matrix is
+    // exported as a MHz / RI deck.
+    let reference = generate_case(&CaseSpec::demo_nonpassive())?;
+    let samples = FrequencySamples::from_model(&reference, 0.01, 13.0, 200)?;
+    let deck_text = write_touchstone(
+        &samples,
+        &TouchstoneOptions {
+            unit: FreqUnit::MHz,
+            kind: ParameterKind::Scattering,
+            format: DataFormat::RealImag,
+            resistance: 50.0,
+        },
+    );
+    let deck_path = std::env::temp_dir().join("pheig_touchstone_pipeline.s2p");
+    std::fs::write(&deck_path, &deck_text)?;
+    println!("step 0: wrote {} ({} samples, 2 ports, MHz/RI)", deck_path.display(), samples.len());
+
+    // ---- Steps 1-4 in one call ----------------------------------------
+    // Parse (port count from the .s2p extension, frequencies converted
+    // from the deck's MHz unit back to rad/s) -> vector fit -> realization
+    // -> multi-shift sweep -> characterize -> enforce -> re-verify.
+    let pipeline = Pipeline::from_touchstone_path(&deck_path)?;
+    let out = pipeline.run(&PipelineOptions::default())?;
+    println!("\npipeline report:\n{}\n", out.report);
+    assert_eq!(
+        out.report.residual_violations(),
+        0,
+        "enforced model must have zero residual violation bands"
+    );
+
+    // ---- Batch mode ----------------------------------------------------
+    // Many decks through the same flow on a small worker pool; each worker
+    // reuses one solver workspace across its whole share of the batch.
+    let mut jobs = vec![pipeline];
+    for seed in [55u64, 56] {
+        let passive =
+            generate_case(&CaseSpec::new(12, 2).with_seed(seed).with_target_crossings(0))?;
+        let s = FrequencySamples::from_model(&passive, 0.01, 12.0, 160)?;
+        jobs.push(Pipeline::from_samples(s));
+    }
+    let results = run_batch(&jobs, &PipelineOptions::default(), 2);
+    println!("batch: {} job(s) on 2 workers", results.len());
+    for (k, result) in results.iter().enumerate() {
+        let model = result.as_ref().map_err(|e| e.to_string())?;
+        println!(
+            "  job {k}: order {}, {} crossing(s) before, {} band(s) after, enforcement {}",
+            model.report.fit.order,
+            model.report.sweep.crossings,
+            model.report.residual_violations(),
+            if model.report.enforcement.is_some() { "ran" } else { "skipped" },
+        );
+        assert_eq!(model.report.residual_violations(), 0);
+    }
+
+    std::fs::remove_file(&deck_path).ok();
+    Ok(())
+}

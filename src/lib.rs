@@ -18,29 +18,44 @@
 //!   ([`arnoldi`]);
 //! * the paper's contribution: serial bisection and *parallel multi-shift*
 //!   drivers locating all purely imaginary Hamiltonian eigenvalues, plus
-//!   passivity characterization and enforcement ([`core`]).
+//!   passivity characterization and enforcement ([`core`]);
+//! * the end-to-end tool flow chaining all of the above behind one entry
+//!   point ([`Pipeline`]): Touchstone deck in, fitted and
+//!   passivity-enforced macromodel out, with per-stage diagnostics.
 //!
 //! ## Quickstart
 //!
+//! The paper's workflow starts from tabulated frequency data — a
+//! Touchstone deck — and ends at a passive macromodel:
+//!
 //! ```
-//! use pheig::model::generator::{CaseSpec, generate_case};
-//! use pheig::core::characterization::characterize;
-//! use pheig::core::solver::{SolverOptions, find_imaginary_eigenvalues};
+//! use pheig::{Pipeline, PipelineOptions};
+//! # use pheig::model::generator::{CaseSpec, generate_case};
+//! # use pheig::model::touchstone::{write_touchstone, TouchstoneOptions};
+//! # use pheig::model::FrequencySamples;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Build a small synthetic interconnect macromodel (n states, p ports).
-//! let model = generate_case(&CaseSpec::new(40, 4).with_seed(7))?;
-//! let ss = model.realize();
+//! # // Stand-in for a measured deck: sample a small synthetic model.
+//! # let reference = generate_case(&CaseSpec::new(12, 2).with_seed(55))?;
+//! # let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 160)?;
+//! # let deck_text = write_touchstone(&samples, &TouchstoneOptions::default());
+//! // Parse a Touchstone deck (from text here; `from_touchstone_path`
+//! // reads an `.sNp` file and infers the port count), then fit, check,
+//! // and — when violations exist — enforce in one call.
+//! let out = Pipeline::from_touchstone(&deck_text, None)?
+//!     .run(&PipelineOptions::default())?;
 //!
-//! // Locate all purely imaginary Hamiltonian eigenvalues.
-//! let outcome = find_imaginary_eigenvalues(&ss, &SolverOptions::default())?;
-//!
-//! // Turn them into a passivity report with violation bands.
-//! let report = characterize(&model, &outcome.frequencies)?;
-//! println!("passive: {}", report.is_passive());
+//! println!("{}", out.report); // per-stage diagnostics
+//! assert_eq!(out.report.residual_violations(), 0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The stages are just as usable on their own — `vectorfit::vector_fit`,
+//! `core::solver::find_imaginary_eigenvalues`,
+//! `core::characterization::characterize`, and
+//! `core::enforcement::enforce_passivity` compose through plain data types
+//! (see `examples/quickstart.rs` for the stage-by-stage version).
 
 pub use pheig_arnoldi as arnoldi;
 pub use pheig_core as core;
@@ -48,3 +63,7 @@ pub use pheig_hamiltonian as hamiltonian;
 pub use pheig_linalg as linalg;
 pub use pheig_model as model;
 pub use pheig_vectorfit as vectorfit;
+
+pub use pheig_core::pipeline::{
+    run_batch, PassiveModel, Pipeline, PipelineOptions, PipelineReport,
+};

@@ -14,8 +14,7 @@ use pheig::vectorfit::{vector_fit, VectorFitOptions};
 #[test]
 fn samples_to_passive_model() {
     // Reference "device" with deliberate passivity violations.
-    let reference =
-        generate_case(&CaseSpec::new(16, 2).with_seed(101).with_target_crossings(2).with_damping(0.02, 0.09)).unwrap();
+    let reference = generate_case(&CaseSpec::demo_nonpassive()).unwrap();
     let samples = FrequencySamples::from_model(&reference, 0.01, 13.0, 200).unwrap();
 
     // Identification.
@@ -71,7 +70,13 @@ fn facade_reexports_are_wired() {
     let _ = pheig::model::Pole::Real(-1.0);
     let _ = pheig::arnoldi::SingleShiftOptions::default();
     let _ = pheig::core::SolverOptions::default();
-    let ss = generate_case(&CaseSpec::new(6, 2).with_seed(1)).unwrap().realize();
+    let _ = pheig::vectorfit::VectorFitOptions::new(4);
+    // Pipeline types are re-exported at the crate root.
+    let _ = pheig::PipelineOptions::default();
+    let reference = generate_case(&CaseSpec::new(6, 2).with_seed(1)).unwrap();
+    let samples = FrequencySamples::from_model(&reference, 0.1, 10.0, 40).unwrap();
+    let _ = pheig::Pipeline::from_samples(samples);
+    let ss = reference.realize();
     let m = pheig::hamiltonian::dense_hamiltonian(&ss).unwrap();
     assert_eq!(m.rows(), 12);
 }

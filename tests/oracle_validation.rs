@@ -7,8 +7,10 @@ use pheig::core::solver::{find_imaginary_eigenvalues, SolverOptions};
 use pheig::hamiltonian::dense_hamiltonian;
 use pheig::linalg::eig::eig_real;
 use pheig::model::generator::{generate_case, CaseSpec};
+use pheig::model::touchstone::{write_touchstone, TouchstoneOptions};
 use pheig::model::transfer::sigma_max;
-use pheig::model::StateSpace;
+use pheig::model::{FrequencySamples, StateSpace};
+use pheig::{Pipeline, PipelineOptions};
 
 fn oracle_crossings(ss: &StateSpace) -> Vec<f64> {
     let m = dense_hamiltonian(ss).unwrap();
@@ -98,6 +100,44 @@ fn crossings_alternate_sigma_sides() {
     }
     // The final interval must be passive (sigma(inf) = sigma(D) < 1).
     assert!(!signs.last().unwrap());
+}
+
+#[test]
+fn pipeline_output_is_passive_by_dense_oracle() {
+    // Differential test of the whole pipeline: enforcement reports success
+    // through the multi-shift sweep, but here the enforced model is
+    // re-verified against the *independent* dense O(n^3) Hamiltonian
+    // eigensolution — the oracle must find no purely imaginary eigenvalues
+    // in the output, rather than trusting the sweep's own report.
+    let reference = generate_case(&CaseSpec::demo_nonpassive()).unwrap();
+    let samples = FrequencySamples::from_model(&reference, 0.01, 13.0, 200).unwrap();
+    let deck = write_touchstone(&samples, &TouchstoneOptions::default());
+
+    let out = Pipeline::from_touchstone(&deck, Some(2))
+        .unwrap()
+        .run(&PipelineOptions::default())
+        .unwrap();
+    assert_eq!(out.report.residual_violations(), 0, "sweep-level report must be clean");
+
+    // The fitted (pre-enforcement) model must inherit the reference's
+    // violations according to the same oracle — otherwise this test could
+    // pass vacuously on a model that was never non-passive.
+    let before = oracle_crossings(&out.fitted.realize());
+    assert!(
+        !before.is_empty(),
+        "fitted model should have imaginary Hamiltonian eigenvalues before enforcement"
+    );
+
+    let after = oracle_crossings(&out.state_space);
+    assert!(
+        after.is_empty(),
+        "dense oracle found residual imaginary eigenvalues after enforcement: {after:?}"
+    );
+    // And the sigma curve agrees: old peak frequencies are at/below 1.
+    for band in &out.report.initial_report.bands {
+        let s = sigma_max(&out.state_space, band.peak_omega).unwrap();
+        assert!(s <= 1.0 + 1e-9, "sigma({}) = {s} after enforcement", band.peak_omega);
+    }
 }
 
 #[test]
