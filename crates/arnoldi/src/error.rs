@@ -61,7 +61,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = ArnoldiError::NoConvergence { restarts: 5, matvecs: 300 };
+        let e = ArnoldiError::NoConvergence {
+            restarts: 5,
+            matvecs: 300,
+        };
         assert!(e.to_string().contains("5 restarts"));
         let e: ArnoldiError = pheig_linalg::LinalgError::Singular { at: 0 }.into();
         assert!(e.source().is_some());

@@ -8,7 +8,7 @@
 
 use pheig_hamiltonian::CLinearOp;
 use pheig_linalg::vector::{axpy, dot, normalize, nrm2};
-use pheig_linalg::{C64, Matrix};
+use pheig_linalg::{Matrix, C64};
 
 /// An Arnoldi factorization of length `m`.
 ///
@@ -108,7 +108,11 @@ impl ArnoldiFactorization {
     pub fn lift_into(&self, y: &[C64], out: &mut [C64]) {
         assert_eq!(y.len(), self.steps, "lift coefficient length mismatch");
         assert!(!self.basis.is_empty(), "lift on an empty factorization");
-        assert_eq!(out.len(), self.basis[0].len(), "lift output length mismatch");
+        assert_eq!(
+            out.len(),
+            self.basis[0].len(),
+            "lift output length mismatch"
+        );
         out.fill(C64::zero());
         for (j, yj) in y.iter().enumerate() {
             axpy(*yj, &self.basis[j], out);
@@ -259,7 +263,9 @@ mod tests {
     fn arnoldi_relation_holds() {
         // Op * V_m == V_{m+1} * H.
         let n = 12;
-        let d: Vec<C64> = (0..n).map(|i| C64::new(i as f64 + 1.0, (i % 3) as f64)).collect();
+        let d: Vec<C64> = (0..n)
+            .map(|i| C64::new(i as f64 + 1.0, (i % 3) as f64))
+            .collect();
         let op = diag_op(&d);
         let fact = arnoldi(&op, &rand_start(n, 1), &[], 6);
         assert_eq!(fact.steps, 6);
@@ -278,14 +284,19 @@ mod tests {
     #[test]
     fn basis_is_orthonormal() {
         let n = 20;
-        let d: Vec<C64> = (0..n).map(|i| C64::new((i as f64).sin() * 3.0, i as f64 * 0.2)).collect();
+        let d: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64).sin() * 3.0, i as f64 * 0.2))
+            .collect();
         let op = diag_op(&d);
         let fact = arnoldi(&op, &rand_start(n, 2), &[], 10);
         for i in 0..fact.basis.len() {
             for j in 0..fact.basis.len() {
                 let g = dot(&fact.basis[i], &fact.basis[j]);
                 let want = if i == j { 1.0 } else { 0.0 };
-                assert!((g - C64::from_real(want)).abs() < 1e-10, "gram({i},{j}) = {g}");
+                assert!(
+                    (g - C64::from_real(want)).abs() < 1e-10,
+                    "gram({i},{j}) = {g}"
+                );
             }
         }
     }
@@ -315,7 +326,10 @@ mod tests {
         let hm = fact.projected();
         let eigs = pheig_linalg::eig::eig_complex(&hm).unwrap();
         for z in eigs {
-            assert!((z - C64::from_real(10.0)).abs() > 0.5, "locked eigenvalue leaked: {z}");
+            assert!(
+                (z - C64::from_real(10.0)).abs() > 0.5,
+                "locked eigenvalue leaked: {z}"
+            );
         }
     }
 

@@ -25,7 +25,13 @@ pub struct SingleShiftOptions {
 impl SingleShiftOptions {
     /// Paper-default options.
     pub fn new() -> Self {
-        SingleShiftOptions { max_subspace: 60, n_eigs: 5, tol: 1e-9, max_restarts: 24, seed: 0 }
+        SingleShiftOptions {
+            max_subspace: 60,
+            n_eigs: 5,
+            tol: 1e-9,
+            max_restarts: 24,
+            seed: 0,
+        }
     }
 
     /// Sets the RNG seed.
@@ -66,7 +72,10 @@ mod tests {
 
     #[test]
     fn builders() {
-        let o = SingleShiftOptions::new().with_seed(9).with_n_eigs(4).with_max_subspace(40);
+        let o = SingleShiftOptions::new()
+            .with_seed(9)
+            .with_n_eigs(4)
+            .with_max_subspace(40);
         assert_eq!(o.seed, 9);
         assert_eq!(o.n_eigs, 4);
         assert_eq!(o.max_subspace, 40);

@@ -2,7 +2,7 @@
 
 use crate::krylov::ArnoldiFactorization;
 use pheig_linalg::eig::eig_with_vectors;
-use pheig_linalg::{C64, LinalgError};
+use pheig_linalg::{LinalgError, C64};
 
 /// A Ritz approximation of an eigenpair of the *operator* (i.e. in the
 /// shift-inverted spectrum when the operator is a [`pheig_hamiltonian::ShiftInvertOp`]).
@@ -73,13 +73,19 @@ mod tests {
         let n = 30;
         let d: Vec<C64> = (0..n).map(|i| C64::from_real(1.0 + i as f64)).collect();
         let op = Matrix::from_diag(&d);
-        let start: Vec<C64> = (0..n).map(|i| C64::new(1.0, (i as f64 * 0.37).sin())).collect();
+        let start: Vec<C64> = (0..n)
+            .map(|i| C64::new(1.0, (i as f64 * 0.37).sin()))
+            .collect();
         let fact = arnoldi(&op, &start, &[], 25);
         let pairs = ritz_pairs(&fact).unwrap();
         // Top Ritz value approximates 30 (the dominant eigenvalue). With a
         // 25-step space over a 30-point spectrum the residual is small but
         // not at machine precision.
-        assert!((pairs[0].mu - C64::from_real(30.0)).abs() < 1e-4, "mu0 = {}", pairs[0].mu);
+        assert!(
+            (pairs[0].mu - C64::from_real(30.0)).abs() < 1e-4,
+            "mu0 = {}",
+            pairs[0].mu
+        );
         assert!(pairs[0].residual < 1e-3);
     }
 
@@ -87,7 +93,9 @@ mod tests {
     fn residual_is_exact_for_lifted_vector() {
         // ||Op v - mu v|| must equal the beta * |y_m| estimate.
         let n = 16;
-        let d: Vec<C64> = (0..n).map(|i| C64::new((i as f64) - 4.0, (i % 5) as f64)).collect();
+        let d: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64) - 4.0, (i % 5) as f64))
+            .collect();
         let op = Matrix::from_diag(&d);
         let start: Vec<C64> = (0..n).map(|i| C64::new((i as f64).cos(), 0.3)).collect();
         let fact = arnoldi(&op, &start, &[], 8);
@@ -123,9 +131,17 @@ mod tests {
 
     #[test]
     fn mapped_error_scales_with_inverse_square() {
-        let p = RitzPair { mu: C64::from_real(10.0), residual: 1e-6, y: vec![] };
+        let p = RitzPair {
+            mu: C64::from_real(10.0),
+            residual: 1e-6,
+            y: vec![],
+        };
         assert!((p.mapped_error_estimate() - 1e-8).abs() < 1e-20);
-        let p0 = RitzPair { mu: C64::zero(), residual: 1.0, y: vec![] };
+        let p0 = RitzPair {
+            mu: C64::zero(),
+            residual: 1.0,
+            y: vec![],
+        };
         assert!(p0.mapped_error_estimate().is_infinite());
     }
 

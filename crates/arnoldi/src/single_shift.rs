@@ -85,7 +85,15 @@ pub fn single_shift_on_op(
     scale: f64,
     opts: &SingleShiftOptions,
 ) -> Result<SingleShiftOutcome, ArnoldiError> {
-    single_shift_on_op_with(op, map, theta, rho0, scale, opts, &mut ArnoldiWorkspace::new())
+    single_shift_on_op_with(
+        op,
+        map,
+        theta,
+        rho0,
+        scale,
+        opts,
+        &mut ArnoldiWorkspace::new(),
+    )
 }
 
 /// [`single_shift_on_op`] with caller-owned scratch: the workspace's
@@ -117,7 +125,12 @@ pub fn single_shift_on_op_with(
     // Collect a couple extra converged eigenvalues beyond n_theta so the
     // radius certificate has a "next eigenvalue" distance to lean on.
     let collect_target = opts.n_eigs + 1;
-    let ArnoldiWorkspace { fact, start, comb, lifted } = ws;
+    let ArnoldiWorkspace {
+        fact,
+        start,
+        comb,
+        lifted,
+    } = ws;
     start.clear();
     start.resize(n, C64::zero());
     comb.clear();
@@ -246,11 +259,18 @@ pub fn single_shift_on_op_with(
             r2 += (z[i] - mu * x[i]).abs_sq();
         }
         let err = r2.sqrt() / mu.abs_sq().max(f64::MIN_POSITIVE);
-        if refined.iter().any(|e| (e.lambda - lambda).abs() <= dedupe_tol) {
+        if refined
+            .iter()
+            .any(|e| (e.lambda - lambda).abs() <= dedupe_tol)
+        {
             continue;
         }
         if err <= 1e3 * tol_abs {
-            refined.push(ConvergedEigenpair { lambda, vector: x, error_estimate: err });
+            refined.push(ConvergedEigenpair {
+                lambda,
+                vector: x,
+                error_estimate: err,
+            });
         } else if err <= 1e7 * tol_abs {
             // The subspace picked up a non-invariant direction: do not
             // return this value, and do not certify past its distance.
@@ -344,9 +364,18 @@ pub fn single_shift_on_op_with(
     let all_converged: Vec<C64> = refined.iter().map(|e| e.lambda).collect();
     // `refined` is already sorted by distance; keep the disk's interior by
     // moving (not cloning) the surviving eigenpairs.
-    let in_disk: Vec<ConvergedEigenpair> =
-        refined.into_iter().filter(|e| (e.lambda - theta).abs() <= radius).collect();
-    Ok(SingleShiftOutcome { theta, radius, in_disk, all_converged, matvecs, restarts })
+    let in_disk: Vec<ConvergedEigenpair> = refined
+        .into_iter()
+        .filter(|e| (e.lambda - theta).abs() <= radius)
+        .collect();
+    Ok(SingleShiftOutcome {
+        theta,
+        radius,
+        in_disk,
+        all_converged,
+        matvecs,
+        restarts,
+    })
 }
 
 /// Runs the single-shift iteration on a macromodel at shift
@@ -394,10 +423,7 @@ pub fn single_shift_iteration_with(
                 nudge *= 16.0;
                 if nudge > scale.max(1.0) {
                     return Err(ArnoldiError::Hamiltonian(
-                        pheig_hamiltonian::HamiltonianError::ShiftSingular {
-                            re: 0.0,
-                            im: omega,
-                        },
+                        pheig_hamiltonian::HamiltonianError::ShiftSingular { re: 0.0, im: omega },
                     ));
                 }
             }
@@ -421,8 +447,9 @@ pub fn largest_eigenvalue_magnitude(
 ) -> Result<f64, ArnoldiError> {
     let n = op.dim();
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x1234_5678);
-    let mut start: Vec<C64> =
-        (0..n).map(|_| C64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)).collect();
+    let mut start: Vec<C64> = (0..n)
+        .map(|_| C64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+        .collect();
     let mut best = 0.0f64;
     let mut matvecs = 0usize;
     let d = opts.max_subspace.min(n).max(2);
@@ -487,15 +514,29 @@ mod tests {
         let theta = out.theta;
         // (a) Every returned eigenvalue matches an oracle eigenvalue.
         for e in &out.in_disk {
-            let best = oracle.iter().map(|z| (*z - e.lambda).abs()).fold(f64::INFINITY, f64::min);
-            assert!(best < 1e-6 * scale, "returned {} is not an eigenvalue (err {best})", e.lambda);
+            let best = oracle
+                .iter()
+                .map(|z| (*z - e.lambda).abs())
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                best < 1e-6 * scale,
+                "returned {} is not an eigenvalue (err {best})",
+                e.lambda
+            );
         }
         // (b) Certification: every oracle eigenvalue strictly inside the
         // disk is present in the returned set.
         for z in &oracle {
             if (*z - theta).abs() < out.radius * 0.999 {
-                let found = out.in_disk.iter().any(|e| (e.lambda - *z).abs() < 1e-6 * scale);
-                assert!(found, "oracle eigenvalue {z} inside disk (r={}) missed", out.radius);
+                let found = out
+                    .in_disk
+                    .iter()
+                    .any(|e| (e.lambda - *z).abs() < 1e-6 * scale);
+                assert!(
+                    found,
+                    "oracle eigenvalue {z} inside disk (r={}) missed",
+                    out.radius
+                );
             }
         }
     }
@@ -512,10 +553,14 @@ mod tests {
         for e in &out.in_disk {
             let av = m_dense.matvec(&e.vector);
             let mut resid = 0.0f64;
-            for i in 0..av.len() {
-                resid = resid.max((av[i] - e.lambda * e.vector[i]).abs());
+            for (avi, vi) in av.iter().zip(&e.vector) {
+                resid = resid.max((*avi - e.lambda * *vi).abs());
             }
-            assert!(resid < 1e-6 * scale, "eigenvector residual {resid} for {}", e.lambda);
+            assert!(
+                resid < 1e-6 * scale,
+                "eigenvector residual {resid} for {}",
+                e.lambda
+            );
         }
     }
 
@@ -523,14 +568,15 @@ mod tests {
     fn shift_at_zero_frequency_works() {
         let model = generate_case(&CaseSpec::new(14, 2).with_seed(7)).unwrap();
         let ss = model.realize();
-        let out =
-            single_shift_iteration(&ss, 0.0, 1.0, 12.0, &SingleShiftOptions::new()).unwrap();
+        let out = single_shift_iteration(&ss, 0.0, 1.0, 12.0, &SingleShiftOptions::new()).unwrap();
         assert!(!out.in_disk.is_empty());
         // Spectrum symmetry: at theta = 0 the found set should be closed
         // under negation (lambda and -lambda are equidistant).
         for e in &out.in_disk {
-            let has_partner =
-                out.in_disk.iter().any(|f| (f.lambda + e.lambda).abs() < 1e-5 * 12.0);
+            let has_partner = out
+                .in_disk
+                .iter()
+                .any(|f| (f.lambda + e.lambda).abs() < 1e-5 * 12.0);
             assert!(has_partner, "missing -lambda partner of {}", e.lambda);
         }
     }
@@ -571,16 +617,25 @@ mod tests {
         let model =
             generate_case(&CaseSpec::new(16, 2).with_seed(17).with_target_crossings(2)).unwrap();
         let ss = model.realize();
-        let a = single_shift_iteration(&ss, 2.5, 1.0, 12.0, &SingleShiftOptions::new().with_seed(1))
-            .unwrap();
-        let b = single_shift_iteration(&ss, 2.5, 1.0, 12.0, &SingleShiftOptions::new().with_seed(2))
-            .unwrap();
+        let a =
+            single_shift_iteration(&ss, 2.5, 1.0, 12.0, &SingleShiftOptions::new().with_seed(1))
+                .unwrap();
+        let b =
+            single_shift_iteration(&ss, 2.5, 1.0, 12.0, &SingleShiftOptions::new().with_seed(2))
+                .unwrap();
         // Compare the sets of eigenvalues found inside the *smaller* disk.
         let r = a.radius.min(b.radius) * 0.999;
-        let sa: Vec<C64> =
-            a.in_disk.iter().filter(|e| (e.lambda - a.theta).abs() < r).map(|e| e.lambda).collect();
+        let sa: Vec<C64> = a
+            .in_disk
+            .iter()
+            .filter(|e| (e.lambda - a.theta).abs() < r)
+            .map(|e| e.lambda)
+            .collect();
         for z in &sa {
-            let matched = b.in_disk.iter().any(|e| (e.lambda - *z).abs() < 1e-5 * 12.0);
+            let matched = b
+                .in_disk
+                .iter()
+                .any(|e| (e.lambda - *z).abs() < 1e-5 * 12.0);
             assert!(matched, "seed-dependent eigenvalue set: {z} missing");
         }
     }

@@ -14,15 +14,21 @@ use pheig_core::solver::SolverOptions;
 use pheig_model::generator::{generate_case, CaseSpec};
 
 fn main() {
-    let model = generate_case(&CaseSpec::new(420, 10).with_seed(7).with_target_crossings(10))
-        .expect("case generation");
+    let model = generate_case(
+        &CaseSpec::new(420, 10)
+            .with_seed(7)
+            .with_target_crossings(10),
+    )
+    .expect("case generation");
     let ss = model.realize();
     let opts = SolverOptions::default();
     let threads = 8;
 
     let dynamic =
         simulate_parallel(&ss, threads, &opts, ScheduleMode::Dynamic).expect("dynamic sim");
-    println!("# Sec. IV ablation: dynamic scheduling vs static pre-distributed grids (T = {threads})");
+    println!(
+        "# Sec. IV ablation: dynamic scheduling vs static pre-distributed grids (T = {threads})"
+    );
     println!(
         "# {:<16} {:>8} {:>10} {:>10} {:>9} {:>8}",
         "mode", "shifts", "work", "makespan", "speedup", "deleted"
@@ -38,13 +44,8 @@ fn main() {
     );
     for factor in [1usize, 2, 4, 8] {
         let n_shifts = dynamic.shifts_processed * factor;
-        let sim = simulate_parallel(
-            &ss,
-            threads,
-            &opts,
-            ScheduleMode::StaticGrid { n_shifts },
-        )
-        .expect("static sim");
+        let sim = simulate_parallel(&ss, threads, &opts, ScheduleMode::StaticGrid { n_shifts })
+            .expect("static sim");
         // Sanity: the static grid still finds the same spectrum.
         assert_eq!(sim.frequencies.len(), dynamic.frequencies.len());
         println!(

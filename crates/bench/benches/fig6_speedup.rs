@@ -21,12 +21,17 @@ fn main() {
     let (order, ports, runs) = if full { (2240, 56, 5) } else { (560, 14, 5) };
     println!("# Fig. 6 reproduction: Case-5-class model, n = {order}, p = {ports}, {runs} runs");
     let model = generate_case(
-        &CaseSpec::new(order, ports).with_seed(1004).with_target_crossings(22 * order / 2240),
+        &CaseSpec::new(order, ports)
+            .with_seed(1004)
+            .with_target_crossings(22 * order / 2240),
     )
     .expect("case generation");
     let ss = model.realize();
 
-    println!("# {:>3} {:>9} {:>9} {:>9} | {:>6}", "T", "mean", "std", "ideal", "shifts");
+    println!(
+        "# {:>3} {:>9} {:>9} {:>9} | {:>6}",
+        "T", "mean", "std", "ideal", "shifts"
+    );
     let thread_counts: Vec<usize> = (1..=16).collect();
     // Per-seed serial reference cost (the tau_1 of that run).
     let mut serial_costs = Vec::new();
@@ -38,14 +43,18 @@ fn main() {
     for &t in &thread_counts {
         let mut speedups = Vec::new();
         let mut shifts = 0usize;
-        for seed in 0..runs {
+        for (seed, &serial_cost) in serial_costs.iter().enumerate() {
             let opts = SolverOptions::default().with_seed(seed as u64);
             let sim = simulate_parallel(&ss, t, &opts, ScheduleMode::Dynamic).expect("sim");
-            speedups.push(sim.speedup_vs(serial_costs[seed]));
+            speedups.push(sim.speedup_vs(serial_cost));
             shifts += sim.shifts_processed;
         }
         let mean = speedups.iter().sum::<f64>() / runs as f64;
-        let var = speedups.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / runs as f64;
+        let var = speedups
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / runs as f64;
         println!(
             "{:>5} {:>9.3} {:>9.3} {:>9.1} | {:>6.1}",
             t,

@@ -15,10 +15,13 @@ fn bench_shift_invert_apply(c: &mut Criterion) {
     let mut group = c.benchmark_group("shift_invert_apply");
     group.sample_size(20);
     for &n in &[250usize, 500, 1000, 2000, 4000] {
-        let ss = generate_case(&CaseSpec::new(n, 20).with_seed(1)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(n, 20).with_seed(1))
+            .unwrap()
+            .realize();
         let op = ShiftInvertOp::new(&ss, C64::from_imag(3.0)).unwrap();
-        let x: Vec<C64> =
-            (0..op.dim()).map(|i| C64::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos())).collect();
+        let x: Vec<C64> = (0..op.dim())
+            .map(|i| C64::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos()))
+            .collect();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(op.apply(black_box(&x))));
@@ -31,9 +34,13 @@ fn bench_hamiltonian_matvec(c: &mut Criterion) {
     let mut group = c.benchmark_group("hamiltonian_matvec");
     group.sample_size(20);
     for &n in &[500usize, 1000, 2000, 4000] {
-        let ss = generate_case(&CaseSpec::new(n, 20).with_seed(1)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(n, 20).with_seed(1))
+            .unwrap()
+            .realize();
         let op = HamiltonianOp::new(&ss).unwrap();
-        let x: Vec<C64> = (0..op.dim()).map(|i| C64::new(1.0, i as f64 * 1e-3)).collect();
+        let x: Vec<C64> = (0..op.dim())
+            .map(|i| C64::new(1.0, i as f64 * 1e-3))
+            .collect();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(op.apply(black_box(&x))));
@@ -47,7 +54,9 @@ fn bench_shift_setup(c: &mut Criterion) {
     group.sample_size(10);
     // Setup is O(np + p^3): sweep p at fixed n.
     for &p in &[10usize, 20, 40, 80] {
-        let ss = generate_case(&CaseSpec::new(1600, p).with_seed(1)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(1600, p).with_seed(1))
+            .unwrap()
+            .realize();
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
             b.iter(|| black_box(ShiftInvertOp::new(&ss, C64::from_imag(2.0)).unwrap()));
         });
@@ -55,5 +64,10 @@ fn bench_shift_setup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shift_invert_apply, bench_hamiltonian_matvec, bench_shift_setup);
+criterion_group!(
+    benches,
+    bench_shift_invert_apply,
+    bench_hamiltonian_matvec,
+    bench_shift_setup
+);
 criterion_main!(benches);

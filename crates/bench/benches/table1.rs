@@ -58,14 +58,14 @@ fn main() {
         };
         let tau1 = t0.elapsed().as_secs_f64();
         let serial_units: u64 = serial.shift_log.iter().map(|r| r.cost_units).sum();
-        let sim =
-            match simulate_parallel(&ss, 16, &SolverOptions::default(), ScheduleMode::Dynamic) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("{}: simulation failed: {e}", row.name);
-                    continue;
-                }
-            };
+        let sim = match simulate_parallel(&ss, 16, &SolverOptions::default(), ScheduleMode::Dynamic)
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: simulation failed: {e}", row.name);
+                continue;
+            }
+        };
         // Convert the virtual makespan to seconds with the measured
         // serial seconds-per-unit rate.
         let sec_per_unit = tau1 / serial_units.max(1) as f64;

@@ -19,7 +19,10 @@ pub const BAND_MARGIN: f64 = 1.02;
 ///
 /// Returns [`SolverError::BandEstimation`] when the Arnoldi estimate fails
 /// (degenerate models).
-pub fn estimate_band(ss: &StateSpace, opts: &SingleShiftOptions) -> Result<(f64, f64), SolverError> {
+pub fn estimate_band(
+    ss: &StateSpace,
+    opts: &SingleShiftOptions,
+) -> Result<(f64, f64), SolverError> {
     let op = HamiltonianOp::new(ss)?;
     let mag = largest_eigenvalue_magnitude(&op, opts)
         .map_err(|e| SolverError::BandEstimation(e.to_string()))?;
@@ -38,22 +41,32 @@ mod tests {
 
     #[test]
     fn band_covers_the_spectrum() {
-        let ss = generate_case(&CaseSpec::new(14, 2).with_seed(20)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(14, 2).with_seed(20))
+            .unwrap()
+            .realize();
         let (lo, hi) = estimate_band(&ss, &SingleShiftOptions::new()).unwrap();
         assert_eq!(lo, 0.0);
         // Every dense eigenvalue's imaginary part is inside the band.
         let eigs = eig_real(&dense_hamiltonian(&ss).unwrap()).unwrap();
         for z in eigs {
-            assert!(z.im.abs() <= hi * 1.0001, "eigenvalue {z} outside band [0, {hi}]");
+            assert!(
+                z.im.abs() <= hi * 1.0001,
+                "eigenvalue {z} outside band [0, {hi}]"
+            );
         }
     }
 
     #[test]
     fn band_is_tight_within_reason() {
-        let ss = generate_case(&CaseSpec::new(20, 2).with_seed(3)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(20, 2).with_seed(3))
+            .unwrap()
+            .realize();
         let (_, hi) = estimate_band(&ss, &SingleShiftOptions::new()).unwrap();
         let eigs = eig_real(&dense_hamiltonian(&ss).unwrap()).unwrap();
         let max_mag = eigs.iter().map(|z| z.abs()).fold(0.0, f64::max);
-        assert!(hi <= max_mag * 1.5, "band {hi} vs largest magnitude {max_mag}");
+        assert!(
+            hi <= max_mag * 1.5,
+            "band {hi} vs largest magnitude {max_mag}"
+        );
     }
 }

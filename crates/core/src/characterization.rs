@@ -80,12 +80,18 @@ pub fn characterize(
     crossings: &[f64],
 ) -> Result<PassivityReport, LinalgError> {
     let crossings: Vec<f64> = crossings.to_vec();
-    let sigma_at_crossings =
-        crossings.iter().map(|&w| sigma_max(model, w)).collect::<Result<Vec<_>, _>>()?;
+    let sigma_at_crossings = crossings
+        .iter()
+        .map(|&w| sigma_max(model, w))
+        .collect::<Result<Vec<_>, _>>()?;
     if crossings.is_empty() {
         // No crossings: sigma never touches 1, and sigma(inf) < 1, so the
         // model is passive everywhere.
-        return Ok(PassivityReport { crossings, bands: Vec::new(), sigma_at_crossings });
+        return Ok(PassivityReport {
+            crossings,
+            bands: Vec::new(),
+            sigma_at_crossings,
+        });
     }
     // Interval boundaries: 0, crossings..., and a representative point
     // beyond the last crossing (the curve there decays to sigma(D) < 1).
@@ -132,7 +138,12 @@ pub fn characterize(
             // The band's upper edge is the crossing, except for the open
             // tail interval, which cannot violate (checked by sigma(D) < 1
             // at construction) but is reported defensively if it does.
-            bands.push(ViolationBand { lo, hi, peak_sigma, peak_omega });
+            bands.push(ViolationBand {
+                lo,
+                hi,
+                peak_sigma,
+                peak_omega,
+            });
         }
     }
     // The synthetic tail edge is not a real crossing; clamp its band (if
@@ -142,7 +153,11 @@ pub fn characterize(
             b.hi = f64::INFINITY;
         }
     }
-    Ok(PassivityReport { crossings, bands, sigma_at_crossings })
+    Ok(PassivityReport {
+        crossings,
+        bands,
+        sigma_at_crossings,
+    })
 }
 
 #[cfg(test)]
@@ -153,8 +168,8 @@ mod tests {
 
     #[test]
     fn passive_model_reports_passive() {
-        let model = generate_case(&CaseSpec::new(20, 2).with_seed(8).with_target_crossings(0))
-            .unwrap();
+        let model =
+            generate_case(&CaseSpec::new(20, 2).with_seed(8).with_target_crossings(0)).unwrap();
         let ss = model.realize();
         let out = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
         let report = characterize(&model, &out.frequencies).unwrap();
@@ -165,8 +180,8 @@ mod tests {
 
     #[test]
     fn nonpassive_model_bands_bracket_sigma_peaks() {
-        let model = generate_case(&CaseSpec::new(24, 2).with_seed(31).with_target_crossings(4))
-            .unwrap();
+        let model =
+            generate_case(&CaseSpec::new(24, 2).with_seed(31).with_target_crossings(4)).unwrap();
         let ss = model.realize();
         let out = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
         let report = characterize(&model, &out.frequencies).unwrap();
@@ -193,8 +208,8 @@ mod tests {
 
     #[test]
     fn empty_crossings_shortcut() {
-        let model = generate_case(&CaseSpec::new(12, 2).with_seed(1).with_target_crossings(0))
-            .unwrap();
+        let model =
+            generate_case(&CaseSpec::new(12, 2).with_seed(1).with_target_crossings(0)).unwrap();
         let report = characterize(&model, &[]).unwrap();
         assert!(report.is_passive());
         assert!(report.sigma_at_crossings.is_empty());

@@ -25,12 +25,13 @@
 
 use crate::characterization::{characterize, PassivityReport};
 use crate::error::SolverError;
+use crate::exec::SweepOrigin;
 use crate::solver::{
-    find_imaginary_eigenvalues_with, SolverOptions, SolverOutcome, SolverWorkspace,
+    find_imaginary_eigenvalues_tagged, SolverOptions, SolverOutcome, SolverWorkspace,
 };
 use crate::spectrum::ImaginaryEigenpair;
 use pheig_hamiltonian::build::port_coupling_inverses;
-use pheig_linalg::{C64, Lu, Matrix};
+use pheig_linalg::{Lu, Matrix, C64};
 use pheig_model::StateSpace;
 
 /// Options for [`enforce_passivity`].
@@ -163,7 +164,11 @@ fn sensitivity_row(
 /// second worsens); flattening a shallow residual band barely moves the
 /// severity but lowers the peak (second metric discriminates).
 fn violation_metrics(report: &PassivityReport) -> (f64, f64) {
-    let peak_excess = report.bands.iter().map(|b| (b.peak_sigma - 1.0).max(0.0)).sum::<f64>();
+    let peak_excess = report
+        .bands
+        .iter()
+        .map(|b| (b.peak_sigma - 1.0).max(0.0))
+        .sum::<f64>();
     (report.total_severity(), peak_excess)
 }
 
@@ -205,8 +210,8 @@ fn sigma_descent_row(ss: &StateSpace, omega: f64) -> Result<(Vec<f64>, f64), Sol
         *z = -*z;
     }
     let mut row = vec![0.0f64; p * n];
-    for alpha in 0..p {
-        let ua = u[alpha].conj();
+    for (alpha, u_alpha) in u.iter().enumerate() {
+        let ua = u_alpha.conj();
         let base = alpha * n;
         for beta in 0..n {
             row[base + beta] = (ua * q[beta]).re;
@@ -290,6 +295,10 @@ pub fn enforce_passivity(
     // One workspace serves every eigenvalue sweep of the enforcement loop
     // (the initial characterization, each line-search trial, and the final
     // verification): worker scratch persists across passivity iterations.
+    // With `opts.solver.threads > 1` the re-characterization sweeps are
+    // cohorts on the persistent executor, so the same pool (and its pooled
+    // worker scratch) also persists across iterations — no per-sweep
+    // thread spawning.
     enforce_passivity_with(ss, opts, &mut SolverWorkspace::new())
 }
 
@@ -353,7 +362,12 @@ fn enforce_once(
     let (mut outcome, initial_report) = match seed {
         Some((outcome, report)) => (outcome.clone(), report.clone()),
         None => {
-            let outcome = find_imaginary_eigenvalues_with(&current, &opts.solver, solver_ws)?;
+            let outcome = find_imaginary_eigenvalues_tagged(
+                &current,
+                &opts.solver,
+                solver_ws,
+                SweepOrigin::Enforcement,
+            )?;
             let report = characterize(&current, &outcome.frequencies)?;
             (outcome, report)
         }
@@ -376,7 +390,13 @@ fn enforce_once(
                 report.max_sigma()
             );
             for b in &report.bands {
-                eprintln!("  band [{:.8}, {:.8}] width {:.3e} peak {:.7}", b.lo, b.hi, b.width(), b.peak_sigma);
+                eprintln!(
+                    "  band [{:.8}, {:.8}] width {:.3e} peak {:.7}",
+                    b.lo,
+                    b.hi,
+                    b.width(),
+                    b.peak_sigma
+                );
             }
         }
         if report.is_passive() {
@@ -473,9 +493,7 @@ fn enforce_once(
         let m = targets.len() + sigma_rows.len();
         let mut g = Matrix::<f64>::zeros(m, p * n);
         let mut rhs = vec![0.0f64; m];
-        for (row_idx, (row, delta)) in
-            targets.into_iter().chain(sigma_rows.into_iter()).enumerate()
-        {
+        for (row_idx, (row, delta)) in targets.into_iter().chain(sigma_rows).enumerate() {
             for (j, v) in row.into_iter().enumerate() {
                 g[(row_idx, j)] = v;
             }
@@ -486,7 +504,10 @@ fn enforce_once(
         // scales; normalize each constraint so the least-norm compromise is
         // balanced.
         for i in 0..m {
-            let nrm = (0..p * n).map(|j| g[(i, j)] * g[(i, j)]).sum::<f64>().sqrt();
+            let nrm = (0..p * n)
+                .map(|j| g[(i, j)] * g[(i, j)])
+                .sum::<f64>()
+                .sqrt();
             if nrm > 0.0 {
                 let inv = 1.0 / nrm;
                 for j in 0..p * n {
@@ -539,7 +560,12 @@ fn enforce_once(
                     }
                 }
             }
-            let trial_outcome = find_imaginary_eigenvalues_with(&trial, &opts.solver, solver_ws)?;
+            let trial_outcome = find_imaginary_eigenvalues_tagged(
+                &trial,
+                &opts.solver,
+                solver_ws,
+                SweepOrigin::Enforcement,
+            )?;
             let trial_report = characterize(&trial, &trial_outcome.frequencies)?;
             if opts.trace {
                 eprintln!(
@@ -551,7 +577,8 @@ fn enforce_once(
                     severity.1
                 );
             }
-            if trial_report.is_passive() || is_progress(violation_metrics(&trial_report), severity) {
+            if trial_report.is_passive() || is_progress(violation_metrics(&trial_report), severity)
+            {
                 accepted = Some((trial, trial_outcome, trial_report));
                 break;
             }
@@ -630,7 +657,10 @@ mod tests {
             .iter()
             .copied()
             .min_by(|a, b| {
-                (a - pair.omega).abs().partial_cmp(&(b - pair.omega).abs()).unwrap()
+                (a - pair.omega)
+                    .abs()
+                    .partial_cmp(&(b - pair.omega).abs())
+                    .unwrap()
             })
             .expect("crossing persists under a tiny perturbation");
         let actual = (new_omega - pair.omega) / h;
@@ -642,9 +672,14 @@ mod tests {
 
     #[test]
     fn enforcement_produces_passive_model() {
-        let ss = generate_case(&CaseSpec::new(16, 2).with_seed(5).with_target_crossings(2).with_damping(0.02, 0.09))
-            .unwrap()
-            .realize();
+        let ss = generate_case(
+            &CaseSpec::new(16, 2)
+                .with_seed(5)
+                .with_target_crossings(2)
+                .with_damping(0.02, 0.09),
+        )
+        .unwrap()
+        .realize();
         let out = enforce_passivity(&ss, &EnforcementOptions::default()).unwrap();
         assert!(!out.initial_report.is_passive());
         assert!(out.final_report.is_passive());
@@ -655,14 +690,23 @@ mod tests {
         // Confirm passivity independently: no imaginary eigenvalues remain.
         let check =
             find_imaginary_eigenvalues(&out.state_space, &SolverOptions::default()).unwrap();
-        assert!(check.frequencies.is_empty(), "residual crossings {:?}", check.frequencies);
+        assert!(
+            check.frequencies.is_empty(),
+            "residual crossings {:?}",
+            check.frequencies
+        );
     }
 
     #[test]
     fn already_passive_model_is_untouched() {
-        let ss = generate_case(&CaseSpec::new(14, 2).with_seed(8).with_target_crossings(0).with_damping(0.02, 0.09))
-            .unwrap()
-            .realize();
+        let ss = generate_case(
+            &CaseSpec::new(14, 2)
+                .with_seed(8)
+                .with_target_crossings(0)
+                .with_damping(0.02, 0.09),
+        )
+        .unwrap()
+        .realize();
         let out = enforce_passivity(&ss, &EnforcementOptions::default()).unwrap();
         assert_eq!(out.iterations, 0);
         assert_eq!(out.delta_c_norm, 0.0);

@@ -55,7 +55,10 @@ impl fmt::Display for SolverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolverError::ShiftFailed { omega, reason } => {
-                write!(f, "single-shift iteration at omega = {omega} failed: {reason}")
+                write!(
+                    f,
+                    "single-shift iteration at omega = {omega} failed: {reason}"
+                )
             }
             SolverError::BandEstimation(m) => write!(f, "search band estimation failed: {m}"),
             SolverError::InvalidBand { lo, hi } => write!(
@@ -64,9 +67,15 @@ impl fmt::Display for SolverError {
                  non-negative, and ordered lo < hi"
             ),
             SolverError::InvalidAlpha { alpha } => {
-                write!(f, "invalid overlap factor alpha = {alpha}: must be finite and >= 1")
+                write!(
+                    f,
+                    "invalid overlap factor alpha = {alpha}: must be finite and >= 1"
+                )
             }
-            SolverError::EnforcementStalled { iterations, residual_violation } => write!(
+            SolverError::EnforcementStalled {
+                iterations,
+                residual_violation,
+            } => write!(
                 f,
                 "passivity enforcement stalled after {iterations} iterations \
                  (residual violation {residual_violation:.3e})"
@@ -125,9 +134,15 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = SolverError::ShiftFailed { omega: 2.0, reason: "x".into() };
+        let e = SolverError::ShiftFailed {
+            omega: 2.0,
+            reason: "x".into(),
+        };
         assert!(e.to_string().contains("2"));
-        let e = SolverError::EnforcementStalled { iterations: 7, residual_violation: 0.5 };
+        let e = SolverError::EnforcementStalled {
+            iterations: 7,
+            residual_violation: 0.5,
+        };
         assert!(e.to_string().contains('7'));
         let e: SolverError = pheig_linalg::LinalgError::Singular { at: 0 }.into();
         assert!(e.source().is_some());

@@ -1,0 +1,871 @@
+//! The persistent work-stealing execution layer (Sec. IV.C's "one pool of
+//! long-lived workers pulling shifts", lifted to every parallel layer of
+//! the workspace).
+//!
+//! Before this module existed, each parallel layer spawned its own
+//! `std::thread::scope` pool per call: [`crate::pipeline::run_batch`] per
+//! batch, the sweep driver in [`crate::solver`] per sweep, and the
+//! enforcement loop per re-characterization — so nested layers
+//! oversubscribed cores and rebuilt workers (and their Krylov scratch) on
+//! every invocation. This module replaces all of that with **one**
+//! persistent executor per configured width:
+//!
+//! * **Workers are spawned once.** [`Executor::pool`] caches one executor
+//!   per worker count for the lifetime of the process; repeated batches,
+//!   sweeps, and enforcement iterations reuse the same OS threads
+//!   ([`threads_spawned_total`] is pinned flat in steady state by
+//!   `crates/core/tests/exec_steady_state.rs`).
+//! * **Workers own the solver scratch.** The executor keeps a checkout
+//!   pool of [`SolverWorkspace`]s; every task executes against one, so the
+//!   PR 2 workspace-reuse contract ("whoever loops owns the scratch") now
+//!   has a single owner: the execution layer.
+//! * **One task taxonomy.** [`Task`] is the unified currency: batch
+//!   pipeline jobs, multi-shift sweep membership (characterization *and*
+//!   enforcement re-sweeps, distinguished by [`SweepOrigin`]), and a
+//!   telemetry probe. All layers schedule on the same deques, so an idle
+//!   worker steals whatever is queued — batch jobs or sweep memberships
+//!   alike. (One asymmetry remains: a sweep member that finds the shift
+//!   queue momentarily empty parks on the sweep's own condvar rather
+//!   than returning to the pool, so it is unavailable to other cohorts
+//!   until its sweep completes — the same behavior the pre-executor
+//!   dedicated sweep threads had.)
+//! * **Chase–Lev-style deques, in-repo.** Each worker owns a lock-free
+//!   deque (owner pushes/pops the bottom, thieves CAS the top — the
+//!   Chase–Lev 2005 discipline with the Lê et al. 2013 orderings);
+//!   external submitters go through a bounded injector queue. Entries are
+//!   single machine words, so steady-state submission and execution
+//!   allocate nothing per task.
+//!
+//! # Cohorts
+//!
+//! The submission unit is a *cohort* ([`Executor::run_cohort`]): `extra`
+//! copies of one [`Task`] are pushed to the pool while the calling thread
+//! runs the same task inline as the cohort's first member, then waits for
+//! the copies — **helping** with any queued work while it waits, which is
+//! what makes nested cohorts (a batch job whose sweep fans out on the same
+//! pool) deadlock-free by construction: every cohort's owner participates,
+//! so progress never depends on a pool worker being free.
+//!
+//! Cohort tasks are pull loops over shared state (an atomic job counter, a
+//! locked [`Scheduler`](crate::scheduler::Scheduler)), so work-stealing
+//! granularity is a whole pull loop while load balancing happens at the
+//! item level — stragglers cannot serialize a batch, and a cohort with
+//! more members than free workers degrades gracefully (queued members find
+//! the shared state drained and return immediately).
+
+use crate::pipeline::BatchShare;
+use crate::solver::{SolverWorkspace, SweepShare};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-worker deque capacity (power of two). Overflow spills to the
+/// injector, so this is a fast-path size, not a correctness limit.
+const DEQUE_CAPACITY: usize = 256;
+
+/// Injector capacity reserved at construction so steady-state submission
+/// stays allocation-free.
+const INJECTOR_RESERVE: usize = 1024;
+
+/// Workspace checkout-pool capacity reserved at construction.
+const WORKSPACE_RESERVE: usize = 64;
+
+/// Idle parking interval: wakeups are notification-driven; the timeout is
+/// a defensive backstop, not the scheduling mechanism.
+const PARK_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Total executor worker threads spawned by this process (monotonic).
+static SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of executor worker threads this process has ever spawned.
+///
+/// Steady-state pin: after warm-up, repeated batches/sweeps must leave
+/// this flat — the whole point of the persistent pool.
+pub fn threads_spawned_total() -> usize {
+    SPAWNED.load(Ordering::Relaxed)
+}
+
+/// Which layer a [`Task::ShiftSweep`] serves: the pipeline's one-shot
+/// characterization sweep, or one of the enforcement loop's
+/// re-characterization sweeps. Purely telemetry — both schedule
+/// identically — but it makes [`ExecutorStats`] show where sweep work
+/// actually comes from (enforcement typically dominates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepOrigin {
+    /// A passivity-characterization sweep (pipeline stage 2, or a direct
+    /// `find_imaginary_eigenvalues` call).
+    Characterization,
+    /// An enforcement-loop re-characterization sweep (line-search trials
+    /// and verification sweeps).
+    Enforcement,
+}
+
+/// Shared state of a telemetry probe cohort: counts executions and
+/// nothing else. Used by the steady-state tests (and available to
+/// monitoring) to measure the executor's own overhead — a probe cohort
+/// exercises the full submit/steal/execute/wake machinery with a no-op
+/// payload.
+#[derive(Debug, Default)]
+pub struct ProbeShare {
+    hits: AtomicUsize,
+}
+
+impl ProbeShare {
+    /// A fresh probe with zero hits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of times the probe task has executed (inline run included).
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn run(&self) {
+        self.hits.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// The unified task taxonomy: everything the workspace schedules in
+/// parallel is one of these, so all layers share one pool instead of
+/// nesting scoped thread pools.
+///
+/// Each variant borrows the *shared state* of one cohort; running a task
+/// means joining that cohort's pull loop (jobs from an atomic counter,
+/// shifts from the locked scheduler) until the shared state is drained.
+#[derive(Clone, Copy)]
+pub enum Task<'env> {
+    /// Pull-and-run pipeline jobs from a batch
+    /// ([`crate::pipeline::run_batch`]).
+    BatchJob(&'env BatchShare<'env>),
+    /// Pull [`Scheduler::next_shift`](crate::scheduler::Scheduler::next_shift)
+    /// tasks for one multi-shift sweep; covers both characterization
+    /// sweeps and enforcement re-sweeps (see [`SweepOrigin`]).
+    ShiftSweep(&'env SweepShare<'env>),
+    /// Telemetry probe measuring executor overhead (see [`ProbeShare`]).
+    Probe(&'env ProbeShare),
+    /// Test-only probe whose run panics, exercising the worker-side
+    /// unwind path.
+    #[cfg(test)]
+    PanicProbe(&'env ProbeShare),
+}
+
+impl fmt::Debug for Task<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Task::BatchJob(_) => f.write_str("Task::BatchJob"),
+            Task::ShiftSweep(s) => write!(f, "Task::ShiftSweep({:?})", s.origin()),
+            Task::Probe(_) => f.write_str("Task::Probe"),
+            #[cfg(test)]
+            Task::PanicProbe(_) => f.write_str("Task::PanicProbe"),
+        }
+    }
+}
+
+impl Task<'_> {
+    /// Runs one cohort membership to completion.
+    fn run(&self, ctx: &mut TaskContext<'_>) {
+        match self {
+            Task::BatchJob(share) => share.run(ctx),
+            Task::ShiftSweep(share) => share.run(ctx),
+            Task::Probe(share) => share.run(),
+            #[cfg(test)]
+            Task::PanicProbe(share) => {
+                share.run();
+                panic!("PanicProbe membership failed by design");
+            }
+        }
+    }
+}
+
+/// Execution context handed to every running task: the worker's
+/// checked-out solver scratch. Workspace contents never influence results
+/// (pinned by `reused_workspace_gives_identical_results`), so any task can
+/// run against any workspace.
+pub struct TaskContext<'a> {
+    pub(crate) workspace: &'a mut SolverWorkspace,
+}
+
+impl<'a> TaskContext<'a> {
+    /// Wraps caller-owned scratch as an execution context (the cohort
+    /// owner's inline membership uses its own workspace, preserving the
+    /// caller-owned-scratch contract of `find_imaginary_eigenvalues_with`).
+    pub fn new(workspace: &'a mut SolverWorkspace) -> Self {
+        TaskContext { workspace }
+    }
+
+    /// The solver scratch this task executes against.
+    pub fn workspace(&mut self) -> &mut SolverWorkspace {
+        self.workspace
+    }
+}
+
+/// Aggregate executor telemetry (monotonic counters since pool creation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Pool width (worker threads; the cohort owner adds one more).
+    pub workers: usize,
+    /// Task executions, inline cohort memberships included.
+    pub tasks_executed: u64,
+    /// Executions that were batch pipeline jobs.
+    pub batch_jobs: u64,
+    /// Executions that were characterization sweep memberships.
+    pub characterization_sweeps: u64,
+    /// Executions that were enforcement re-sweep memberships.
+    pub enforcement_sweeps: u64,
+    /// Executions that were telemetry probes.
+    pub probes: u64,
+    /// Successful steals from another worker's deque.
+    pub steals: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    executed: AtomicU64,
+    batch_jobs: AtomicU64,
+    characterization_sweeps: AtomicU64,
+    enforcement_sweeps: AtomicU64,
+    probes: AtomicU64,
+    steals: AtomicU64,
+}
+
+/// One erased cohort entry: the address of a stack-pinned `GroupRecord`.
+type Entry = usize;
+
+/// The stack-pinned record behind every pool copy of a cohort task.
+///
+/// # Safety contract
+///
+/// The record lives in [`Executor::run_cohort`]'s stack frame, which does
+/// not return (and therefore does not unwind past the record) until
+/// `remaining` reaches zero. Exactly `remaining` entries pointing at the
+/// record are pushed, each entry is consumed exactly once, and a consumer
+/// never touches the record after its `fetch_sub` — so no entry can
+/// outlive the frame it points into.
+struct GroupRecord<'env> {
+    task: Task<'env>,
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Result of a steal attempt (Chase–Lev terminology).
+enum Steal {
+    Success(Entry),
+    Empty,
+    Retry,
+}
+
+/// A Chase–Lev work-stealing deque over single-word entries.
+///
+/// The owner pushes and pops at the bottom; thieves CAS the top. Entries
+/// are plain words (pointers into cohort-owner stack frames), so there is
+/// no reclamation problem — the cohort completion barrier guarantees
+/// liveness (see [`GroupRecord`]).
+struct Deque {
+    top: AtomicI64,
+    bottom: AtomicI64,
+    slots: Box<[AtomicUsize]>,
+}
+
+impl Deque {
+    fn new() -> Self {
+        Deque {
+            top: AtomicI64::new(0),
+            bottom: AtomicI64::new(0),
+            slots: (0..DEQUE_CAPACITY).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> i64 {
+        (self.slots.len() - 1) as i64
+    }
+
+    /// `true` when the deque *may* hold entries (racy, used only as a
+    /// wakeup hint).
+    fn maybe_nonempty(&self) -> bool {
+        self.bottom.load(Ordering::Relaxed) > self.top.load(Ordering::Relaxed)
+    }
+
+    /// Owner-side push. Fails (returning the entry) when full; the caller
+    /// spills to the injector.
+    fn push(&self, entry: Entry) -> Result<(), Entry> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= self.slots.len() as i64 {
+            return Err(entry);
+        }
+        self.slots[(b & self.mask()) as usize].store(entry, Ordering::Relaxed);
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-side pop from the bottom (LIFO for the owner).
+    fn pop(&self) -> Option<Entry> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let entry = self.slots[(b & self.mask()) as usize].load(Ordering::Relaxed);
+            if t == b {
+                // Last element: race the thieves for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(entry)
+                } else {
+                    None
+                }
+            } else {
+                Some(entry)
+            }
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief-side steal from the top (FIFO for thieves).
+    fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let entry = self.slots[(t & self.mask()) as usize].load(Ordering::Relaxed);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(entry)
+            } else {
+                Steal::Retry
+            }
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+struct PoolShared {
+    deques: Vec<Deque>,
+    injector: Mutex<VecDeque<Entry>>,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    workspaces: Mutex<Vec<SolverWorkspace>>,
+    counters: Counters,
+}
+
+thread_local! {
+    /// The pool this thread currently schedules on, plus its worker slot
+    /// when the thread *is* a pool worker (slot owners push to their own
+    /// deque; everyone else goes through the injector).
+    static CURRENT: RefCell<Option<(Arc<PoolShared>, Option<usize>)>> =
+        const { RefCell::new(None) };
+}
+
+/// Restores the previous thread-local pool binding on drop.
+struct CurrentGuard {
+    prev: Option<(Arc<PoolShared>, Option<usize>)>,
+    active: bool,
+}
+
+impl CurrentGuard {
+    fn enter(shared: &Arc<PoolShared>) -> CurrentGuard {
+        CURRENT.with(|c| {
+            let mut cur = c.borrow_mut();
+            match cur.as_ref() {
+                // Already bound to this pool (a worker thread, or a nested
+                // cohort): keep the binding — and in particular the worker
+                // slot — untouched.
+                Some((p, _)) if Arc::ptr_eq(p, shared) => CurrentGuard {
+                    prev: None,
+                    active: false,
+                },
+                _ => {
+                    let prev = cur.replace((Arc::clone(shared), None));
+                    CurrentGuard { prev, active: true }
+                }
+            }
+        })
+    }
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        if self.active {
+            let prev = self.prev.take();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+}
+
+impl PoolShared {
+    /// This thread's worker slot in *this* pool, if any.
+    fn my_slot(self: &Arc<Self>) -> Option<usize> {
+        CURRENT.with(|c| {
+            c.borrow()
+                .as_ref()
+                .and_then(|(p, slot)| if Arc::ptr_eq(p, self) { *slot } else { None })
+        })
+    }
+
+    /// Racy "is there anything queued" probe used to close the
+    /// check-then-park race under the sleep lock.
+    fn maybe_work(&self) -> bool {
+        !self.injector.lock().is_empty() || self.deques.iter().any(Deque::maybe_nonempty)
+    }
+
+    /// Pushes `copies` entries: to this worker's own deque when the
+    /// caller is a pool worker (spilling to the injector on overflow),
+    /// otherwise to the injector; then wakes sleepers.
+    fn submit(&self, entry: Entry, copies: usize, slot: Option<usize>) {
+        let mut spill = copies;
+        if let Some(i) = slot {
+            let deque = &self.deques[i];
+            while spill > 0 && deque.push(entry).is_ok() {
+                spill -= 1;
+            }
+        }
+        if spill > 0 {
+            let mut injector = self.injector.lock();
+            for _ in 0..spill {
+                injector.push_back(entry);
+            }
+        }
+        // Empty critical section: a worker that re-checked the queues and
+        // is about to park holds this lock, so our notification cannot be
+        // lost between its re-check and its wait.
+        drop(self.sleep.lock());
+        if copies == 1 {
+            self.wake.notify_one();
+        } else {
+            self.wake.notify_all();
+        }
+    }
+
+    /// Claims one queued entry: own deque first (when a worker), then the
+    /// injector, then stealing from the other workers' deques.
+    fn find_entry(&self, me: Option<usize>) -> Option<Entry> {
+        if let Some(i) = me {
+            if let Some(entry) = self.deques[i].pop() {
+                return Some(entry);
+            }
+        }
+        if let Some(entry) = self.injector.lock().pop_front() {
+            return Some(entry);
+        }
+        let n = self.deques.len();
+        if n == 0 {
+            return None;
+        }
+        let start = me.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let j = (start + k) % n;
+            if Some(j) == me {
+                continue;
+            }
+            loop {
+                match self.deques[j].steal() {
+                    Steal::Success(entry) => {
+                        self.counters.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(entry);
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    fn record(&self, task: &Task<'_>) {
+        self.counters.executed.fetch_add(1, Ordering::Relaxed);
+        let per_kind = match task {
+            Task::BatchJob(_) => &self.counters.batch_jobs,
+            Task::ShiftSweep(share) => match share.origin() {
+                SweepOrigin::Characterization => &self.counters.characterization_sweeps,
+                SweepOrigin::Enforcement => &self.counters.enforcement_sweeps,
+            },
+            Task::Probe(_) => &self.counters.probes,
+            #[cfg(test)]
+            Task::PanicProbe(_) => &self.counters.probes,
+        };
+        per_kind.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Executes one claimed entry against `ctx`, storing any panic in the
+    /// cohort record and signalling completion. The `fetch_sub` is the
+    /// last touch of the record (see [`GroupRecord`]'s safety contract).
+    fn execute(&self, entry: Entry, ctx: &mut TaskContext<'_>) {
+        // SAFETY: `entry` is the address of a `GroupRecord` pinned in a
+        // `run_cohort` frame that cannot return before `remaining` hits
+        // zero; this entry was claimed exactly once, and we do not touch
+        // the record after the decrement below.
+        let group: &GroupRecord<'_> = unsafe { &*(entry as *const GroupRecord<'_>) };
+        let task = group.task;
+        self.record(&task);
+        let result = catch_unwind(AssertUnwindSafe(|| task.run(ctx)));
+        if let Err(payload) = result {
+            *group.panic.lock() = Some(payload);
+        }
+        if group.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Cohort complete: its owner may be parked on the pool condvar.
+            drop(self.sleep.lock());
+            self.wake.notify_all();
+        }
+    }
+
+    /// Executes an entry against a checked-out pool workspace.
+    fn execute_pooled(&self, entry: Entry) {
+        // `SolverWorkspace::default` is an empty Vec — creating one when
+        // the checkout pool is momentarily dry allocates nothing.
+        let mut ws = self.workspaces.lock().pop().unwrap_or_default();
+        self.execute(entry, &mut TaskContext::new(&mut ws));
+        self.workspaces.lock().push(ws);
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, index: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&shared), Some(index))));
+    loop {
+        if let Some(entry) = shared.find_entry(Some(index)) {
+            shared.execute_pooled(entry);
+        } else {
+            let mut guard = shared.sleep.lock();
+            if shared.maybe_work() {
+                continue;
+            }
+            let _ = shared.wake.wait_for(&mut guard, PARK_INTERVAL);
+        }
+    }
+}
+
+/// Process-wide executor registry: one persistent pool per width.
+static POOLS: Mutex<Vec<(usize, Executor)>> = Mutex::new(Vec::new());
+
+/// Handle to a persistent work-stealing worker pool. Cloning is cheap
+/// (reference-counted); the pool itself lives for the whole process.
+#[derive(Clone)]
+pub struct Executor {
+    shared: Arc<PoolShared>,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Spawns a fresh, uncached pool. Prefer [`Executor::pool`]; this
+    /// exists for tests that need an isolated instance.
+    fn spawn_pool(workers: usize) -> Executor {
+        let shared = Arc::new(PoolShared {
+            deques: (0..workers).map(|_| Deque::new()).collect(),
+            injector: Mutex::new(VecDeque::with_capacity(INJECTOR_RESERVE)),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            workspaces: Mutex::new(Vec::with_capacity(WORKSPACE_RESERVE)),
+            counters: Counters::default(),
+        });
+        for index in 0..workers {
+            let shared = Arc::clone(&shared);
+            SPAWNED.fetch_add(1, Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name(format!("pheig-exec-{index}"))
+                .spawn(move || worker_loop(shared, index))
+                .expect("spawn executor worker thread");
+        }
+        Executor { shared }
+    }
+
+    /// The process-wide persistent pool with `workers` worker threads
+    /// (the calling thread always participates as one more cohort member,
+    /// so total parallelism is `workers + 1`).
+    ///
+    /// Pools are created on first request and cached for the lifetime of
+    /// the process — workers are spawned **once**, never per call. One
+    /// pool exists per *distinct* width and never shuts down, so callers
+    /// are expected to use few widths (production flows use one; the
+    /// bench harness uses two). Idle workers cost one timed-condvar wake
+    /// per `PARK_INTERVAL`; they hold no workspace while parked.
+    pub fn pool(workers: usize) -> Executor {
+        let mut pools = POOLS.lock();
+        if let Some((_, exec)) = pools.iter().find(|(w, _)| *w == workers) {
+            return exec.clone();
+        }
+        let exec = Executor::spawn_pool(workers);
+        pools.push((workers, exec.clone()));
+        exec
+    }
+
+    /// The pool the current thread is already scheduling on, if any: set
+    /// for pool workers and, for the duration of a cohort, for the cohort
+    /// owner — so nested layers land on the same pool instead of nesting
+    /// new ones.
+    pub fn current() -> Option<Executor> {
+        CURRENT.with(|c| {
+            c.borrow().as_ref().map(|(shared, _)| Executor {
+                shared: Arc::clone(shared),
+            })
+        })
+    }
+
+    /// [`Executor::current`] when inside a pool (never oversubscribe from
+    /// a nested layer), else the cached [`Executor::pool`] of the
+    /// requested width.
+    pub fn current_or_pool(workers: usize) -> Executor {
+        Executor::current().unwrap_or_else(|| Executor::pool(workers))
+    }
+
+    /// Pool width (worker threads, excluding cohort owners).
+    pub fn workers(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> ExecutorStats {
+        let c = &self.shared.counters;
+        ExecutorStats {
+            workers: self.workers(),
+            tasks_executed: c.executed.load(Ordering::Relaxed),
+            batch_jobs: c.batch_jobs.load(Ordering::Relaxed),
+            characterization_sweeps: c.characterization_sweeps.load(Ordering::Relaxed),
+            enforcement_sweeps: c.enforcement_sweeps.load(Ordering::Relaxed),
+            probes: c.probes.load(Ordering::Relaxed),
+            steals: c.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `f` against a workspace checked out from the executor's pool,
+    /// so scratch persists across calls (batches, enforcement sweeps)
+    /// instead of being rebuilt per invocation.
+    pub fn with_workspace<R>(&self, f: impl FnOnce(&mut SolverWorkspace) -> R) -> R {
+        let mut ws = self.shared.workspaces.lock().pop().unwrap_or_default();
+        let result = f(&mut ws);
+        self.shared.workspaces.lock().push(ws);
+        result
+    }
+
+    /// [`Executor::run_cohort`] with the caller's workspace checked out
+    /// from the executor pool.
+    pub fn run(&self, task: Task<'_>, extra: usize) {
+        self.with_workspace(|ws| self.run_cohort(task, extra, &mut TaskContext::new(ws)));
+    }
+
+    /// Runs a cohort of `extra + 1` copies of `task`: `extra` copies on
+    /// the pool, plus one inline on the calling thread (the cohort
+    /// owner). Returns when **all** copies have finished; the owner helps
+    /// execute queued work — from this or any other cohort — while it
+    /// waits, which keeps nested cohorts deadlock-free on any pool width
+    /// (including zero workers).
+    ///
+    /// Helping is deliberately indiscriminate (the rayon `join`
+    /// trade-off): an owner may claim another cohort's pull loop and run
+    /// it to drain, extending its own return by that foreign workload.
+    /// Within this workspace cohorts come from one tool flow, so the
+    /// helped work is always work the process wants done; callers mixing
+    /// independent latency-sensitive batches on one pool should use
+    /// separate pools.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic observed in any cohort member after the
+    /// whole cohort has completed.
+    pub fn run_cohort(&self, task: Task<'_>, extra: usize, ctx: &mut TaskContext<'_>) {
+        let shared = &self.shared;
+        let _bind = CurrentGuard::enter(shared);
+        if extra == 0 {
+            // Degenerate cohort: just the owner. Still bound to the pool
+            // so nested layers reuse it.
+            shared.record(&task);
+            task.run(ctx);
+            return;
+        }
+        let group = GroupRecord {
+            task,
+            remaining: AtomicUsize::new(extra),
+            panic: Mutex::new(None),
+        };
+        let entry = &group as *const GroupRecord<'_> as usize;
+        let slot = shared.my_slot();
+        shared.submit(entry, extra, slot);
+        shared.record(&task);
+        let inline_result = catch_unwind(AssertUnwindSafe(|| task.run(ctx)));
+        // Completion barrier: every pushed entry must be consumed before
+        // `group` leaves scope (see the GroupRecord safety contract).
+        while group.remaining.load(Ordering::Acquire) > 0 {
+            if let Some(e) = shared.find_entry(slot) {
+                shared.execute(e, ctx);
+                continue;
+            }
+            let mut guard = shared.sleep.lock();
+            if group.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            if shared.maybe_work() {
+                continue;
+            }
+            let _ = shared.wake.wait_for(&mut guard, PARK_INTERVAL);
+        }
+        if let Some(payload) = group.panic.lock().take() {
+            resume_unwind(payload);
+        }
+        if let Err(payload) = inline_result {
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_cohort(exec: &Executor, extra: usize) -> usize {
+        let probe = ProbeShare::new();
+        exec.run(Task::Probe(&probe), extra);
+        probe.hits()
+    }
+
+    #[test]
+    fn deque_push_pop_steal() {
+        let d = Deque::new();
+        assert!(d.pop().is_none());
+        assert!(matches!(d.steal(), Steal::Empty));
+        for v in 1..=5usize {
+            d.push(v).unwrap();
+        }
+        // Owner pops LIFO.
+        assert_eq!(d.pop(), Some(5));
+        // Thief steals FIFO.
+        match d.steal() {
+            Steal::Success(v) => assert_eq!(v, 1),
+            _ => panic!("steal failed"),
+        }
+        assert_eq!(d.pop(), Some(4));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert!(d.pop().is_none());
+        assert!(matches!(d.steal(), Steal::Empty));
+        // Refill after drain still works (wrapping indices).
+        for v in 10..=11usize {
+            d.push(v).unwrap();
+        }
+        assert_eq!(d.pop(), Some(11));
+        assert_eq!(d.pop(), Some(10));
+    }
+
+    #[test]
+    fn deque_overflow_is_reported() {
+        let d = Deque::new();
+        for v in 0..DEQUE_CAPACITY {
+            d.push(v + 1).unwrap();
+        }
+        assert_eq!(d.push(99), Err(99));
+    }
+
+    #[test]
+    fn cohort_runs_exactly_extra_plus_one_times() {
+        let exec = Executor::spawn_pool(2);
+        for extra in [0usize, 1, 2, 7] {
+            assert_eq!(probe_cohort(&exec, extra), extra + 1, "extra = {extra}");
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_still_completes_cohorts() {
+        // All pool copies are executed by the helping owner.
+        let exec = Executor::spawn_pool(0);
+        assert_eq!(probe_cohort(&exec, 5), 6);
+        assert_eq!(exec.stats().probes, 6);
+    }
+
+    #[test]
+    fn repeated_oversubscribed_cohorts_complete() {
+        // More cohort members than pool workers, over and over: queued
+        // copies must always be consumed (by workers or the helping
+        // owner), never lost or double-run.
+        let exec = Executor::spawn_pool(1);
+        for round in 1..=20usize {
+            assert_eq!(probe_cohort(&exec, 6), 7, "round {round}");
+        }
+        assert_eq!(exec.stats().probes, 20 * 7);
+    }
+
+    #[test]
+    fn back_to_back_cohorts_share_one_context() {
+        // The enforcement-loop shape: many cohorts in a row against one
+        // caller-owned workspace, same pool throughout. (Genuine *nested*
+        // cohorts — a task that opens a cohort — are exercised end-to-end
+        // by the batch-with-parallel-sweeps pipeline test.)
+        let exec = Executor::spawn_pool(1);
+        let a = ProbeShare::new();
+        let b = ProbeShare::new();
+        exec.with_workspace(|ws| {
+            let mut ctx = TaskContext::new(ws);
+            exec.run_cohort(Task::Probe(&a), 2, &mut ctx);
+            exec.run_cohort(Task::Probe(&b), 3, &mut ctx);
+        });
+        assert_eq!(a.hits(), 3);
+        assert_eq!(b.hits(), 4);
+    }
+
+    #[test]
+    fn pool_registry_caches_by_width() {
+        let a = Executor::pool(2);
+        let b = Executor::pool(2);
+        assert!(Arc::ptr_eq(&a.shared, &b.shared));
+        let c = Executor::pool(3);
+        assert!(!Arc::ptr_eq(&a.shared, &c.shared));
+        assert_eq!(c.workers(), 3);
+    }
+
+    #[test]
+    fn stats_count_probe_executions() {
+        let exec = Executor::spawn_pool(1);
+        let before = exec.stats();
+        assert_eq!(before.tasks_executed, 0);
+        assert_eq!(probe_cohort(&exec, 4), 5);
+        let after = exec.stats();
+        assert_eq!(after.probes, 5);
+        assert_eq!(after.tasks_executed, 5);
+        assert_eq!(after.workers, 1);
+    }
+
+    #[test]
+    fn current_binding_is_cleared_after_a_cohort() {
+        assert!(Executor::current().is_none());
+        let exec = Executor::spawn_pool(1);
+        assert_eq!(probe_cohort(&exec, 1), 2);
+        // The cohort owner's pool binding must not leak past run_cohort.
+        assert!(Executor::current().is_none());
+    }
+
+    #[test]
+    fn cohort_member_panic_is_propagated_and_the_pool_survives() {
+        // Every membership of this cohort panics (worker-side and inline
+        // alike); run_cohort must still complete the whole cohort, then
+        // re-raise, and the pool must stay usable afterwards.
+        let exec = Executor::spawn_pool(1);
+        let probe = ProbeShare::new();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.run(Task::PanicProbe(&probe), 2);
+        }));
+        assert!(result.is_err(), "panic must propagate to the cohort owner");
+        assert_eq!(probe.hits(), 3, "all memberships ran before re-raising");
+        assert_eq!(probe_cohort(&exec, 2), 3, "pool survives task panics");
+    }
+}

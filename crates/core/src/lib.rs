@@ -22,12 +22,18 @@
 //!    passive;
 //! 7. [`pipeline`] chains the whole tool flow — Touchstone deck in,
 //!    vector-fitted and passivity-enforced macromodel out — with per-stage
-//!    diagnostics and a batched multi-model driver.
+//!    diagnostics and a batched multi-model driver;
+//! 8. [`exec`] is the execution layer under 3–7: one persistent
+//!    work-stealing pool (workers spawned once, Chase–Lev deques,
+//!    pooled solver scratch) that batch jobs, sweep shifts, and
+//!    enforcement re-sweeps all schedule on, instead of nesting scoped
+//!    thread pools per call.
 
 pub mod band;
 pub mod characterization;
 pub mod enforcement;
 pub mod error;
+pub mod exec;
 pub mod pipeline;
 pub mod scheduler;
 pub mod simulate;
@@ -35,6 +41,7 @@ pub mod solver;
 pub mod spectrum;
 
 pub use error::SolverError;
+pub use exec::Executor;
 pub use pipeline::{run_batch, PassiveModel, Pipeline, PipelineOptions, PipelineReport};
 pub use solver::{
     find_imaginary_eigenvalues, find_imaginary_eigenvalues_with, SolverOptions, SolverOutcome,

@@ -20,17 +20,18 @@
 //!   -> PassiveModel + PipelineReport
 //! ```
 //!
-//! [`run_batch`] drives many decks through this flow on a pool of worker
-//! threads, each owning one [`SolverWorkspace`] for its whole batch share
-//! — the PR 2 scratch-reuse contract extended across models.
+//! [`run_batch`] drives many decks through this flow as a job cohort on
+//! the persistent work-stealing [`Executor`]:
+//! workers are spawned once per process, each executes jobs against a
+//! pooled [`SolverWorkspace`] — the PR 2 scratch-reuse contract extended
+//! across models *and* across batches.
 
 use crate::characterization::{characterize, PassivityReport};
 use crate::enforcement::EnforcementOptions;
 use crate::error::SolverError;
+use crate::exec::{Executor, Task, TaskContext};
 use crate::scheduler::SchedulerStats;
-use crate::solver::{
-    find_imaginary_eigenvalues_with, ShiftRecord, SolverOptions, SolverWorkspace,
-};
+use crate::solver::{find_imaginary_eigenvalues_with, ShiftRecord, SolverOptions, SolverWorkspace};
 use parking_lot::Mutex;
 use pheig_model::touchstone::{read_touchstone, read_touchstone_path};
 use pheig_model::{FrequencySamples, PoleResidueModel, StateSpace};
@@ -257,7 +258,9 @@ impl Pipeline {
     /// [`SolverError::Model`].
     pub fn from_touchstone(text: &str, ports: Option<usize>) -> Result<Self, SolverError> {
         let deck = read_touchstone(text, ports)?;
-        Ok(Pipeline { samples: deck.into_scattering_samples()? })
+        Ok(Pipeline {
+            samples: deck.into_scattering_samples()?,
+        })
     }
 
     /// Parses a Touchstone deck from a file, inferring the port count from
@@ -265,10 +268,18 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Same as [`Pipeline::from_touchstone`], plus I/O failures.
+    /// Same as [`Pipeline::from_touchstone`], plus I/O failures. Every
+    /// error carries the offending file path
+    /// ([`pheig_model::ModelError::InFile`]) in addition to the parse
+    /// location, so a failing deck in a batch is identifiable from the
+    /// rendered message alone.
     pub fn from_touchstone_path(path: impl AsRef<std::path::Path>) -> Result<Self, SolverError> {
+        let path = path.as_ref();
         let deck = read_touchstone_path(path)?;
-        Ok(Pipeline { samples: deck.into_scattering_samples()? })
+        let samples = deck
+            .into_scattering_samples()
+            .map_err(|e| pheig_model::ModelError::in_file(path, e))?;
+        Ok(Pipeline { samples })
     }
 
     /// The samples this pipeline will fit.
@@ -367,15 +378,50 @@ impl Pipeline {
     }
 }
 
-/// Drives many pipelines on `threads` worker threads.
+/// Shared state of one batch cohort: the job list, the pull counter, and
+/// the per-slot result cells. Public only as a
+/// [`Task::BatchJob`](crate::exec::Task) payload; constructed and owned
+/// by [`run_batch`], which joins the cohort itself.
+pub struct BatchShare<'a> {
+    pipelines: &'a [Pipeline],
+    opts: &'a PipelineOptions,
+    next: AtomicUsize,
+    results: &'a [Mutex<Option<Result<PassiveModel, SolverError>>>],
+}
+
+impl BatchShare<'_> {
+    /// One cohort membership: pull jobs from the shared counter until the
+    /// batch is drained. Job-level work stealing falls out of the pull
+    /// discipline — an idle member takes the next job wherever it is, so
+    /// one hard enforcement job cannot serialize the batch behind it.
+    pub(crate) fn run(&self, ctx: &mut TaskContext<'_>) {
+        loop {
+            let idx = self.next.fetch_add(1, Ordering::Relaxed);
+            let Some(pipeline) = self.pipelines.get(idx) else {
+                break;
+            };
+            *self.results[idx].lock() = Some(pipeline.run_with(self.opts, ctx.workspace()));
+        }
+    }
+}
+
+/// Drives many pipelines with `threads`-way parallelism on the persistent
+/// work-stealing executor.
 ///
-/// Each worker owns one [`SolverWorkspace`] for its entire share of the
-/// batch, so Krylov scratch is reused across shifts, sweeps, *and* models
-/// (the PR 2 contract lifted to the batch level). Jobs are pulled from a
-/// shared counter, so stragglers do not serialize the batch; results keep
-/// input order. `threads = 1` degenerates to a sequential loop with one
-/// workspace — batch parallelism composes with (and is independent from)
-/// `opts.solver.threads` sweep parallelism.
+/// The batch is submitted as one job cohort: `threads - 1` pool members
+/// plus the calling thread pull jobs from a shared counter, so stragglers
+/// do not serialize the batch; results keep input order. Pool workers are
+/// spawned **once per process** ([`Executor::pool`]) and execute jobs
+/// against pooled [`SolverWorkspace`]s, so Krylov scratch is reused
+/// across shifts, sweeps, models, and whole batches. `threads = 1`
+/// degenerates to a sequential loop on the calling thread. Batch
+/// parallelism composes with `opts.solver.threads` sweep parallelism —
+/// nested sweeps schedule on the *same* pool instead of spawning their
+/// own (see `crate::exec`).
+///
+/// Results are identical to the sequential path bit for bit, for any
+/// thread count: jobs are independent and workspace contents never
+/// influence results.
 ///
 /// Per-job errors are reported per slot rather than aborting the batch.
 pub fn run_batch(
@@ -383,25 +429,23 @@ pub fn run_batch(
     opts: &PipelineOptions,
     threads: usize,
 ) -> Vec<Result<PassiveModel, SolverError>> {
-    let threads = threads.max(1).min(pipelines.len().max(1));
-    let next = AtomicUsize::new(0);
+    let concurrency = threads.max(1).min(pipelines.len().max(1));
     let results: Vec<Mutex<Option<Result<PassiveModel, SolverError>>>> =
         pipelines.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut ws = SolverWorkspace::new();
-                loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(pipeline) = pipelines.get(idx) else { break };
-                    *results[idx].lock() = Some(pipeline.run_with(opts, &mut ws));
-                }
-            });
-        }
-    });
+    let share = BatchShare {
+        pipelines,
+        opts,
+        next: AtomicUsize::new(0),
+        results: &results,
+    };
+    let exec = Executor::current_or_pool(concurrency - 1);
+    exec.run(Task::BatchJob(&share), concurrency - 1);
     results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot filled by a worker"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every slot filled by a cohort member")
+        })
         .collect()
 }
 
@@ -423,8 +467,15 @@ mod tests {
         let deck = nonpassive_deck();
         let pipeline = Pipeline::from_touchstone(&deck, None).unwrap();
         let out = pipeline.run(&PipelineOptions::default()).unwrap();
-        assert!(out.report.fit.rms_error < 1e-5, "rms {}", out.report.fit.rms_error);
-        assert!(!out.report.initial_report.is_passive(), "reference has violations");
+        assert!(
+            out.report.fit.rms_error < 1e-5,
+            "rms {}",
+            out.report.fit.rms_error
+        );
+        assert!(
+            !out.report.initial_report.is_passive(),
+            "reference has violations"
+        );
         assert!(out.report.enforcement.is_some());
         assert_eq!(out.report.residual_violations(), 0);
         assert!(out.report.final_report.is_passive());
@@ -443,7 +494,9 @@ mod tests {
         let reference =
             generate_case(&CaseSpec::new(12, 2).with_seed(55).with_target_crossings(0)).unwrap();
         let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 160).unwrap();
-        let out = Pipeline::from_samples(samples).run(&PipelineOptions::default()).unwrap();
+        let out = Pipeline::from_samples(samples)
+            .run(&PipelineOptions::default())
+            .unwrap();
         assert!(out.report.enforcement.is_none());
         assert!(out.report.initial_report.is_passive());
         assert_eq!(out.report.residual_violations(), 0);
@@ -455,7 +508,9 @@ mod tests {
         let mut jobs = Vec::new();
         for seed in [55u64, 56] {
             let reference = generate_case(
-                &CaseSpec::new(10, 2).with_seed(seed).with_target_crossings(0),
+                &CaseSpec::new(10, 2)
+                    .with_seed(seed)
+                    .with_target_crossings(0),
             )
             .unwrap();
             let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 140).unwrap();
@@ -476,6 +531,46 @@ mod tests {
     }
 
     #[test]
+    fn batch_with_parallel_sweeps_nests_on_one_pool() {
+        // Batch-level and sweep-level parallelism compose: each job's
+        // multi-shift sweep opens a nested cohort, which must land on the
+        // same persistent pool (no nested pool spawning) and still agree
+        // with the fully serial configuration.
+        let mut jobs = Vec::new();
+        for seed in [55u64, 56, 57] {
+            let reference = generate_case(
+                &CaseSpec::new(10, 2)
+                    .with_seed(seed)
+                    .with_target_crossings(0),
+            )
+            .unwrap();
+            let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 140).unwrap();
+            jobs.push(Pipeline::from_samples(samples));
+        }
+        let serial_opts = PipelineOptions::default();
+        let nested_opts = PipelineOptions::default().with_solver_threads(2);
+        let want: Vec<_> = jobs.iter().map(|j| j.run(&serial_opts).unwrap()).collect();
+
+        let got = run_batch(&jobs, &nested_opts, 2);
+        for (g, w) in got.iter().zip(&want) {
+            let g = g.as_ref().expect("nested batch job succeeded");
+            assert_eq!(g.report.sweep.crossings, w.report.sweep.crossings);
+            assert_eq!(g.report.fit.order, w.report.fit.order);
+        }
+        // The first batch may create the cached pool; afterwards the
+        // worker population must stay flat — nested sweeps reuse the same
+        // pool instead of spawning their own.
+        let spawned_after_first = crate::exec::threads_spawned_total();
+        let again = run_batch(&jobs, &nested_opts, 2);
+        assert!(again.iter().all(Result::is_ok));
+        assert_eq!(
+            crate::exec::threads_spawned_total(),
+            spawned_after_first,
+            "a repeated nested batch spawned new workers"
+        );
+    }
+
+    #[test]
     fn batch_reports_per_job_errors() {
         // Job 0 is unfittable with these options (underdetermined); job 1
         // is fine — the batch must return one Err and one Ok.
@@ -493,8 +588,29 @@ mod tests {
     fn malformed_touchstone_is_a_typed_error() {
         assert!(matches!(
             Pipeline::from_touchstone("# GHz S XX\n1.0 0.0 0.0\n", None),
-            Err(SolverError::Model(pheig_model::ModelError::TouchstoneSyntax { .. }))
+            Err(SolverError::Model(
+                pheig_model::ModelError::TouchstoneSyntax { .. }
+            ))
         ));
         assert!(Pipeline::from_touchstone_path("/nonexistent/x.s2p").is_err());
+    }
+
+    #[test]
+    fn touchstone_path_errors_carry_the_offending_path() {
+        let dir = std::env::temp_dir().join("pheig-pipeline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mangled.s2p");
+        std::fs::write(&path, "# GHz S RI R 50\n0.1 0.9 0.0 garbage\n").unwrap();
+        let err = Pipeline::from_touchstone_path(&path).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("mangled.s2p"),
+            "path missing from error: {text}"
+        );
+        assert!(
+            text.contains("line 2"),
+            "line number missing from error: {text}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -129,7 +129,10 @@ impl Scheduler {
             } else {
                 0.5 * (lo + hi)
             };
-            tentative.push(Tentative { omega, interval: (lo, hi) });
+            tentative.push(Tentative {
+                omega,
+                interval: (lo, hi),
+            });
         }
         Scheduler {
             band,
@@ -227,7 +230,12 @@ impl Scheduler {
         let reach = (t.omega - t.interval.0).max(t.interval.1 - t.omega);
         let rho0 = (self.alpha * reach).max(self.min_piece);
         self.in_flight.insert(id, t.interval);
-        Some(ShiftTask { id, omega: t.omega, rho0, interval: t.interval })
+        Some(ShiftTask {
+            id,
+            omega: t.omega,
+            rho0,
+            interval: t.interval,
+        })
     }
 
     /// Records the completion of `task` with a certified disk of radius
@@ -252,7 +260,11 @@ impl Scheduler {
         // Re-seed tentative shifts whose interval lost coverage (skipped in
         // static-grid ablation mode, where pre-allocated shifts are always
         // processed even when their interval is already covered).
-        let old = if self.delete_covered { std::mem::take(&mut self.tentative) } else { Vec::new() };
+        let old = if self.delete_covered {
+            std::mem::take(&mut self.tentative)
+        } else {
+            Vec::new()
+        };
         for t in old {
             let pieces = intersect(t.interval, &self.uncovered);
             let total: f64 = pieces.iter().map(|(a, b)| b - a).sum();
@@ -296,7 +308,10 @@ impl Scheduler {
                 subtract(&mut self.uncovered, (lo, hi));
                 continue;
             }
-            self.tentative.push(Tentative { omega: 0.5 * (lo + hi), interval: (lo, hi) });
+            self.tentative.push(Tentative {
+                omega: 0.5 * (lo + hi),
+                interval: (lo, hi),
+            });
         }
     }
 
@@ -368,7 +383,7 @@ mod tests {
     fn disk_covering_interval_retires_it() {
         let mut s = Scheduler::new((0.0, 4.0), 4, 1.0);
         let t = s.next_shift().unwrap(); // omega = 0, interval (0, 1)
-        // Disk radius 1.2 covers (0,1) fully and eats into (1,2).
+                                         // Disk radius 1.2 covers (0,1) fully and eats into (1,2).
         s.complete(&t, t.omega, 1.2);
         assert_eq!(s.stats().processed, 1);
         assert!((s.uncovered_length() - 2.8).abs() < 1e-12);
@@ -411,7 +426,7 @@ mod tests {
         let mut s = Scheduler::new((0.0, 2.0), 2, 1.0);
         let a = s.next_shift().unwrap(); // omega = 0, (0,1)
         let b = s.next_shift().unwrap(); // omega = 2, (1,2)
-        // Complete b first with a huge radius clearing its interval.
+                                         // Complete b first with a huge radius clearing its interval.
         s.complete(&b, b.omega, 1.0);
         // Now a small disk in the middle of (0,1): radius such that
         // [omega - r, omega + r] = [-0.2, 0.2] -> remainder (0.2, 1).
@@ -443,14 +458,21 @@ mod tests {
                 break;
             }
             // Pseudo-random completion order and radii.
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let pick = (state >> 33) as usize % pending.len();
             let t = pending.swap_remove(pick);
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let frac = ((state >> 40) as f64) / ((1u64 << 24) as f64);
             let radius = t.rho0 * (0.3 + 0.9 * frac);
             s.complete(&t, t.omega, radius);
-            assert!(s.coverage_invariant_holds(), "invariant broken at step {steps}");
+            assert!(
+                s.coverage_invariant_holds(),
+                "invariant broken at step {steps}"
+            );
             steps += 1;
             assert!(steps < 10_000, "scheduler failed to make progress");
         }
@@ -463,7 +485,7 @@ mod tests {
     fn rho0_reaches_interval_edges() {
         let mut s = Scheduler::new((0.0, 4.0), 4, 1.5);
         let t = s.next_shift().unwrap(); // edge shift at 0, interval (0,1)
-        // Reach = 1 (distance to the far edge), times alpha.
+                                         // Reach = 1 (distance to the far edge), times alpha.
         assert!((t.rho0 - 1.5).abs() < 1e-12);
     }
 

@@ -21,11 +21,11 @@
 //! including its dependence on the number of threads and on the random
 //! Arnoldi start vectors (vary `opts.seed` to reproduce Fig. 6 error bars).
 
+use crate::band::estimate_band;
 use crate::error::SolverError;
 use crate::scheduler::{Scheduler, SchedulerStats, ShiftTask};
 use crate::solver::{cost_units, run_shift, SolverOptions};
 use crate::spectrum;
-use crate::band::estimate_band;
 use pheig_arnoldi::single_shift::SingleShiftOutcome;
 use pheig_model::StateSpace;
 use std::cmp::Reverse;
@@ -146,7 +146,12 @@ pub fn simulate_parallel(
                     let outcome = run_shift(ss, &task, scale, opts, &mut ws)?;
                     let cost = cost_units(&outcome);
                     total_cost += cost;
-                    heap.push(Reverse(Event { finish: clock + cost, seq, task, outcome }));
+                    heap.push(Reverse(Event {
+                        finish: clock + cost,
+                        seq,
+                        task,
+                        outcome,
+                    }));
                     seq += 1;
                     idle -= 1;
                 }
@@ -194,10 +199,10 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let ss = test_model();
-        let a = simulate_parallel(&ss, 4, &SolverOptions::default(), ScheduleMode::Dynamic)
-            .unwrap();
-        let b = simulate_parallel(&ss, 4, &SolverOptions::default(), ScheduleMode::Dynamic)
-            .unwrap();
+        let a =
+            simulate_parallel(&ss, 4, &SolverOptions::default(), ScheduleMode::Dynamic).unwrap();
+        let b =
+            simulate_parallel(&ss, 4, &SolverOptions::default(), ScheduleMode::Dynamic).unwrap();
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.total_cost, b.total_cost);
         assert_eq!(a.frequencies, b.frequencies);
@@ -207,8 +212,8 @@ mod tests {
     fn simulated_frequencies_match_real_solver() {
         let ss = test_model();
         let real = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
-        let sim = simulate_parallel(&ss, 4, &SolverOptions::default(), ScheduleMode::Dynamic)
-            .unwrap();
+        let sim =
+            simulate_parallel(&ss, 4, &SolverOptions::default(), ScheduleMode::Dynamic).unwrap();
         assert_eq!(sim.frequencies.len(), real.frequencies.len());
         for (a, b) in sim.frequencies.iter().zip(&real.frequencies) {
             assert!((a - b).abs() < 1e-5 * real.band.1);
@@ -230,10 +235,10 @@ mod tests {
         // (the schedule can differ, but parallelism cannot lose by a wide
         // margin on the same task set).
         let ss = test_model();
-        let s1 = simulate_parallel(&ss, 1, &SolverOptions::default(), ScheduleMode::Dynamic)
-            .unwrap();
-        let s4 = simulate_parallel(&ss, 4, &SolverOptions::default(), ScheduleMode::Dynamic)
-            .unwrap();
+        let s1 =
+            simulate_parallel(&ss, 1, &SolverOptions::default(), ScheduleMode::Dynamic).unwrap();
+        let s4 =
+            simulate_parallel(&ss, 4, &SolverOptions::default(), ScheduleMode::Dynamic).unwrap();
         assert!(
             s4.makespan <= s1.makespan,
             "4-worker makespan {} vs serial {}",

@@ -3,9 +3,15 @@
 //! Both drivers run the same [`Scheduler`] state machine and the same
 //! single-shift Arnoldi iterations; the parallel driver maps idle worker
 //! threads onto [`Scheduler::next_shift`] exactly as Sec. IV.C prescribes.
+//! The workers are not spawned here: the parallel driver submits a
+//! [`Task::ShiftSweep`](crate::exec::Task) cohort to the persistent
+//! [`Executor`] and joins it as one member, so
+//! repeated sweeps (the enforcement loop, batches of models) reuse one
+//! long-lived pool instead of respawning scoped threads per sweep.
 
 use crate::band::estimate_band;
 use crate::error::SolverError;
+use crate::exec::{Executor, SweepOrigin, Task, TaskContext};
 use crate::scheduler::{Scheduler, SchedulerStats, ShiftTask};
 use crate::spectrum::{self, ImaginaryEigenpair};
 use parking_lot::{Condvar, Mutex};
@@ -193,7 +199,10 @@ pub(crate) fn run_shift(
             Err(e) => last = e.to_string(),
         }
     }
-    Err(SolverError::ShiftFailed { omega: task.omega, reason: last })
+    Err(SolverError::ShiftFailed {
+        omega: task.omega,
+        reason: last,
+    })
 }
 
 /// Classification tolerance for "purely imaginary": a safety factor above
@@ -251,7 +260,11 @@ fn assemble(
         eigenpairs,
         band,
         shift_log,
-        stats: SolverStats { scheduler: sched_stats, total_matvecs, wall },
+        stats: SolverStats {
+            scheduler: sched_stats,
+            total_matvecs,
+            wall,
+        },
     }
 }
 
@@ -304,6 +317,19 @@ pub fn find_imaginary_eigenvalues_with(
     opts: &SolverOptions,
     ws: &mut SolverWorkspace,
 ) -> Result<SolverOutcome, SolverError> {
+    find_imaginary_eigenvalues_tagged(ss, opts, ws, SweepOrigin::Characterization)
+}
+
+/// [`find_imaginary_eigenvalues_with`] with an explicit executor-telemetry
+/// tag: the enforcement loop marks its re-characterization sweeps as
+/// [`SweepOrigin::Enforcement`] so pool statistics show which layer the
+/// sweep work serves.
+pub(crate) fn find_imaginary_eigenvalues_tagged(
+    ss: &StateSpace,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace,
+    origin: SweepOrigin,
+) -> Result<SolverOutcome, SolverError> {
     let t0 = Instant::now();
     validate_options(opts)?;
     let band = match opts.band {
@@ -317,9 +343,16 @@ pub fn find_imaginary_eigenvalues_with(
     let (completions, sched_stats) = if opts.threads <= 1 {
         run_serial(ss, scheduler, scale, opts, &mut ws.ensure_threads(1)[0])?
     } else {
-        run_parallel(ss, scheduler, scale, opts, ws.ensure_threads(opts.threads))?
+        run_parallel(ss, scheduler, scale, opts, ws, origin)?
     };
-    Ok(assemble(band, scale, completions, sched_stats, opts, t0.elapsed()))
+    Ok(assemble(
+        band,
+        scale,
+        completions,
+        sched_stats,
+        opts,
+        t0.elapsed(),
+    ))
 }
 
 /// Rejects option combinations the scheduler cannot run on: a scheduler
@@ -363,51 +396,93 @@ struct SharedState {
     error: Option<SolverError>,
 }
 
+/// Shared state of one multi-shift sweep cohort: the scheduler (and its
+/// completion log) behind one lock, plus everything a member needs to run
+/// shifts. Public only as a [`Task::ShiftSweep`] payload; constructed and
+/// owned by the parallel driver, which joins the cohort itself.
+pub struct SweepShare<'a> {
+    ss: &'a StateSpace,
+    scale: f64,
+    opts: &'a SolverOptions,
+    shared: &'a Mutex<SharedState>,
+    cv: &'a Condvar,
+    origin: SweepOrigin,
+}
+
+impl SweepShare<'_> {
+    pub(crate) fn origin(&self) -> SweepOrigin {
+        self.origin
+    }
+
+    /// One cohort membership: pull shifts until the scheduler is done or
+    /// an error is recorded. This is Sec. IV.C's idle-worker loop; a
+    /// member finding the queue momentarily empty *waits* (another
+    /// member's completion may split intervals and refill it) and wakes
+    /// on every completion.
+    pub(crate) fn run(&self, ctx: &mut TaskContext<'_>) {
+        let ws = &mut ctx.workspace.ensure_threads(1)[0];
+        loop {
+            let task = {
+                let mut guard = self.shared.lock();
+                loop {
+                    if guard.error.is_some() || guard.scheduler.is_done() {
+                        self.cv.notify_all();
+                        return;
+                    }
+                    if let Some(t) = guard.scheduler.next_shift() {
+                        break t;
+                    }
+                    self.cv.wait(&mut guard);
+                }
+            };
+            let started = Instant::now();
+            let result = run_shift(self.ss, &task, self.scale, self.opts, ws);
+            let mut guard = self.shared.lock();
+            match result {
+                Ok(out) => {
+                    guard.scheduler.complete(&task, out.theta.im, out.radius);
+                    guard.completions.push((task, out, started.elapsed()));
+                }
+                Err(e) => {
+                    if guard.error.is_none() {
+                        guard.error = Some(e);
+                    }
+                }
+            }
+            drop(guard);
+            self.cv.notify_all();
+        }
+    }
+}
+
 fn run_parallel(
     ss: &StateSpace,
     scheduler: Scheduler,
     scale: f64,
     opts: &SolverOptions,
-    workspaces: &mut [ArnoldiWorkspace],
+    ws: &mut SolverWorkspace,
+    origin: SweepOrigin,
 ) -> Result<(Completions, SchedulerStats), SolverError> {
-    let shared = Mutex::new(SharedState { scheduler, completions: Vec::new(), error: None });
-    let cv = Condvar::new();
-    std::thread::scope(|scope| {
-        let shared = &shared;
-        let cv = &cv;
-        for ws in workspaces.iter_mut() {
-            scope.spawn(move || loop {
-                let task = {
-                    let mut guard = shared.lock();
-                    loop {
-                        if guard.error.is_some() || guard.scheduler.is_done() {
-                            cv.notify_all();
-                            return;
-                        }
-                        if let Some(t) = guard.scheduler.next_shift() {
-                            break t;
-                        }
-                        cv.wait(&mut guard);
-                    }
-                };
-                let started = Instant::now();
-                let result = run_shift(ss, &task, scale, opts, ws);
-                let mut guard = shared.lock();
-                match result {
-                    Ok(out) => {
-                        guard.scheduler.complete(&task, out.theta.im, out.radius);
-                        guard.completions.push((task, out, started.elapsed()));
-                    }
-                    Err(e) => {
-                        if guard.error.is_none() {
-                            guard.error = Some(e);
-                        }
-                    }
-                }
-                cv.notify_all();
-            });
-        }
+    let shared = Mutex::new(SharedState {
+        scheduler,
+        completions: Vec::new(),
+        error: None,
     });
+    let cv = Condvar::new();
+    let share = SweepShare {
+        ss,
+        scale,
+        opts,
+        shared: &shared,
+        cv: &cv,
+        origin,
+    };
+    // T-way sweep = T-1 pool members + this thread. When already inside a
+    // pool (a batch job fanning out its sweep), the cohort lands on that
+    // same pool instead of spawning a nested one.
+    let members = opts.threads.saturating_sub(1);
+    let exec = Executor::current_or_pool(members);
+    exec.run_cohort(Task::ShiftSweep(&share), members, &mut TaskContext::new(ws));
     let state = shared.into_inner();
     if let Some(e) = state.error {
         return Err(e);
@@ -476,11 +551,9 @@ mod tests {
             .realize();
         let serial = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
         for threads in [2, 4] {
-            let par = find_imaginary_eigenvalues(
-                &ss,
-                &SolverOptions::default().with_threads(threads),
-            )
-            .unwrap();
+            let par =
+                find_imaginary_eigenvalues(&ss, &SolverOptions::default().with_threads(threads))
+                    .unwrap();
             assert_eq!(
                 par.frequencies.len(),
                 serial.frequencies.len(),
@@ -505,8 +578,8 @@ mod tests {
             assert_eq!(e.vector.len(), 2 * ss.order());
             let av = m.matvec(&e.vector);
             let mut resid = 0.0f64;
-            for i in 0..av.len() {
-                resid = resid.max((av[i] - e.lambda * e.vector[i]).abs());
+            for (avi, vi) in av.iter().zip(&e.vector) {
+                resid = resid.max((*avi - e.lambda * *vi).abs());
             }
             assert!(resid < 1e-5 * m.max_abs(), "eigenvector residual {resid}");
         }
@@ -514,12 +587,11 @@ mod tests {
 
     #[test]
     fn explicit_band_override_is_respected() {
-        let ss = generate_case(&CaseSpec::new(16, 2).with_seed(2)).unwrap().realize();
-        let out = find_imaginary_eigenvalues(
-            &ss,
-            &SolverOptions::default().with_band(0.0, 3.0),
-        )
-        .unwrap();
+        let ss = generate_case(&CaseSpec::new(16, 2).with_seed(2))
+            .unwrap()
+            .realize();
+        let out =
+            find_imaginary_eigenvalues(&ss, &SolverOptions::default().with_band(0.0, 3.0)).unwrap();
         assert_eq!(out.band, (0.0, 3.0));
         for w in &out.frequencies {
             // Disks can slightly exceed the band; crossings reported should
@@ -530,7 +602,9 @@ mod tests {
 
     #[test]
     fn garbage_options_are_rejected_with_typed_errors() {
-        let ss = generate_case(&CaseSpec::new(10, 2).with_seed(1)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(10, 2).with_seed(1))
+            .unwrap()
+            .realize();
         let cases: &[(Option<(f64, f64)>, f64)] = &[
             (Some((f64::NAN, 5.0)), 1.05),
             (Some((0.0, f64::INFINITY)), 1.05),
@@ -541,9 +615,11 @@ mod tests {
             (None, 0.5),
         ];
         for &(band, alpha) in cases {
-            let mut opts = SolverOptions::default();
-            opts.band = band;
-            opts.alpha = alpha;
+            let opts = SolverOptions {
+                band,
+                alpha,
+                ..SolverOptions::default()
+            };
             let err = find_imaginary_eigenvalues(&ss, &opts).unwrap_err();
             match (band, &err) {
                 (Some(_), SolverError::InvalidBand { .. }) => {}
@@ -552,11 +628,9 @@ mod tests {
             }
         }
         // Valid overrides still pass validation.
-        assert!(find_imaginary_eigenvalues(
-            &ss,
-            &SolverOptions::default().with_band(0.0, 3.0)
-        )
-        .is_ok());
+        assert!(
+            find_imaginary_eigenvalues(&ss, &SolverOptions::default().with_band(0.0, 3.0)).is_ok()
+        );
     }
 
     #[test]
@@ -588,13 +662,10 @@ mod tests {
             .unwrap()
             .realize();
         for threads in [1usize, 4] {
-            let out = find_imaginary_eigenvalues(
-                &ss,
-                &SolverOptions::default().with_threads(threads),
-            )
-            .unwrap();
-            let keys: Vec<(f64, f64)> =
-                out.shift_log.iter().map(|r| (r.omega, r.radius)).collect();
+            let out =
+                find_imaginary_eigenvalues(&ss, &SolverOptions::default().with_threads(threads))
+                    .unwrap();
+            let keys: Vec<(f64, f64)> = out.shift_log.iter().map(|r| (r.omega, r.radius)).collect();
             let mut sorted = keys.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
             assert_eq!(keys, sorted, "T={threads}: shift_log not in sorted order");
@@ -608,7 +679,9 @@ mod tests {
         let ss1 = generate_case(&CaseSpec::new(20, 2).with_seed(6).with_target_crossings(2))
             .unwrap()
             .realize();
-        let ss2 = generate_case(&CaseSpec::new(14, 3).with_seed(9)).unwrap().realize();
+        let ss2 = generate_case(&CaseSpec::new(14, 3).with_seed(9))
+            .unwrap()
+            .realize();
         let opts = SolverOptions::default();
         let mut ws = SolverWorkspace::new();
         let _ = find_imaginary_eigenvalues_with(&ss2, &opts, &mut ws).unwrap();
@@ -624,7 +697,9 @@ mod tests {
 
     #[test]
     fn shift_log_is_consistent() {
-        let ss = generate_case(&CaseSpec::new(14, 2).with_seed(5)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(14, 2).with_seed(5))
+            .unwrap()
+            .realize();
         let out = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
         assert_eq!(out.shift_log.len(), out.stats.scheduler.processed);
         let sum: usize = out.shift_log.iter().map(|r| r.matvecs).sum();

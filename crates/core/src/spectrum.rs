@@ -66,12 +66,20 @@ mod tests {
     use super::*;
 
     fn pair(re: f64, im: f64, err: f64) -> ConvergedEigenpair {
-        ConvergedEigenpair { lambda: C64::new(re, im), vector: vec![], error_estimate: err }
+        ConvergedEigenpair {
+            lambda: C64::new(re, im),
+            vector: vec![],
+            error_estimate: err,
+        }
     }
 
     #[test]
     fn filters_by_axis_tolerance() {
-        let pairs = vec![pair(1e-12, 2.0, 1e-10), pair(0.1, 3.0, 1e-10), pair(-1e-12, 4.0, 1e-10)];
+        let pairs = vec![
+            pair(1e-12, 2.0, 1e-10),
+            pair(0.1, 3.0, 1e-10),
+            pair(-1e-12, 4.0, 1e-10),
+        ];
         let out = extract_imaginary(&pairs, 1e-9);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].omega, 2.0);
@@ -88,14 +96,24 @@ mod tests {
     #[test]
     fn dedupe_merges_and_keeps_best() {
         let eigs = vec![
-            ImaginaryEigenpair { omega: 1.0, lambda: C64::from_imag(1.0), vector: vec![], error_estimate: 1e-8 },
+            ImaginaryEigenpair {
+                omega: 1.0,
+                lambda: C64::from_imag(1.0),
+                vector: vec![],
+                error_estimate: 1e-8,
+            },
             ImaginaryEigenpair {
                 omega: 1.0 + 1e-9,
                 lambda: C64::from_imag(1.0 + 1e-9),
                 vector: vec![],
                 error_estimate: 1e-12,
             },
-            ImaginaryEigenpair { omega: 2.0, lambda: C64::from_imag(2.0), vector: vec![], error_estimate: 1e-8 },
+            ImaginaryEigenpair {
+                omega: 2.0,
+                lambda: C64::from_imag(2.0),
+                vector: vec![],
+                error_estimate: 1e-8,
+            },
         ];
         let out = dedupe(eigs, 1e-6);
         assert_eq!(out.len(), 2);
@@ -106,8 +124,18 @@ mod tests {
     #[test]
     fn dedupe_respects_ordering() {
         let eigs = vec![
-            ImaginaryEigenpair { omega: 3.0, lambda: C64::from_imag(3.0), vector: vec![], error_estimate: 0.0 },
-            ImaginaryEigenpair { omega: 1.0, lambda: C64::from_imag(1.0), vector: vec![], error_estimate: 0.0 },
+            ImaginaryEigenpair {
+                omega: 3.0,
+                lambda: C64::from_imag(3.0),
+                vector: vec![],
+                error_estimate: 0.0,
+            },
+            ImaginaryEigenpair {
+                omega: 1.0,
+                lambda: C64::from_imag(1.0),
+                vector: vec![],
+                error_estimate: 0.0,
+            },
         ];
         let out = dedupe(eigs, 1e-9);
         assert_eq!(frequencies(&out), vec![1.0, 3.0]);

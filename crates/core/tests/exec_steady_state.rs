@@ -1,0 +1,107 @@
+//! Steady-state pins for the persistent work-stealing executor: after
+//! warm-up, scheduling work on the pool must spawn **no** threads and
+//! allocate **nothing** per task — the executor's machinery (submit,
+//! steal, execute, wake) runs entirely on pre-reserved storage and
+//! stack-pinned cohort records.
+//!
+//! Probe cohorts isolate the executor's own overhead from task payloads
+//! (a pipeline job naturally allocates; the scheduling around it must
+//! not). Same counting-global-allocator pattern as
+//! `crates/hamiltonian/tests/alloc_free.rs`; one test per file because a
+//! concurrently running test would pollute the counter.
+
+use pheig_core::exec::{self, Executor, ProbeShare, Task, TaskContext};
+use pheig_core::pipeline::{run_batch, Pipeline, PipelineOptions};
+use pheig_core::solver::SolverWorkspace;
+use pheig_model::generator::{generate_case, CaseSpec};
+use pheig_model::FrequencySamples;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn executor_steady_state_spawns_no_threads_and_allocates_nothing_per_task() {
+    const WORKERS: usize = 2;
+    const EXTRA: usize = 4; // cohort members pushed to the pool per round
+    const WARMUP_ROUNDS: usize = 8;
+    const MEASURED_ROUNDS: usize = 200;
+
+    let exec = Executor::pool(WORKERS);
+    let mut ws = SolverWorkspace::new();
+
+    // Warm-up: first rounds settle worker TLS, the workspace checkout
+    // pool, and any lazy OS/runtime state.
+    for _ in 0..WARMUP_ROUNDS {
+        let probe = ProbeShare::new();
+        exec.run_cohort(Task::Probe(&probe), EXTRA, &mut TaskContext::new(&mut ws));
+        assert_eq!(probe.hits(), EXTRA + 1, "cohort must run extra + 1 times");
+    }
+
+    // Steady state: no new threads, zero heap traffic per task. The
+    // cohort record is stack-pinned, deque entries are single words in
+    // pre-sized buffers, and workspace checkout reuses pooled scratch.
+    let spawned_before = exec::threads_spawned_total();
+    let probes_before = exec.stats().probes;
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..MEASURED_ROUNDS {
+        let probe = ProbeShare::new();
+        exec.run_cohort(Task::Probe(&probe), EXTRA, &mut TaskContext::new(&mut ws));
+        assert_eq!(probe.hits(), EXTRA + 1);
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let tasks = (exec.stats().probes - probes_before) as usize;
+
+    assert_eq!(tasks, MEASURED_ROUNDS * (EXTRA + 1));
+    assert_eq!(
+        exec::threads_spawned_total(),
+        spawned_before,
+        "steady-state cohorts must not spawn threads"
+    );
+    assert_eq!(
+        allocs, 0,
+        "executor machinery allocated {allocs} times across {tasks} steady-state tasks"
+    );
+
+    // The same pin at the batch level: repeated run_batch calls reuse the
+    // cached pool — jobs allocate (fits, sweeps), threads must not appear.
+    let mut jobs = Vec::new();
+    for seed in [3u64, 4, 5, 6] {
+        let model =
+            generate_case(&CaseSpec::new(8, 2).with_seed(seed).with_target_crossings(0)).unwrap();
+        let samples = FrequencySamples::from_model(&model, 0.01, 10.0, 90).unwrap();
+        jobs.push(Pipeline::from_samples(samples));
+    }
+    let opts = PipelineOptions::default();
+    let warm = run_batch(&jobs, &opts, WORKERS + 1); // same pool width as above
+    assert!(warm.iter().all(Result::is_ok));
+    let spawned_before = exec::threads_spawned_total();
+    for _ in 0..2 {
+        let again = run_batch(&jobs, &opts, WORKERS + 1);
+        assert!(again.iter().all(Result::is_ok));
+    }
+    assert_eq!(
+        exec::threads_spawned_total(),
+        spawned_before,
+        "repeated batches must reuse the persistent pool, not respawn workers"
+    );
+}

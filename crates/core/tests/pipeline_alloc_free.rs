@@ -40,8 +40,9 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 
 /// Counts allocations across `reps` steady-state applications of `op`.
 fn allocations_during_applies(op: &dyn CLinearOp, reps: usize) -> u64 {
-    let x: Vec<C64> =
-        (0..op.dim()).map(|i| C64::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos())).collect();
+    let x: Vec<C64> = (0..op.dim())
+        .map(|i| C64::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()))
+        .collect();
     let mut y = vec![C64::zero(); op.dim()];
     // Warm-up: first application settles any lazy OS/runtime state.
     op.apply_into(&x, &mut y);

@@ -99,7 +99,9 @@ mod tests {
     use pheig_model::generator::{generate_case, CaseSpec};
 
     fn small_ss() -> StateSpace {
-        generate_case(&CaseSpec::new(10, 2).with_seed(5)).unwrap().realize()
+        generate_case(&CaseSpec::new(10, 2).with_seed(5))
+            .unwrap()
+            .realize()
     }
 
     #[test]
@@ -158,7 +160,10 @@ mod tests {
             .map(|z| z.im)
             .collect();
         crossings.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(!crossings.is_empty(), "calibrated non-passive model must have crossings");
+        assert!(
+            !crossings.is_empty(),
+            "calibrated non-passive model must have crossings"
+        );
         // At each crossing, sigma_max(H(j w)) must be ~1.
         for &w in &crossings {
             let s = sigma_max(&gen.model, w).unwrap();
@@ -169,13 +174,16 @@ mod tests {
     #[test]
     fn passive_model_has_no_imaginary_eigenvalues() {
         use pheig_linalg::eig::eig_real;
-        let model = generate_case(&CaseSpec::new(12, 2).with_seed(8).with_target_crossings(0))
-            .unwrap();
+        let model =
+            generate_case(&CaseSpec::new(12, 2).with_seed(8).with_target_crossings(0)).unwrap();
         let ss = model.realize();
         let m = dense_hamiltonian(&ss).unwrap();
         let eigs = eig_real(&m).unwrap();
         let scale = m.max_abs();
         let on_axis = eigs.iter().filter(|z| z.re.abs() < 1e-9 * scale).count();
-        assert_eq!(on_axis, 0, "passive model must have no imaginary eigenvalues: {eigs:?}");
+        assert_eq!(
+            on_axis, 0,
+            "passive model must have no imaginary eigenvalues: {eigs:?}"
+        );
     }
 }

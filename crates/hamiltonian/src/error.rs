@@ -27,11 +27,17 @@ impl fmt::Display for HamiltonianError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HamiltonianError::DirectTermNotContractive => {
-                write!(f, "sigma_max(D) >= 1: model is not strictly asymptotically passive")
+                write!(
+                    f,
+                    "sigma_max(D) >= 1: model is not strictly asymptotically passive"
+                )
             }
             HamiltonianError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             HamiltonianError::ShiftSingular { re, im } => {
-                write!(f, "shift {re}+{im}i is (numerically) an eigenvalue; perturb the shift")
+                write!(
+                    f,
+                    "shift {re}+{im}i is (numerically) an eigenvalue; perturb the shift"
+                )
             }
         }
     }
@@ -58,8 +64,12 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(HamiltonianError::DirectTermNotContractive.to_string().contains("sigma_max"));
-        assert!(HamiltonianError::ShiftSingular { re: 0.0, im: 2.0 }.to_string().contains("2"));
+        assert!(HamiltonianError::DirectTermNotContractive
+            .to_string()
+            .contains("sigma_max"));
+        assert!(HamiltonianError::ShiftSingular { re: 0.0, im: 2.0 }
+            .to_string()
+            .contains("2"));
         let e: HamiltonianError = pheig_linalg::LinalgError::Singular { at: 1 }.into();
         assert!(std::error::Error::source(&e).is_some());
     }

@@ -22,7 +22,7 @@
 //! the same algebra as the scattering one and is left as future work.
 
 use crate::error::HamiltonianError;
-use pheig_linalg::{C64, Lu, Matrix};
+use pheig_linalg::{Lu, Matrix, C64};
 use pheig_model::StateSpace;
 
 /// Assembles the dense immittance Hamiltonian of `H(s) = D + C (sI-A)^{-1} B`.
@@ -93,15 +93,10 @@ pub fn dense_hamiltonian_immittance(ss: &StateSpace) -> Result<Matrix<f64>, Hami
 /// # Errors
 ///
 /// Propagates Hermitian eigensolver failures.
-pub fn min_hermitian_eigenvalue(
-    ss: &StateSpace,
-    omega: f64,
-) -> Result<f64, HamiltonianError> {
+pub fn min_hermitian_eigenvalue(ss: &StateSpace, omega: f64) -> Result<f64, HamiltonianError> {
     let h = ss.transfer(C64::from_imag(omega));
     let p = ss.ports();
-    let herm = Matrix::from_fn(p, p, |i, j| {
-        (h[(i, j)] + h[(j, i)].conj()).scale(0.5)
-    });
+    let herm = Matrix::from_fn(p, p, |i, j| (h[(i, j)] + h[(j, i)].conj()).scale(0.5));
     let evals = pheig_linalg::hermitian::eigh_values(&herm)?;
     Ok(evals.first().copied().unwrap_or(0.0))
 }
@@ -118,7 +113,10 @@ mod tests {
     fn violating_immittance() -> StateSpace {
         let col0 = ColumnTerms {
             poles: vec![Pole::Pair { re: -0.08, im: 2.0 }],
-            residues: vec![Residue::Complex(vec![C64::new(0.02, -0.5), C64::new(0.01, 0.0)])],
+            residues: vec![Residue::Complex(vec![
+                C64::new(0.02, -0.5),
+                C64::new(0.01, 0.0),
+            ])],
         };
         let col1 = ColumnTerms {
             poles: vec![Pole::Real(-1.5)],
@@ -126,7 +124,9 @@ mod tests {
         };
         // D + D^T positive definite.
         let d = Matrix::from_rows(&[&[0.4, 0.05][..], &[0.0, 0.5][..]]);
-        PoleResidueModel::new(vec![col0, col1], d).unwrap().realize()
+        PoleResidueModel::new(vec![col0, col1], d)
+            .unwrap()
+            .realize()
     }
 
     #[test]
@@ -156,7 +156,10 @@ mod tests {
             .map(|z| z.im)
             .collect();
         crossings.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(!crossings.is_empty(), "test model should violate positive realness");
+        assert!(
+            !crossings.is_empty(),
+            "test model should violate positive realness"
+        );
         // At each crossing the smallest Hermitian-part eigenvalue is ~0.
         for &w in &crossings {
             let lam = min_hermitian_eigenvalue(&ss, w).unwrap();
@@ -183,14 +186,19 @@ mod tests {
         // Weak residues: positive-real everywhere.
         let col0 = ColumnTerms {
             poles: vec![Pole::Pair { re: -0.5, im: 2.0 }],
-            residues: vec![Residue::Complex(vec![C64::new(0.01, -0.02), C64::new(0.0, 0.01)])],
+            residues: vec![Residue::Complex(vec![
+                C64::new(0.01, -0.02),
+                C64::new(0.0, 0.01),
+            ])],
         };
         let col1 = ColumnTerms {
             poles: vec![Pole::Real(-1.0)],
             residues: vec![Residue::Real(vec![0.01, 0.05])],
         };
         let d = Matrix::from_rows(&[&[0.5, 0.0][..], &[0.0, 0.5][..]]);
-        let ss = PoleResidueModel::new(vec![col0, col1], d).unwrap().realize();
+        let ss = PoleResidueModel::new(vec![col0, col1], d)
+            .unwrap()
+            .realize();
         let m = dense_hamiltonian_immittance(&ss).unwrap();
         let eigs = eig_real(&m).unwrap();
         let scale = m.max_abs();

@@ -2,7 +2,7 @@
 
 use crate::error::HamiltonianError;
 use crate::op::CLinearOp;
-use pheig_linalg::{C64, Matrix};
+use pheig_linalg::{Matrix, C64};
 use pheig_model::StateSpace;
 use std::sync::Mutex;
 
@@ -63,7 +63,14 @@ impl<'a> HamiltonianOp<'a> {
             v: vec![C64::zero(); p],
             nbuf: vec![C64::zero(); n],
         });
-        Ok(HamiltonianOp { ss, r_inv, s_inv, d_r_inv, d_t, scratch })
+        Ok(HamiltonianOp {
+            ss,
+            r_inv,
+            s_inv,
+            d_r_inv,
+            d_t,
+            scratch,
+        })
     }
 
     /// The underlying model.
@@ -95,12 +102,19 @@ impl CLinearOp for HamiltonianOp<'_> {
         assert_eq!(y.len(), 2 * n, "HamiltonianOp apply output length mismatch");
         let (x1, x2) = x.split_at(n);
         let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
-        let ApplyScratch { w, u1, rhs, t, v, nbuf } = &mut *guard;
+        let ApplyScratch {
+            w,
+            u1,
+            rhs,
+            t,
+            v,
+            nbuf,
+        } = &mut *guard;
 
         // Port-space intermediates.
         self.ss.apply_c_into(x1, w); // C x1                 (p)
         self.ss.apply_bt_into(x2, u1); // B^T x2              (p)
-        // t = R^{-1} (D^T w + u1)
+                                       // t = R^{-1} (D^T w + u1)
         Self::mixed_matvec_into(&self.d_t, w, rhs);
         for (r, u) in rhs.iter_mut().zip(u1.iter()) {
             *r += *u;
@@ -138,7 +152,9 @@ mod tests {
     #[test]
     fn matches_dense_hamiltonian() {
         for seed in [1u64, 2, 3] {
-            let ss = generate_case(&CaseSpec::new(14, 3).with_seed(seed)).unwrap().realize();
+            let ss = generate_case(&CaseSpec::new(14, 3).with_seed(seed))
+                .unwrap()
+                .realize();
             let op = HamiltonianOp::new(&ss).unwrap();
             let dense = dense_hamiltonian(&ss).unwrap().to_c64();
             assert_eq!(op.dim(), 28);
@@ -156,7 +172,9 @@ mod tests {
 
     #[test]
     fn linearity() {
-        let ss = generate_case(&CaseSpec::new(10, 2).with_seed(4)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(10, 2).with_seed(4))
+            .unwrap()
+            .realize();
         let op = HamiltonianOp::new(&ss).unwrap();
         let x: Vec<C64> = (0..20).map(|i| C64::new(i as f64, -1.0)).collect();
         let y: Vec<C64> = (0..20).map(|i| C64::new(0.5, i as f64 * 0.1)).collect();
@@ -174,7 +192,9 @@ mod tests {
     #[test]
     fn real_input_gives_real_output() {
         // M is a real matrix, so real vectors must map to real vectors.
-        let ss = generate_case(&CaseSpec::new(8, 2).with_seed(9)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(8, 2).with_seed(9))
+            .unwrap()
+            .realize();
         let op = HamiltonianOp::new(&ss).unwrap();
         let x: Vec<C64> = (0..16).map(|i| C64::from_real((i as f64).cos())).collect();
         let y = op.apply(&x);

@@ -1,6 +1,6 @@
 //! The complex linear operator abstraction consumed by the Arnoldi solver.
 
-use pheig_linalg::{C64, Matrix};
+use pheig_linalg::{Matrix, C64};
 
 /// A complex linear operator `y = Op(x)` on `C^dim`.
 ///

@@ -22,7 +22,7 @@
 
 use crate::error::HamiltonianError;
 use crate::op::CLinearOp;
-use pheig_linalg::{C64, Lu, Matrix};
+use pheig_linalg::{Lu, Matrix, C64};
 use pheig_model::block_diag::DiagBlock;
 use pheig_model::StateSpace;
 use std::sync::Mutex;
@@ -96,12 +96,18 @@ impl<'a> ShiftInvertOp<'a> {
         let w_lu = match Lu::new(w) {
             Ok(lu) => {
                 if lu.rcond_estimate() < 1e-14 {
-                    return Err(HamiltonianError::ShiftSingular { re: theta.re, im: theta.im });
+                    return Err(HamiltonianError::ShiftSingular {
+                        re: theta.re,
+                        im: theta.im,
+                    });
                 }
                 lu
             }
             Err(pheig_linalg::LinalgError::Singular { .. }) => {
-                return Err(HamiltonianError::ShiftSingular { re: theta.re, im: theta.im })
+                return Err(HamiltonianError::ShiftSingular {
+                    re: theta.re,
+                    im: theta.im,
+                })
             }
             Err(e) => return Err(e.into()),
         };
@@ -113,7 +119,12 @@ impl<'a> ShiftInvertOp<'a> {
             u1: vec![C64::zero(); n],
             u2: vec![C64::zero(); n],
         });
-        Ok(ShiftInvertOp { ss, theta, w_lu, scratch })
+        Ok(ShiftInvertOp {
+            ss,
+            theta,
+            w_lu,
+            scratch,
+        })
     }
 
     /// The shift this operator was built for.
@@ -221,16 +232,24 @@ mod tests {
     use pheig_model::generator::{generate_case, CaseSpec};
 
     fn test_vec(n: usize) -> Vec<C64> {
-        (0..n).map(|i| C64::new((i as f64 * 0.73).sin(), (i as f64 * 0.41).cos())).collect()
+        (0..n)
+            .map(|i| C64::new((i as f64 * 0.73).sin(), (i as f64 * 0.41).cos()))
+            .collect()
     }
 
     #[test]
     fn matches_dense_shifted_solve() {
-        let ss = generate_case(&CaseSpec::new(12, 3).with_seed(2)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(12, 3).with_seed(2))
+            .unwrap()
+            .realize();
         let dense = dense_hamiltonian(&ss).unwrap().to_c64();
         let n2 = 2 * ss.order();
-        for &theta in &[C64::new(0.0, 1.3), C64::new(0.0, 4.0), C64::new(0.2, 2.0), C64::new(0.0, 0.05)]
-        {
+        for &theta in &[
+            C64::new(0.0, 1.3),
+            C64::new(0.0, 4.0),
+            C64::new(0.2, 2.0),
+            C64::new(0.0, 0.05),
+        ] {
             let op = ShiftInvertOp::new(&ss, theta).unwrap();
             let mut shifted = dense.clone();
             for i in 0..n2 {
@@ -250,7 +269,9 @@ mod tests {
     #[test]
     fn roundtrip_with_structured_matvec() {
         // (M - theta I) * apply(x) == x, using only structured operators.
-        let ss = generate_case(&CaseSpec::new(30, 4).with_seed(7)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(30, 4).with_seed(7))
+            .unwrap()
+            .realize();
         let theta = C64::from_imag(2.4);
         let si = ShiftInvertOp::new(&ss, theta).unwrap();
         let m_op = HamiltonianOp::new(&ss).unwrap();
@@ -266,7 +287,9 @@ mod tests {
 
     #[test]
     fn eigenvalue_mapping() {
-        let ss = generate_case(&CaseSpec::new(8, 2).with_seed(3)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(8, 2).with_seed(3))
+            .unwrap()
+            .realize();
         let theta = C64::from_imag(1.0);
         let op = ShiftInvertOp::new(&ss, theta).unwrap();
         let mu = C64::new(0.5, -0.5);
@@ -295,7 +318,9 @@ mod tests {
     #[test]
     fn transfer_gram_consistency() {
         // G(theta) must equal the dense product C (A - theta)^{-1} B.
-        let ss = generate_case(&CaseSpec::new(9, 2).with_seed(6)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(9, 2).with_seed(6))
+            .unwrap()
+            .realize();
         let theta = C64::new(-0.3, 1.9);
         let g = transfer_gram(&ss, theta);
         let n = ss.order();
@@ -313,7 +338,9 @@ mod tests {
     fn apply_is_linear_operator_inverse_of_shifted_m() {
         // Spectral check: for an eigenpair (lambda, v) of dense M,
         // apply(v) = v / (lambda - theta).
-        let ss = generate_case(&CaseSpec::new(6, 2).with_seed(11)).unwrap().realize();
+        let ss = generate_case(&CaseSpec::new(6, 2).with_seed(11))
+            .unwrap()
+            .realize();
         let dense = dense_hamiltonian(&ss).unwrap().to_c64();
         let (vals, vecs) = pheig_linalg::eig::eig_with_vectors(&dense).unwrap();
         let theta = C64::from_imag(0.9);

@@ -34,8 +34,9 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 
 /// Counts allocations across `reps` steady-state applications of `op`.
 fn allocations_during_applies(op: &dyn CLinearOp, reps: usize) -> u64 {
-    let x: Vec<C64> =
-        (0..op.dim()).map(|i| C64::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos())).collect();
+    let x: Vec<C64> = (0..op.dim())
+        .map(|i| C64::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()))
+        .collect();
     let mut y = vec![C64::zero(); op.dim()];
     // Warm-up: first application settles any lazy OS/runtime state.
     op.apply_into(&x, &mut y);
@@ -48,11 +49,16 @@ fn allocations_during_applies(op: &dyn CLinearOp, reps: usize) -> u64 {
 
 #[test]
 fn steady_state_applies_do_not_allocate() {
-    let ss = generate_case(&CaseSpec::new(60, 4).with_seed(3)).unwrap().realize();
+    let ss = generate_case(&CaseSpec::new(60, 4).with_seed(3))
+        .unwrap()
+        .realize();
 
     let si = ShiftInvertOp::new(&ss, C64::from_imag(2.0)).unwrap();
     let si_allocs = allocations_during_applies(&si, 200);
-    assert_eq!(si_allocs, 0, "ShiftInvertOp::apply_into allocated {si_allocs} times in 200 applies");
+    assert_eq!(
+        si_allocs, 0,
+        "ShiftInvertOp::apply_into allocated {si_allocs} times in 200 applies"
+    );
 
     let ham = HamiltonianOp::new(&ss).unwrap();
     let ham_allocs = allocations_during_applies(&ham, 200);

@@ -74,7 +74,10 @@ impl C64 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Magnitude `|z|`, computed with `hypot` (no spurious overflow).
@@ -121,13 +124,19 @@ impl C64 {
     /// Complex exponential `e^z`.
     pub fn exp(self) -> Self {
         let r = self.re.exp();
-        C64 { re: r * self.im.cos(), im: r * self.im.sin() }
+        C64 {
+            re: r * self.im.cos(),
+            im: r * self.im.sin(),
+        }
     }
 
     /// Scales by a real factor.
     #[inline]
     pub fn scale(self, k: f64) -> Self {
-        C64 { re: self.re * k, im: self.im * k }
+        C64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// The unit-magnitude phase factor `z/|z|`, or `1` when `z == 0`.
@@ -136,7 +145,10 @@ impl C64 {
         if m == 0.0 {
             ONE
         } else {
-            C64 { re: self.re / m, im: self.im / m }
+            C64 {
+                re: self.re / m,
+                im: self.im / m,
+            }
         }
     }
 
@@ -356,7 +368,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (0.0, 2.0), (3.0, -4.0), (-1.0, -1.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-4.0, 0.0),
+            (0.0, 2.0),
+            (3.0, -4.0),
+            (-1.0, -1.0),
+        ] {
             let z = C64::new(re, im);
             let r = z.sqrt();
             assert!(close(r * r, z, 1e-12), "sqrt({z}) = {r}");

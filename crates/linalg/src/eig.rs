@@ -28,7 +28,13 @@ impl Givens {
     fn make(a: C64, b: C64) -> (Givens, C64) {
         let b_abs = b.abs();
         if b_abs == 0.0 {
-            return (Givens { c: 1.0, s: C64::zero() }, a);
+            return (
+                Givens {
+                    c: 1.0,
+                    s: C64::zero(),
+                },
+                a,
+            );
         }
         let a_abs = a.abs();
         if a_abs == 0.0 {
@@ -98,7 +104,10 @@ fn wilkinson_shift(h: &Matrix<C64>, hi: usize) -> C64 {
 /// matrix with pathological scaling.
 pub fn eig_hessenberg(mut h: Matrix<C64>) -> Result<Vec<C64>, LinalgError> {
     if !h.is_square() {
-        return Err(LinalgError::NotSquare { rows: h.rows(), cols: h.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: h.rows(),
+            cols: h.cols(),
+        });
     }
     let n = h.rows();
     if n == 0 {
@@ -150,12 +159,19 @@ pub fn eig_hessenberg(mut h: Matrix<C64>) -> Result<Vec<C64>, LinalgError> {
             continue;
         }
         if total_iters >= budget {
-            return Err(LinalgError::NoConvergence { iterations: total_iters });
+            return Err(LinalgError::NoConvergence {
+                iterations: total_iters,
+            });
         }
         // One explicit shifted QR sweep on the active block lo..hi.
         let sigma = if iters_this_block > 0 && iters_this_block % 12 == 0 {
             // Exceptional shift to break rare convergence stalls.
-            let pert = h[(hi - 1, hi - 2)].abs() + if hi >= 3 { h[(hi - 2, hi - 3)].abs() } else { 0.0 };
+            let pert = h[(hi - 1, hi - 2)].abs()
+                + if hi >= 3 {
+                    h[(hi - 2, hi - 3)].abs()
+                } else {
+                    0.0
+                };
             h[(hi - 1, hi - 1)] + C64::from_real(1.5 * pert)
         } else {
             wilkinson_shift(&h, hi)
@@ -209,7 +225,10 @@ pub fn eig_hessenberg(mut h: Matrix<C64>) -> Result<Vec<C64>, LinalgError> {
 /// ```
 pub fn eig_complex(a: &Matrix<C64>) -> Result<Vec<C64>, LinalgError> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     if !a.is_finite() {
         return Err(LinalgError::invalid("matrix contains non-finite entries"));
@@ -277,7 +296,12 @@ pub fn eig_with_vectors(a: &Matrix<C64>) -> Result<(Vec<C64>, Matrix<C64>), Lina
         };
         // Two inverse-iteration steps from a deterministic start vector.
         let mut v: Vec<C64> = (0..n)
-            .map(|i| C64::new(1.0, ((i * 2654435761usize.wrapping_add(k)) % 97) as f64 / 97.0))
+            .map(|i| {
+                C64::new(
+                    1.0,
+                    ((i * 2654435761usize.wrapping_add(k)) % 97) as f64 / 97.0,
+                )
+            })
             .collect();
         normalize(&mut v);
         for _ in 0..3 {
@@ -299,11 +323,7 @@ mod tests {
     use super::*;
 
     fn sort_eigs(mut e: Vec<C64>) -> Vec<C64> {
-        e.sort_by(|x, y| {
-            (x.re, x.im)
-                .partial_cmp(&(y.re, y.im))
-                .unwrap()
-        });
+        e.sort_by(|x, y| (x.re, x.im).partial_cmp(&(y.re, y.im)).unwrap());
         e
     }
 
@@ -324,7 +344,8 @@ mod tests {
 
     #[test]
     fn upper_triangular_matrix() {
-        let mut a = Matrix::from_diag(&[C64::new(1.0, 1.0), C64::new(2.0, 0.0), C64::new(5.0, -1.0)]);
+        let mut a =
+            Matrix::from_diag(&[C64::new(1.0, 1.0), C64::new(2.0, 0.0), C64::new(5.0, -1.0)]);
         a[(0, 1)] = C64::new(10.0, 3.0);
         a[(0, 2)] = C64::new(-4.0, 0.0);
         a[(1, 2)] = C64::new(7.0, 7.0);
@@ -374,7 +395,11 @@ mod tests {
         ]);
         assert_spectra_match(
             eig_real(&a).unwrap(),
-            vec![C64::from_real(1.0), C64::from_real(2.0), C64::from_real(3.0)],
+            vec![
+                C64::from_real(1.0),
+                C64::from_real(2.0),
+                C64::from_real(3.0),
+            ],
             1e-9,
         );
     }
@@ -405,7 +430,10 @@ mod tests {
         assert_eq!(e.len(), n);
         let tr: C64 = (0..n).map(|i| a[(i, i)]).sum();
         let sum: C64 = e.iter().copied().sum();
-        assert!((tr - sum).abs() < 1e-8 * a.frobenius_norm().max(1.0), "{tr} vs {sum}");
+        assert!(
+            (tr - sum).abs() < 1e-8 * a.frobenius_norm().max(1.0),
+            "{tr} vs {sum}"
+        );
     }
 
     #[test]
@@ -441,7 +469,10 @@ mod tests {
             for i in 0..n {
                 resid = resid.max((av[i] - lambda * v[i]).abs());
             }
-            assert!(resid < 1e-7 * a.frobenius_norm(), "residual {resid} for eigenvalue {lambda}");
+            assert!(
+                resid < 1e-7 * a.frobenius_norm(),
+                "residual {resid} for eigenvalue {lambda}"
+            );
         }
     }
 

@@ -65,12 +65,17 @@ impl Error for LinalgError {}
 impl LinalgError {
     /// Convenience constructor for [`LinalgError::ShapeMismatch`].
     pub fn shape(expected: impl Into<String>, found: impl Into<String>) -> Self {
-        LinalgError::ShapeMismatch { expected: expected.into(), found: found.into() }
+        LinalgError::ShapeMismatch {
+            expected: expected.into(),
+            found: found.into(),
+        }
     }
 
     /// Convenience constructor for [`LinalgError::InvalidArgument`].
     pub fn invalid(message: impl Into<String>) -> Self {
-        LinalgError::InvalidArgument { message: message.into() }
+        LinalgError::InvalidArgument {
+            message: message.into(),
+        }
     }
 }
 

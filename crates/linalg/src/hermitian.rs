@@ -61,11 +61,18 @@ fn off_norm(a: &Matrix<C64>) -> f64 {
 /// ```
 pub fn eigh(a: &Matrix<C64>, with_vectors: bool) -> Result<HermitianEigen, LinalgError> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let n = a.rows();
     let mut m = a.clone();
-    let mut v = if with_vectors { Some(Matrix::<C64>::identity(n)) } else { None };
+    let mut v = if with_vectors {
+        Some(Matrix::<C64>::identity(n))
+    } else {
+        None
+    };
     if n <= 1 {
         let values = (0..n).map(|i| m[(i, i)].re).collect();
         return Ok(HermitianEigen { values, vectors: v });
@@ -79,10 +86,11 @@ pub fn eigh(a: &Matrix<C64>, with_vectors: bool) -> Result<HermitianEigen, Linal
             let values: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
             idx.sort_by(|&x, &y| values[x].partial_cmp(&values[y]).unwrap());
             let sorted_values: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
-            let vectors = v.map(|vm| {
-                Matrix::from_fn(n, n, |i, j| vm[(i, idx[j])])
+            let vectors = v.map(|vm| Matrix::from_fn(n, n, |i, j| vm[(i, idx[j])]));
+            return Ok(HermitianEigen {
+                values: sorted_values,
+                vectors,
             });
-            return Ok(HermitianEigen { values: sorted_values, vectors });
         }
         for p in 0..n - 1 {
             for q in (p + 1)..n {
@@ -135,7 +143,9 @@ pub fn eigh(a: &Matrix<C64>, with_vectors: bool) -> Result<HermitianEigen, Linal
             }
         }
     }
-    Err(LinalgError::NoConvergence { iterations: max_sweeps })
+    Err(LinalgError::NoConvergence {
+        iterations: max_sweeps,
+    })
 }
 
 /// Eigenvalues only, ascending.
@@ -219,7 +229,9 @@ mod tests {
 
     #[test]
     fn psd_gram_matrix_nonnegative() {
-        let b = Matrix::from_fn(6, 4, |i, j| C64::new((i + j) as f64 / 3.0, (i as f64) - 2.0));
+        let b = Matrix::from_fn(6, 4, |i, j| {
+            C64::new((i + j) as f64 / 3.0, (i as f64) - 2.0)
+        });
         let g = &b.conj_transpose() * &b;
         let e = eigh_values(&g).unwrap();
         for v in e {

@@ -40,7 +40,11 @@ pub fn hessenberg<S: Scalar>(mut a: Matrix<S>) -> Matrix<S> {
             continue;
         }
         let x0 = a[(k + 1, k)];
-        let phase = if x0.abs() == 0.0 { S::ONE } else { x0 * S::from_f64(1.0 / x0.abs()) };
+        let phase = if x0.abs() == 0.0 {
+            S::ONE
+        } else {
+            x0 * S::from_f64(1.0 / x0.abs())
+        };
         let beta = -phase * S::from_f64(norm_x);
         let vhv = 2.0 * (norm_x * norm_x + x0.abs() * norm_x);
         if vhv == 0.0 {
@@ -111,7 +115,9 @@ mod tests {
 
     #[test]
     fn complex_matrix_becomes_hessenberg() {
-        let a = Matrix::from_fn(5, 5, |i, j| C64::new((i as f64) - (j as f64), (i * j) as f64 / 3.0));
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            C64::new((i as f64) - (j as f64), (i * j) as f64 / 3.0)
+        });
         let h = hessenberg(a);
         assert!(is_hessenberg(&h, 1e-12));
     }
@@ -147,7 +153,9 @@ mod tests {
     #[test]
     fn frobenius_norm_preserved() {
         // Unitary similarity preserves the Frobenius norm.
-        let a = Matrix::from_fn(7, 7, |i, j| C64::new((i as f64).sin() + j as f64, (j as f64).cos()));
+        let a = Matrix::from_fn(7, 7, |i, j| {
+            C64::new((i as f64).sin() + j as f64, (j as f64).cos())
+        });
         let na = a.frobenius_norm();
         let h = hessenberg(a);
         assert!((h.frobenius_norm() - na).abs() < 1e-10 * na);

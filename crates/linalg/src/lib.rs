@@ -33,6 +33,11 @@
 //! # }
 //! ```
 
+// Dense kernels index by design: the loops mirror the textbook algorithms
+// (i/j/k over rows, columns, reflectors), and most bodies mix a vector index
+// with packed 2-D storage, where iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
 pub mod complex;
 pub mod eig;
 pub mod error;

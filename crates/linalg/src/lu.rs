@@ -40,7 +40,10 @@ impl<S: Scalar> Lu<S> {
     ///   singular to working precision).
     pub fn new(mut a: Matrix<S>) -> Result<Self, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut pivots = Vec::with_capacity(n);
@@ -77,7 +80,11 @@ impl<S: Scalar> Lu<S> {
                 }
             }
         }
-        Ok(Lu { factors: a, pivots, swaps })
+        Ok(Lu {
+            factors: a,
+            pivots,
+            swaps,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -177,7 +184,8 @@ impl<S: Scalar> Lu<S> {
     /// The inverse matrix `A^{-1}` (dense; prefer [`Lu::solve`] when possible).
     pub fn inverse(&self) -> Matrix<S> {
         let n = self.dim();
-        self.solve_matrix(&Matrix::identity(n)).expect("identity has matching shape")
+        self.solve_matrix(&Matrix::identity(n))
+            .expect("identity has matching shape")
     }
 
     /// Determinant of the factored matrix.
@@ -236,10 +244,18 @@ mod tests {
     fn solve_complex_system_roundtrip() {
         let n = 6;
         let a = Matrix::from_fn(n, n, |i, j| {
-            C64::new(((i * 7 + j * 3) % 11) as f64 - 5.0, ((i + 2 * j) % 5) as f64 - 2.0)
-                + if i == j { C64::new(10.0, 0.0) } else { C64::zero() }
+            C64::new(
+                ((i * 7 + j * 3) % 11) as f64 - 5.0,
+                ((i + 2 * j) % 5) as f64 - 2.0,
+            ) + if i == j {
+                C64::new(10.0, 0.0)
+            } else {
+                C64::zero()
+            }
         });
-        let x_true: Vec<C64> = (0..n).map(|i| C64::new(i as f64, -(i as f64) / 2.0)).collect();
+        let x_true: Vec<C64> = (0..n)
+            .map(|i| C64::new(i as f64, -(i as f64) / 2.0))
+            .collect();
         let b = a.matvec(&x_true);
         let lu = Lu::new(a).unwrap();
         let x = lu.solve(&b).unwrap();
@@ -268,7 +284,10 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = Matrix::<f64>::zeros(2, 3);
-        assert!(matches!(Lu::new(a), Err(LinalgError::NotSquare { rows: 2, cols: 3 })));
+        assert!(matches!(
+            Lu::new(a),
+            Err(LinalgError::NotSquare { rows: 2, cols: 3 })
+        ));
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub struct Matrix<S> {
 impl<S: Scalar> Matrix<S> {
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![S::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![S::ZERO; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -65,7 +69,11 @@ impl<S: Scalar> Matrix<S> {
             assert_eq!(r.len(), cols, "all rows must have equal length");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix that owns `data` laid out row-major.
@@ -219,8 +227,16 @@ impl<S: Scalar> Matrix<S> {
     ///
     /// Panics if `x.len() != self.rows()` or `y.len() != self.cols()`.
     pub fn conj_transpose_matvec_into(&self, x: &[S], y: &mut [S]) {
-        assert_eq!(x.len(), self.rows, "conj_transpose_matvec dimension mismatch");
-        assert_eq!(y.len(), self.cols, "conj_transpose_matvec output dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "conj_transpose_matvec dimension mismatch"
+        );
+        assert_eq!(
+            y.len(),
+            self.cols,
+            "conj_transpose_matvec output dimension mismatch"
+        );
         y.fill(S::ZERO);
         for i in 0..self.rows {
             let row = self.row(i);
@@ -336,17 +352,39 @@ impl<S: Scalar> Add for &Matrix<S> {
     type Output = Matrix<S>;
     fn add(self, rhs: &Matrix<S>) -> Matrix<S> {
         assert_eq!(self.shape(), rhs.shape(), "matrix addition shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
 impl<S: Scalar> Sub for &Matrix<S> {
     type Output = Matrix<S>;
     fn sub(self, rhs: &Matrix<S>) -> Matrix<S> {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -412,7 +450,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]);
         let b = Matrix::from_rows(&[&[5.0, 6.0][..], &[7.0, 8.0][..]]);
         let c = a.matmul(&b);
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0][..], &[43.0, 50.0][..]]));
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0][..], &[43.0, 50.0][..]])
+        );
     }
 
     #[test]
@@ -423,7 +464,10 @@ mod tests {
         ]);
         let x = vec![C64::new(1.0, 0.0), C64::new(0.0, 1.0)];
         let y = a.matvec(&x);
-        assert_eq!(y[0], C64::new(1.0, 1.0) + C64::new(0.0, 2.0) * C64::new(0.0, 1.0));
+        assert_eq!(
+            y[0],
+            C64::new(1.0, 1.0) + C64::new(0.0, 2.0) * C64::new(0.0, 1.0)
+        );
         // A^H x must match the dense conj-transpose product.
         let ah = a.conj_transpose();
         let y1 = a.conj_transpose_matvec(&x);

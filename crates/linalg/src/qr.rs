@@ -166,7 +166,11 @@ impl<S: Scalar> Qr<S> {
     /// The upper-triangular factor `R` (size `n x n`).
     pub fn r(&self) -> Matrix<S> {
         let n = self.cols();
-        Matrix::from_fn(n, n, |i, j| if j >= i { self.packed[(i, j)] } else { S::ZERO })
+        Matrix::from_fn(
+            n,
+            n,
+            |i, j| if j >= i { self.packed[(i, j)] } else { S::ZERO },
+        )
     }
 
     /// The thin orthonormal factor `Q` (size `m x n`).
@@ -195,7 +199,10 @@ impl<S: Scalar> Qr<S> {
     pub fn solve_least_squares(&self, b: &[S]) -> Result<Vec<S>, LinalgError> {
         let (m, n) = self.packed.shape();
         if b.len() != m {
-            return Err(LinalgError::shape(format!("rhs length {m}"), format!("{}", b.len())));
+            return Err(LinalgError::shape(
+                format!("rhs length {m}"),
+                format!("{}", b.len()),
+            ));
         }
         let mut c = b.to_vec();
         self.apply_qh(&mut c);
@@ -295,7 +302,10 @@ mod tests {
     #[test]
     fn complex_least_squares_exact_solve() {
         let a = Matrix::from_fn(3, 3, |i, j| {
-            C64::new(((i * i + 2 * j) % 5) as f64 + 1.0, ((i + 3 * j * j) % 7) as f64 - 2.0)
+            C64::new(
+                ((i * i + 2 * j) % 5) as f64 + 1.0,
+                ((i + 3 * j * j) % 7) as f64 - 2.0,
+            )
         });
         let x_true = vec![C64::new(1.0, 1.0), C64::new(-2.0, 0.5), C64::new(0.0, -1.0)];
         let b = a.matvec(&x_true);

@@ -148,6 +148,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // pins the associated-const value
     fn works_for_f64() {
         assert_eq!(generic_sum(&[1.0, 2.0, 3.0]), 6.0);
         assert_eq!(1.5_f64.conj(), 1.5);
@@ -157,6 +158,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // pins the associated-const value
     fn works_for_c64() {
         let z = generic_sum(&[C64::new(1.0, 1.0), C64::new(2.0, -3.0)]);
         assert_eq!(z, C64::new(3.0, -2.0));

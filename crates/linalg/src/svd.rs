@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn rectangular_shapes_agree() {
-        let a = Matrix::from_fn(5, 3, |i, j| C64::new((i + 1) as f64 / (j + 1) as f64, j as f64));
+        let a = Matrix::from_fn(5, 3, |i, j| {
+            C64::new((i + 1) as f64 / (j + 1) as f64, j as f64)
+        });
         let s1 = singular_values(&a).unwrap();
         let s2 = singular_values(&a.conj_transpose()).unwrap();
         assert_eq!(s1.len(), 3);
@@ -99,7 +101,9 @@ mod tests {
     #[test]
     fn frobenius_identity() {
         // sum sigma_i^2 == ||A||_F^2.
-        let a = Matrix::from_fn(6, 6, |i, j| C64::new((i * j) as f64 / 5.0, (i as f64) - (j as f64)));
+        let a = Matrix::from_fn(6, 6, |i, j| {
+            C64::new((i * j) as f64 / 5.0, (i as f64) - (j as f64))
+        });
         let s = singular_values(&a).unwrap();
         let sum_sq: f64 = s.iter().map(|v| v * v).sum();
         let f = a.frobenius_norm();
@@ -108,7 +112,9 @@ mod tests {
 
     #[test]
     fn spectral_norm_bounds_matvec() {
-        let a = Matrix::from_fn(4, 4, |i, j| C64::new((i as f64 + 1.0) * 0.3, (j as f64) * 0.2));
+        let a = Matrix::from_fn(4, 4, |i, j| {
+            C64::new((i as f64 + 1.0) * 0.3, (j as f64) * 0.2)
+        });
         let smax = max_singular_value(&a).unwrap();
         let x = vec![C64::new(0.5, -0.5); 4];
         let y = a.matvec(&x);
@@ -126,7 +132,9 @@ mod tests {
 
     #[test]
     fn descending_order() {
-        let a = Matrix::from_fn(7, 7, |i, j| C64::new(((i * 3 + j) % 5) as f64, ((i + j * 2) % 3) as f64));
+        let a = Matrix::from_fn(7, 7, |i, j| {
+            C64::new(((i * 3 + j) % 5) as f64, ((i + j * 2) % 3) as f64)
+        });
         let s = singular_values(&a).unwrap();
         for w in s.windows(2) {
             assert!(w[0] >= w[1] - 1e-12);

@@ -5,14 +5,13 @@ use pheig_linalg::eig::{eig_complex, eig_with_vectors};
 use pheig_linalg::hermitian::eigh;
 use pheig_linalg::hessenberg::hessenberg;
 use pheig_linalg::svd::singular_values;
-use pheig_linalg::{C64, Lu, Matrix, Qr};
+use pheig_linalg::{Lu, Matrix, Qr, C64};
 use proptest::prelude::*;
 
 /// Strategy: a well-scaled complex matrix with entries in the unit box.
 fn cmatrix(n: usize) -> impl Strategy<Value = Matrix<C64>> {
     prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n * n).prop_map(move |v| {
-        Matrix::from_vec(n, n, v.into_iter().map(|(a, b)| C64::new(a, b)).collect())
-            .expect("sized")
+        Matrix::from_vec(n, n, v.into_iter().map(|(a, b)| C64::new(a, b)).collect()).expect("sized")
     })
 }
 

@@ -8,7 +8,7 @@
 //! of states.
 
 use crate::pole::Pole;
-use pheig_linalg::{C64, Matrix};
+use pheig_linalg::{Matrix, C64};
 
 /// One diagonal block of `A`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,7 +83,11 @@ impl BlockDiagonal {
             dim += b.order();
         }
         offsets.push(dim);
-        BlockDiagonal { blocks, offsets, dim }
+        BlockDiagonal {
+            blocks,
+            offsets,
+            dim,
+        }
     }
 
     /// Total dimension `n`.
@@ -207,14 +211,17 @@ impl BlockDiagonal {
     /// Largest pole natural frequency, a cheap upper-bound proxy for the
     /// model's dynamic bandwidth.
     pub fn max_natural_frequency(&self) -> f64 {
-        self.blocks.iter().map(|b| b.pole().natural_frequency()).fold(0.0, f64::max)
+        self.blocks
+            .iter()
+            .map(|b| b.pole().natural_frequency())
+            .fold(0.0, f64::max)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pheig_linalg::{Lu, vector::nrm2};
+    use pheig_linalg::{vector::nrm2, Lu};
 
     fn sample() -> BlockDiagonal {
         BlockDiagonal::new(vec![
@@ -276,7 +283,11 @@ mod tests {
         let a = sample();
         let theta = C64::new(0.2, 1.3);
         for &transpose in &[false, true] {
-            let base = if transpose { a.to_dense().transpose() } else { a.to_dense() };
+            let base = if transpose {
+                a.to_dense().transpose()
+            } else {
+                a.to_dense()
+            };
             let mut m = base.to_c64();
             for i in 0..a.dim() {
                 m[(i, i)] -= theta;

@@ -51,6 +51,15 @@ pub enum ModelError {
         /// What was wrong on that line.
         message: String,
     },
+    /// An error located in a named input file: the inner failure plus the
+    /// offending path, so batch tooling processing many decks can point
+    /// at the right one (a bare line number is useless across a batch).
+    InFile {
+        /// The file the inner error occurred in.
+        path: String,
+        /// The underlying failure.
+        source: Box<ModelError>,
+    },
     /// A downstream linear algebra kernel failed.
     Linalg(pheig_linalg::LinalgError),
 }
@@ -59,24 +68,37 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::UnstablePole { re } => {
-                write!(f, "pole with non-negative real part {re} (model must be strictly stable)")
+                write!(
+                    f,
+                    "pole with non-negative real part {re} (model must be strictly stable)"
+                )
             }
             ModelError::ResidueLength { expected, found } => {
-                write!(f, "residue vector has length {found}, expected {expected} (ports)")
+                write!(
+                    f,
+                    "residue vector has length {found}, expected {expected} (ports)"
+                )
             }
             ModelError::PoleResidueCount { column } => {
                 write!(f, "column {column} has mismatched pole and residue counts")
             }
             ModelError::DirectTermShape { expected, found } => {
-                write!(f, "direct term must be {expected}x{expected}, found {found}")
+                write!(
+                    f,
+                    "direct term must be {expected}x{expected}, found {found}"
+                )
             }
             ModelError::AsymptoticallyNonPassive { sigma_max } => {
-                write!(f, "sigma_max(D) = {sigma_max} >= 1 violates strict asymptotic passivity")
+                write!(
+                    f,
+                    "sigma_max(D) = {sigma_max} >= 1 violates strict asymptotic passivity"
+                )
             }
             ModelError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
             ModelError::TouchstoneSyntax { line, message } => {
                 write!(f, "touchstone syntax error at line {line}: {message}")
             }
+            ModelError::InFile { path, source } => write!(f, "{path}: {source}"),
             ModelError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
     }
@@ -86,6 +108,7 @@ impl Error for ModelError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ModelError::Linalg(e) => Some(e),
+            ModelError::InFile { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -100,13 +123,32 @@ impl From<pheig_linalg::LinalgError> for ModelError {
 impl ModelError {
     /// Convenience constructor for [`ModelError::InvalidArgument`].
     pub fn invalid(message: impl Into<String>) -> Self {
-        ModelError::InvalidArgument { message: message.into() }
+        ModelError::InvalidArgument {
+            message: message.into(),
+        }
     }
 
     /// Convenience constructor for [`ModelError::TouchstoneSyntax`] with a
     /// 0-based line index (as produced by `lines().enumerate()`).
     pub fn touchstone(line_index: usize, message: impl Into<String>) -> Self {
-        ModelError::TouchstoneSyntax { line: line_index + 1, message: message.into() }
+        ModelError::TouchstoneSyntax {
+            line: line_index + 1,
+            message: message.into(),
+        }
+    }
+
+    /// Wraps an error with the path of the file it occurred in (see
+    /// [`ModelError::InFile`]). Wrapping an already-located error replaces
+    /// the path rather than nesting.
+    pub fn in_file(path: impl AsRef<std::path::Path>, source: ModelError) -> Self {
+        let path = path.as_ref().display().to_string();
+        match source {
+            ModelError::InFile { source, .. } => ModelError::InFile { path, source },
+            other => ModelError::InFile {
+                path,
+                source: Box::new(other),
+            },
+        }
     }
 }
 
@@ -116,13 +158,40 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(ModelError::UnstablePole { re: 0.5 }.to_string().contains("0.5"));
-        assert!(ModelError::ResidueLength { expected: 4, found: 3 }.to_string().contains('4'));
+        assert!(ModelError::UnstablePole { re: 0.5 }
+            .to_string()
+            .contains("0.5"));
+        assert!(ModelError::ResidueLength {
+            expected: 4,
+            found: 3
+        }
+        .to_string()
+        .contains('4'));
         assert!(ModelError::AsymptoticallyNonPassive { sigma_max: 1.2 }
             .to_string()
             .contains("1.2"));
         let e: ModelError = pheig_linalg::LinalgError::Singular { at: 0 }.into();
         assert!(e.to_string().contains("singular"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn in_file_carries_path_and_inner_error() {
+        let inner = ModelError::touchstone(4, "bad record");
+        let e = ModelError::in_file("decks/device.s2p", inner.clone());
+        let text = e.to_string();
+        assert!(text.contains("decks/device.s2p"), "{text}");
+        assert!(text.contains("line 5"), "{text}");
+        assert_eq!(
+            std::error::Error::source(&e).unwrap().to_string(),
+            inner.to_string()
+        );
+        // Re-wrapping replaces the path instead of nesting.
+        let rewrapped = ModelError::in_file("other.s2p", e);
+        let text = rewrapped.to_string();
+        assert!(
+            text.contains("other.s2p") && !text.contains("device.s2p"),
+            "{text}"
+        );
     }
 }

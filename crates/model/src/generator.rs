@@ -19,7 +19,7 @@ use crate::error::ModelError;
 use crate::pole::Pole;
 use crate::pole_residue::{ColumnTerms, PoleResidueModel, Residue};
 use crate::transfer::{count_unit_crossings, sigma_max_estimate};
-use pheig_linalg::{C64, Matrix};
+use pheig_linalg::{Matrix, C64};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -100,7 +100,10 @@ impl CaseSpec {
     /// one place so the "known non-passive reference" contract — which
     /// several tests assert on — cannot drift apart across call sites.
     pub fn demo_nonpassive() -> Self {
-        CaseSpec::new(16, 2).with_seed(101).with_target_crossings(2).with_damping(0.02, 0.09)
+        CaseSpec::new(16, 2)
+            .with_seed(101)
+            .with_target_crossings(2)
+            .with_damping(0.02, 0.09)
     }
 }
 
@@ -223,8 +226,11 @@ pub fn generate_case_with_report(spec: &CaseSpec) -> Result<GeneratedCase, Model
     // place; the passive-target sweep below relies on the two being exact
     // complements.
     let max_probe = 600usize;
-    let keep_every =
-        if all_res_freqs.len() > max_probe { all_res_freqs.len().div_ceil(max_probe) } else { 1 };
+    let keep_every = if all_res_freqs.len() > max_probe {
+        all_res_freqs.len().div_ceil(max_probe)
+    } else {
+        1
+    };
     let res_freqs: Vec<f64> = all_res_freqs.iter().copied().step_by(keep_every).collect();
     let dropped_res_freqs: Vec<f64> = all_res_freqs
         .iter()
@@ -293,7 +299,9 @@ pub fn generate_case_with_report(spec: &CaseSpec) -> Result<GeneratedCase, Model
     while peak_at(hi) < 1.0 {
         hi *= 2.0;
         if hi > 1e6 {
-            return Err(ModelError::invalid("calibration diverged: cannot reach unit peak"));
+            return Err(ModelError::invalid(
+                "calibration diverged: cannot reach unit peak",
+            ));
         }
     }
     for _ in 0..40 {
@@ -365,7 +373,10 @@ pub fn generate_case_with_report(spec: &CaseSpec) -> Result<GeneratedCase, Model
             // the matching `sample_fraction` were computed above; an empty
             // probe set was rejected there.
             let peaks_above = |gamma: f64| -> usize {
-                res_idx.iter().filter(|&&i| sigma_at(&g_grid[i], gamma) > 1.0).count()
+                res_idx
+                    .iter()
+                    .filter(|&&i| sigma_at(&g_grid[i], gamma) > 1.0)
+                    .count()
             };
             // Empirically each counted above-threshold resonance maps to
             // about one crossing (band merging halves the naive 2x factor).
@@ -401,7 +412,11 @@ pub fn generate_case_with_report(spec: &CaseSpec) -> Result<GeneratedCase, Model
     let peak_sigma = peak(&final_curve);
     let columns = scale_residues(model0.columns().to_vec(), gamma);
     let model = PoleResidueModel::new(columns, d)?;
-    Ok(GeneratedCase { model, grid_crossings, peak_sigma })
+    Ok(GeneratedCase {
+        model,
+        grid_crossings,
+        peak_sigma,
+    })
 }
 
 fn validate_spec(spec: &CaseSpec) -> Result<(), ModelError> {
@@ -415,15 +430,21 @@ fn validate_spec(spec: &CaseSpec) -> Result<(), ModelError> {
         )));
     }
     if !(0.0..1.0).contains(&spec.d_sigma) {
-        return Err(ModelError::AsymptoticallyNonPassive { sigma_max: spec.d_sigma });
+        return Err(ModelError::AsymptoticallyNonPassive {
+            sigma_max: spec.d_sigma,
+        });
     }
     // Positive conjunctions so NaN endpoints fail validation instead of
     // slipping through inverted comparisons into a later panic.
     if !(spec.band.0 > 0.0 && spec.band.1 > spec.band.0 && spec.band.1.is_finite()) {
-        return Err(ModelError::invalid("band must satisfy 0 < lo < hi (finite)"));
+        return Err(ModelError::invalid(
+            "band must satisfy 0 < lo < hi (finite)",
+        ));
     }
     if !(spec.damping.0 > 0.0 && spec.damping.1 > spec.damping.0 && spec.damping.1 < 1.0) {
-        return Err(ModelError::invalid("damping range must satisfy 0 < lo < hi < 1"));
+        return Err(ModelError::invalid(
+            "damping range must satisfy 0 < lo < hi < 1",
+        ));
     }
     Ok(())
 }
@@ -571,10 +592,13 @@ mod tests {
                 Pole::Real(_) => None,
             })
             .collect();
-        assert!(res_freqs.len() > 600, "test must exceed the probe subsample");
+        assert!(
+            res_freqs.len() > 600,
+            "test must exceed the probe subsample"
+        );
         for &w in &res_freqs {
-            let s = pheig_linalg::svd::max_singular_value(&rep.model.eval(C64::from_imag(w)))
-                .unwrap();
+            let s =
+                pheig_linalg::svd::max_singular_value(&rep.model.eval(C64::from_imag(w))).unwrap();
             assert!(s < 1.0, "sigma({w}) = {s} on a passive-target model");
         }
     }

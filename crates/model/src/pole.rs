@@ -30,7 +30,10 @@ impl Pole {
         if s.im.abs() <= 1e-12 * s.re.abs().max(1e-300) {
             Pole::Real(s.re)
         } else {
-            Pole::Pair { re: s.re, im: s.im.abs() }
+            Pole::Pair {
+                re: s.re,
+                im: s.im.abs(),
+            }
         }
     }
 
@@ -92,7 +95,10 @@ mod tests {
     #[test]
     fn from_c64_canonicalizes() {
         assert_eq!(Pole::from_c64(C64::new(-1.0, 0.0)), Pole::Real(-1.0));
-        assert_eq!(Pole::from_c64(C64::new(-1.0, -2.0)), Pole::Pair { re: -1.0, im: 2.0 });
+        assert_eq!(
+            Pole::from_c64(C64::new(-1.0, -2.0)),
+            Pole::Pair { re: -1.0, im: 2.0 }
+        );
         assert_eq!(Pole::from_c64(C64::new(-1.0, 1e-15)), Pole::Real(-1.0));
     }
 
@@ -106,7 +112,12 @@ mod tests {
     fn stability() {
         assert!(Pole::Real(-0.1).is_stable());
         assert!(!Pole::Real(0.0).is_stable());
-        assert!(Pole::Pair { re: -1e-9, im: 10.0 }.ensure_stable().is_ok());
+        assert!(Pole::Pair {
+            re: -1e-9,
+            im: 10.0
+        }
+        .ensure_stable()
+        .is_ok());
         assert!(matches!(
             Pole::Pair { re: 0.2, im: 1.0 }.ensure_stable(),
             Err(ModelError::UnstablePole { .. })
@@ -121,7 +132,10 @@ mod tests {
 
     #[test]
     fn upper_location() {
-        assert_eq!(Pole::Pair { re: -1.0, im: 2.0 }.upper(), C64::new(-1.0, 2.0));
+        assert_eq!(
+            Pole::Pair { re: -1.0, im: 2.0 }.upper(),
+            C64::new(-1.0, 2.0)
+        );
         assert_eq!(Pole::Real(-1.0).upper(), C64::from_real(-1.0));
     }
 }

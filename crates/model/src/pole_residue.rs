@@ -4,7 +4,7 @@ use crate::block_diag::BlockDiagonal;
 use crate::error::ModelError;
 use crate::pole::Pole;
 use crate::state_space::StateSpace;
-use pheig_linalg::{C64, Matrix};
+use pheig_linalg::{Matrix, C64};
 
 /// The residue data attached to one pole of one port column.
 ///
@@ -105,10 +105,14 @@ impl PoleResidueModel {
             for (pole, res) in col.poles.iter().zip(&col.residues) {
                 pole.ensure_stable()?;
                 if res.len() != p {
-                    return Err(ModelError::ResidueLength { expected: p, found: res.len() });
+                    return Err(ModelError::ResidueLength {
+                        expected: p,
+                        found: res.len(),
+                    });
                 }
                 match (pole, res) {
-                    (Pole::Real(_), Residue::Real(_)) | (Pole::Pair { .. }, Residue::Complex(_)) => {}
+                    (Pole::Real(_), Residue::Real(_))
+                    | (Pole::Pair { .. }, Residue::Complex(_)) => {}
                     _ => {
                         return Err(ModelError::invalid(format!(
                             "column {k}: residue variant does not match pole kind"
@@ -218,7 +222,10 @@ mod tests {
         };
         let col1 = ColumnTerms {
             poles: vec![Pole::Pair { re: -0.8, im: 2.0 }],
-            residues: vec![Residue::Complex(vec![C64::new(0.1, -0.3), C64::new(0.3, 0.2)])],
+            residues: vec![Residue::Complex(vec![
+                C64::new(0.1, -0.3),
+                C64::new(0.3, 0.2),
+            ])],
         };
         let d = Matrix::from_rows(&[&[0.2, 0.01][..], &[0.01, 0.25][..]]);
         PoleResidueModel::new(vec![col0, col1], d).unwrap()
@@ -289,7 +296,10 @@ mod tests {
         };
         assert!(matches!(
             PoleResidueModel::new(vec![col], d.clone()),
-            Err(ModelError::ResidueLength { expected: 1, found: 2 })
+            Err(ModelError::ResidueLength {
+                expected: 1,
+                found: 2
+            })
         ));
         // Variant mismatch.
         let col = ColumnTerms {
@@ -298,7 +308,10 @@ mod tests {
         };
         assert!(PoleResidueModel::new(vec![col], d.clone()).is_err());
         // Count mismatch.
-        let col = ColumnTerms { poles: vec![Pole::Real(-0.5)], residues: vec![] };
+        let col = ColumnTerms {
+            poles: vec![Pole::Real(-0.5)],
+            residues: vec![],
+        };
         assert!(matches!(
             PoleResidueModel::new(vec![col], d),
             Err(ModelError::PoleResidueCount { column: 0 })

@@ -3,7 +3,7 @@
 
 use crate::error::ModelError;
 use crate::transfer::TransferEval;
-use pheig_linalg::{C64, Matrix};
+use pheig_linalg::{Matrix, C64};
 
 /// Frequency samples `{ (omega_k, S(j omega_k)) }` of a `p x p` scattering
 /// matrix.
@@ -50,7 +50,11 @@ impl FrequencySamples {
                 )));
             }
         }
-        Ok(FrequencySamples { omegas, matrices, ports })
+        Ok(FrequencySamples {
+            omegas,
+            matrices,
+            ports,
+        })
     }
 
     /// Synthesizes samples from a reference model on a uniform grid over
@@ -66,12 +70,17 @@ impl FrequencySamples {
         count: usize,
     ) -> Result<Self, ModelError> {
         if count < 2 || omega_hi <= omega_lo || omega_lo < 0.0 {
-            return Err(ModelError::invalid("need count >= 2 and 0 <= omega_lo < omega_hi"));
+            return Err(ModelError::invalid(
+                "need count >= 2 and 0 <= omega_lo < omega_hi",
+            ));
         }
         let omegas: Vec<f64> = (0..count)
             .map(|k| omega_lo + (omega_hi - omega_lo) * k as f64 / (count - 1) as f64)
             .collect();
-        let matrices = omegas.iter().map(|&w| model.transfer_at(C64::from_imag(w))).collect();
+        let matrices = omegas
+            .iter()
+            .map(|&w| model.transfer_at(C64::from_imag(w)))
+            .collect();
         Self::new(omegas, matrices)
     }
 

@@ -2,7 +2,7 @@
 
 use crate::block_diag::{BlockDiagonal, DiagBlock};
 use crate::error::ModelError;
-use pheig_linalg::{C64, Matrix};
+use pheig_linalg::{Matrix, C64};
 use std::ops::Range;
 
 /// A structured state-space realization `H(s) = D + C (sI - A)^{-1} B`.
@@ -68,9 +68,16 @@ impl StateSpace {
             expected_start = r.end;
         }
         if expected_start != a.block_count() {
-            return Err(ModelError::invalid("column block ranges do not cover all blocks"));
+            return Err(ModelError::invalid(
+                "column block ranges do not cover all blocks",
+            ));
         }
-        Ok(StateSpace { a, col_blocks, c, d })
+        Ok(StateSpace {
+            a,
+            col_blocks,
+            c,
+            d,
+        })
     }
 
     /// Number of states `n`.
@@ -358,7 +365,9 @@ mod tests {
     fn apply_c_ct_match_dense() {
         let ss = small_ss();
         let cd = ss.c().to_c64();
-        let x: Vec<C64> = (0..6).map(|i| C64::new((i as f64).cos(), (i as f64).sin())).collect();
+        let x: Vec<C64> = (0..6)
+            .map(|i| C64::new((i as f64).cos(), (i as f64).sin()))
+            .collect();
         let y = ss.apply_c(&x);
         let yd = cd.matvec(&x);
         for (a, b) in y.iter().zip(&yd) {
@@ -390,6 +399,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::single_range_in_vec_init)] // Vec<Range> is the real argument type
     fn validation_rejects_bad_shapes() {
         let a = BlockDiagonal::new(vec![DiagBlock::Real(-1.0)]);
         let c = Matrix::zeros(1, 1);
@@ -399,8 +409,13 @@ mod tests {
             Err(ModelError::DirectTermShape { .. })
         ));
         // C wrong shape.
-        assert!(StateSpace::new(a.clone(), vec![0..1], Matrix::zeros(1, 5), Matrix::zeros(1, 1))
-            .is_err());
+        assert!(StateSpace::new(
+            a.clone(),
+            vec![0..1],
+            Matrix::zeros(1, 5),
+            Matrix::zeros(1, 1)
+        )
+        .is_err());
         // Ranges that do not partition.
         assert!(StateSpace::new(a, vec![0..0], c, Matrix::zeros(1, 1)).is_err());
     }

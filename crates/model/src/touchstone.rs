@@ -39,7 +39,7 @@
 
 use crate::error::ModelError;
 use crate::samples::FrequencySamples;
-use pheig_linalg::{C64, Lu, Matrix};
+use pheig_linalg::{Lu, Matrix, C64};
 use std::fmt::Write as _;
 
 /// Serializes samples to the text format above.
@@ -79,10 +79,9 @@ pub fn read_samples(text: &str) -> Result<FrequencySamples, ModelError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("ports") {
-            let p: usize = rest
-                .trim()
-                .parse()
-                .map_err(|_| ModelError::invalid(format!("line {}: bad port count", line_no + 1)))?;
+            let p: usize = rest.trim().parse().map_err(|_| {
+                ModelError::invalid(format!("line {}: bad port count", line_no + 1))
+            })?;
             if p == 0 {
                 return Err(ModelError::invalid("port count must be positive"));
             }
@@ -537,7 +536,9 @@ pub fn read_touchstone(text: &str, ports: Option<usize>) -> Result<TouchstoneDec
         let mut m = Matrix::<C64>::zeros(p, p);
         for idx in 0..p * p {
             let (i, j) = entry_position(p, idx);
-            m[(i, j)] = options.format.decode(record[1 + 2 * idx].1, record[2 + 2 * idx].1);
+            m[(i, j)] = options
+                .format
+                .decode(record[1 + 2 * idx].1, record[2 + 2 * idx].1);
         }
         matrices.push(m);
     }
@@ -550,21 +551,22 @@ pub fn read_touchstone(text: &str, ports: Option<usize>) -> Result<TouchstoneDec
 ///
 /// # Errors
 ///
-/// Returns [`ModelError::InvalidArgument`] on I/O failures and the same
-/// parse errors as [`read_touchstone`].
-pub fn read_touchstone_path(path: impl AsRef<std::path::Path>) -> Result<TouchstoneDeck, ModelError> {
+/// Returns [`ModelError::InvalidArgument`] on I/O failures, and the same
+/// parse errors as [`read_touchstone`] wrapped in [`ModelError::InFile`]
+/// so the offending path survives alongside the line number — batch
+/// tooling reading many decks needs both.
+pub fn read_touchstone_path(
+    path: impl AsRef<std::path::Path>,
+) -> Result<TouchstoneDeck, ModelError> {
     let path = path.as_ref();
-    let ports = path
-        .extension()
-        .and_then(|e| e.to_str())
-        .and_then(|ext| {
-            let ext = ext.to_ascii_lowercase();
-            let digits = ext.strip_prefix('s')?.strip_suffix('p')?;
-            digits.parse::<usize>().ok().filter(|&p| p > 0)
-        });
+    let ports = path.extension().and_then(|e| e.to_str()).and_then(|ext| {
+        let ext = ext.to_ascii_lowercase();
+        let digits = ext.strip_prefix('s')?.strip_suffix('p')?;
+        digits.parse::<usize>().ok().filter(|&p| p > 0)
+    });
     let text = std::fs::read_to_string(path)
         .map_err(|e| ModelError::invalid(format!("cannot read {}: {e}", path.display())))?;
-    read_touchstone(&text, ports)
+    read_touchstone(&text, ports).map_err(|e| ModelError::in_file(path, e))
 }
 
 /// Serializes scattering samples as a Touchstone v1 deck.
@@ -575,7 +577,11 @@ pub fn read_touchstone_path(path: impl AsRef<std::path::Path>) -> Result<Touchst
 pub fn write_touchstone(samples: &FrequencySamples, options: &TouchstoneOptions) -> String {
     let p = samples.ports();
     let mut out = String::new();
-    let _ = writeln!(out, "! pheig touchstone export, {p} port(s), {} points", samples.len());
+    let _ = writeln!(
+        out,
+        "! pheig touchstone export, {p} port(s), {} points",
+        samples.len()
+    );
     let _ = writeln!(
         out,
         "# {} {} {} R {}",
@@ -671,7 +677,11 @@ mod tests {
     fn touchstone_roundtrip_all_units_and_formats() {
         let samples = reference_samples(3, 11);
         for unit in [FreqUnit::Hz, FreqUnit::KHz, FreqUnit::MHz, FreqUnit::GHz] {
-            for format in [DataFormat::RealImag, DataFormat::MagAngle, DataFormat::DbAngle] {
+            for format in [
+                DataFormat::RealImag,
+                DataFormat::MagAngle,
+                DataFormat::DbAngle,
+            ] {
                 let opts = TouchstoneOptions {
                     unit,
                     kind: ParameterKind::Scattering,
@@ -761,14 +771,14 @@ mod tests {
     #[test]
     fn touchstone_malformed_option_lines_are_typed_errors() {
         let cases = [
-            "# QHz S RI\n1.0 0.0 0.0\n",         // unknown unit
-            "# GHz W RI\n1.0 0.0 0.0\n",         // unknown parameter
-            "# GHz S XX\n1.0 0.0 0.0\n",         // unknown format
-            "# GHz S RI R\n1.0 0.0 0.0\n",       // R missing value
-            "# GHz S RI R beans\n1.0 0.0 0.0\n", // R unparsable
-            "# GHz S RI R -50\n1.0 0.0 0.0\n",   // R non-positive
+            "# QHz S RI\n1.0 0.0 0.0\n",            // unknown unit
+            "# GHz W RI\n1.0 0.0 0.0\n",            // unknown parameter
+            "# GHz S XX\n1.0 0.0 0.0\n",            // unknown format
+            "# GHz S RI R\n1.0 0.0 0.0\n",          // R missing value
+            "# GHz S RI R beans\n1.0 0.0 0.0\n",    // R unparsable
+            "# GHz S RI R -50\n1.0 0.0 0.0\n",      // R non-positive
             "# GHz S RI\n# Hz S RI\n1.0 0.0 0.0\n", // duplicate option line
-            "1.0 0.0 0.0\n# GHz S RI\n",         // option line after data
+            "1.0 0.0 0.0\n# GHz S RI\n",            // option line after data
         ];
         for text in cases {
             match read_touchstone(text, None) {
@@ -781,14 +791,14 @@ mod tests {
     #[test]
     fn touchstone_garbage_inputs_do_not_panic() {
         let cases = [
-            "",                                // empty
-            "! only comments\n",               // no data
-            "# GHz S RI\n",                    // option line only
-            "1.0 2.0\n",                       // un-inferable column count
-            "# Hz S RI\n1.0 abc 0.0\n",        // unparsable number
-            "# Hz S RI\n1.0 0.0 0.0\n1.0 0.0", // truncated record (ports hint)
+            "",                                      // empty
+            "! only comments\n",                     // no data
+            "# GHz S RI\n",                          // option line only
+            "1.0 2.0\n",                             // un-inferable column count
+            "# Hz S RI\n1.0 abc 0.0\n",              // unparsable number
+            "# Hz S RI\n1.0 0.0 0.0\n1.0 0.0",       // truncated record (ports hint)
             "# Hz S RI\n2.0 0.0 0.0\n1.0 0.0 0.0\n", // non-increasing frequency
-            "\u{0}\u{1}\u{2}binary garbage",   // binary noise
+            "\u{0}\u{1}\u{2}binary garbage",         // binary noise
         ];
         for text in cases {
             assert!(read_touchstone(text, None).is_err(), "{text:?} should fail");
@@ -889,5 +899,32 @@ mod tests {
         std::fs::remove_file(&path).ok();
         // Missing file is a typed error, not a panic.
         assert!(read_touchstone_path(dir.join("missing.s2p")).is_err());
+    }
+
+    #[test]
+    fn touchstone_path_parse_errors_carry_the_path() {
+        let dir = std::env::temp_dir().join("pheig-touchstone-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.s2p");
+        std::fs::write(&path, "# GHz S RI R 50\nnot-a-number 0 0 0 0 0 0 0 0\n").unwrap();
+        match read_touchstone_path(&path) {
+            Err(e @ ModelError::InFile { .. }) => {
+                let text = e.to_string();
+                assert!(text.contains("broken.s2p"), "path missing: {text}");
+                assert!(text.contains("line 2"), "line number missing: {text}");
+                assert!(
+                    matches!(
+                        std::error::Error::source(&e)
+                            .unwrap()
+                            .downcast_ref::<ModelError>()
+                            .unwrap(),
+                        ModelError::TouchstoneSyntax { line: 2, .. }
+                    ),
+                    "inner error lost: {e:?}"
+                );
+            }
+            other => panic!("expected InFile, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

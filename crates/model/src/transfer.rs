@@ -4,7 +4,7 @@
 use crate::pole_residue::PoleResidueModel;
 use crate::state_space::StateSpace;
 use pheig_linalg::svd::max_singular_value;
-use pheig_linalg::{C64, Matrix, vector};
+use pheig_linalg::{vector, Matrix, C64};
 
 /// Anything that can evaluate its `p x p` transfer matrix at `s = j omega`.
 pub trait TransferEval {
@@ -93,7 +93,10 @@ pub fn sigma_curve(
 /// (used only by the synthetic generator's calibration; the solver computes
 /// the exact set).
 pub fn count_unit_crossings(curve: &[f64]) -> usize {
-    curve.windows(2).filter(|w| (w[0] - 1.0) * (w[1] - 1.0) < 0.0).count()
+    curve
+        .windows(2)
+        .filter(|w| (w[0] - 1.0) * (w[1] - 1.0) < 0.0)
+        .count()
 }
 
 /// Locates the maximum of `f` on `[lo, hi]` by golden-section search,
@@ -155,14 +158,20 @@ mod tests {
             let h = m.eval(C64::from_imag(w));
             let exact = max_singular_value(&h).unwrap();
             let est = sigma_max_estimate(&h, 1e-10, 200);
-            assert!((exact - est).abs() < 1e-6 * exact.max(1.0), "omega={w}: {exact} vs {est}");
+            assert!(
+                (exact - est).abs() < 1e-6 * exact.max(1.0),
+                "omega={w}: {exact} vs {est}"
+            );
         }
     }
 
     #[test]
     fn estimate_on_larger_matrix() {
         let h = Matrix::from_fn(12, 12, |i, j| {
-            C64::new(((i * 5 + j * 3) % 7) as f64 - 3.0, ((i + j) % 4) as f64 - 1.5)
+            C64::new(
+                ((i * 5 + j * 3) % 7) as f64 - 3.0,
+                ((i + j) % 4) as f64 - 1.5,
+            )
         });
         let exact = max_singular_value(&h).unwrap();
         let est = sigma_max_estimate(&h, 1e-12, 500);

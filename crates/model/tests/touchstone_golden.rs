@@ -29,8 +29,10 @@ fn golden_deck_parses_to_known_values() {
     assert_eq!(deck.samples.len(), 4);
 
     // Frequencies: omega = 2 pi * f_kHz * 1e3.
-    let expected_omega: Vec<f64> =
-        [10.0, 25.0, 50.0, 100.0].iter().map(|f| 2.0 * std::f64::consts::PI * f * 1e3).collect();
+    let expected_omega: Vec<f64> = [10.0, 25.0, 50.0, 100.0]
+        .iter()
+        .map(|f| 2.0 * std::f64::consts::PI * f * 1e3)
+        .collect();
     for (got, want) in deck.samples.omegas().iter().zip(&expected_omega) {
         assert!((got - want).abs() < 1e-9 * want, "omega {got} vs {want}");
     }
@@ -70,7 +72,11 @@ fn write_read_identity_across_units_formats_and_ports() {
         let model = generate_case(&CaseSpec::new(4 * p, p).with_seed(seed)).unwrap();
         let samples = FrequencySamples::from_model(&model, 0.05, 8.0, 9).unwrap();
         for unit in [FreqUnit::Hz, FreqUnit::KHz, FreqUnit::MHz, FreqUnit::GHz] {
-            for format in [DataFormat::RealImag, DataFormat::MagAngle, DataFormat::DbAngle] {
+            for format in [
+                DataFormat::RealImag,
+                DataFormat::MagAngle,
+                DataFormat::DbAngle,
+            ] {
                 let opts = TouchstoneOptions {
                     unit,
                     kind: ParameterKind::Scattering,
@@ -125,6 +131,9 @@ fn malformed_decks_fail_with_typed_errors_not_panics() {
         "# GHz S RI\n1.0 0.0 0.0\n0.5 0.0 0.0\n", // decreasing frequency
     ];
     for text in other_garbage {
-        assert!(read_touchstone(text, None).is_err(), "{text:?} must be rejected");
+        assert!(
+            read_touchstone(text, None).is_err(),
+            "{text:?} must be rejected"
+        );
     }
 }

@@ -76,9 +76,16 @@ pub fn initial_poles(omega_lo: f64, omega_hi: f64, count: usize, damping: f64) -
     let n_pairs = count / 2;
     let lo = omega_lo.max(omega_hi * 1e-3).max(1e-6);
     for k in 0..n_pairs {
-        let t = if n_pairs == 1 { 0.5 } else { k as f64 / (n_pairs - 1) as f64 };
+        let t = if n_pairs == 1 {
+            0.5
+        } else {
+            k as f64 / (n_pairs - 1) as f64
+        };
         let w = lo * (omega_hi / lo).powf(t);
-        poles.push(Pole::Pair { re: -damping * w, im: w });
+        poles.push(Pole::Pair {
+            re: -damping * w,
+            im: w,
+        });
     }
     if count % 2 == 1 {
         poles.push(Pole::Real(-0.5 * (lo + omega_hi)));

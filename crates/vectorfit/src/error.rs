@@ -55,7 +55,9 @@ impl From<pheig_model::ModelError> for VectorFitError {
 impl VectorFitError {
     /// Convenience constructor for [`VectorFitError::InvalidOptions`].
     pub fn invalid(message: impl Into<String>) -> Self {
-        VectorFitError::InvalidOptions { message: message.into() }
+        VectorFitError::InvalidOptions {
+            message: message.into(),
+        }
     }
 }
 

@@ -7,7 +7,7 @@ use crate::basis::{
 use crate::error::VectorFitError;
 use crate::options::VectorFitOptions;
 use pheig_linalg::eig::eig_real;
-use pheig_linalg::{C64, Matrix, Qr};
+use pheig_linalg::{Matrix, Qr, C64};
 use pheig_model::block_diag::{BlockDiagonal, DiagBlock};
 use pheig_model::{ColumnTerms, FrequencySamples, Pole, PoleResidueModel, Residue, StateSpace};
 
@@ -40,14 +40,19 @@ impl VectorFitOutcome {
 /// relocated spectrum (`pair_spectrum`, which additionally mirrors by
 /// `|re|` since its input is a raw eigenvalue set).
 pub fn flip_unstable(poles: &[Pole]) -> Vec<Pole> {
-    let scale = poles.iter().map(Pole::natural_frequency).fold(0.0, f64::max).max(1e-300);
+    let scale = poles
+        .iter()
+        .map(Pole::natural_frequency)
+        .fold(0.0, f64::max)
+        .max(1e-300);
     poles
         .iter()
         .map(|&p| match p {
             Pole::Real(re) if re >= 0.0 => Pole::Real(-re.max(1e-12 * scale)),
-            Pole::Pair { re, im } if re >= 0.0 => {
-                Pole::Pair { re: -re.max(1e-9 * im.abs().max(1e-12 * scale)), im: im.abs() }
-            }
+            Pole::Pair { re, im } if re >= 0.0 => Pole::Pair {
+                re: -re.max(1e-9 * im.abs().max(1e-12 * scale)),
+                im: im.abs(),
+            },
             stable => stable,
         })
         .collect()
@@ -83,7 +88,9 @@ pub fn vector_fit(
     opts: &VectorFitOptions,
 ) -> Result<VectorFitOutcome, VectorFitError> {
     if opts.iterations == 0 {
-        return Err(VectorFitError::invalid("need at least one relocation iteration"));
+        return Err(VectorFitError::invalid(
+            "need at least one relocation iteration",
+        ));
     }
     let p = samples.ports();
     let k_samples = samples.len();
@@ -146,7 +153,11 @@ pub fn vector_fit(
         }
     }
     let rms_error = (sum_sq / count as f64).sqrt();
-    Ok(VectorFitOutcome { model, rms_error, max_error: max_err })
+    Ok(VectorFitOutcome {
+        model,
+        rms_error,
+        max_error: max_err,
+    })
 }
 
 /// Solves the sigma-augmented LS problem and returns the sigma basis
@@ -250,11 +261,12 @@ pub(crate) fn pair_spectrum(eigs: &[C64]) -> Vec<Pole> {
             continue;
         }
         // Find and consume the conjugate partner.
-        if let Some((pidx, _)) = remaining
-            .iter()
-            .enumerate()
-            .min_by(|a, b| (*a.1 - z.conj()).abs().partial_cmp(&(*b.1 - z.conj()).abs()).unwrap())
-        {
+        if let Some((pidx, _)) = remaining.iter().enumerate().min_by(|a, b| {
+            (*a.1 - z.conj())
+                .abs()
+                .partial_cmp(&(*b.1 - z.conj()).abs())
+                .unwrap()
+        }) {
             let partner = remaining.swap_remove(pidx);
             let re = 0.5 * (z.re + partner.re);
             let im = 0.5 * (z.im.abs() + partner.im.abs());
@@ -265,7 +277,10 @@ pub(crate) fn pair_spectrum(eigs: &[C64]) -> Vec<Pole> {
         } else {
             // Unpaired complex value (should not happen): treat as a pair
             // with itself.
-            poles.push(Pole::Pair { re: -z.re.abs().max(1e-12 * scale), im: z.im.abs() });
+            poles.push(Pole::Pair {
+                re: -z.re.abs().max(1e-12 * scale),
+                im: z.im.abs(),
+            });
         }
     }
     poles
@@ -338,7 +353,13 @@ fn residue_stage(
             }
         }
     }
-    Ok((ColumnTerms { poles: poles.to_vec(), residues }, d_col))
+    Ok((
+        ColumnTerms {
+            poles: poles.to_vec(),
+            residues,
+        },
+        d_col,
+    ))
 }
 
 #[cfg(test)]
@@ -392,7 +413,9 @@ mod tests {
         let count = 140;
         let mut lcg = 0xDEADBEEFu64;
         let mut noise = || {
-            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((lcg >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 2e-4
         };
         for k in 0..count {
@@ -450,12 +473,17 @@ mod tests {
             Pole::Pair { re: -0.1, im: 5.0 },
             Pole::Pair { re: 0.02, im: 9.0 },
         ];
-        let opts = VectorFitOptions::new(0).with_initial_poles(starts).with_iterations(8);
+        let opts = VectorFitOptions::new(0)
+            .with_initial_poles(starts)
+            .with_iterations(8);
         let fit = vector_fit(&samples, &opts).unwrap();
         assert!(fit.rms_error < 1e-6, "rms {}", fit.rms_error);
         // Empty explicit starts are rejected.
-        assert!(vector_fit(&samples, &VectorFitOptions::new(4).with_initial_poles(vec![]))
-            .is_err());
+        assert!(vector_fit(
+            &samples,
+            &VectorFitOptions::new(4).with_initial_poles(vec![])
+        )
+        .is_err());
     }
 
     #[test]

@@ -11,7 +11,12 @@ use pheig::model::generator::{generate_case, CaseSpec};
 use pheig::model::transfer::sigma_max;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let model = generate_case(&CaseSpec::new(18, 2).with_seed(5).with_target_crossings(2).with_damping(0.02, 0.09))?;
+    let model = generate_case(
+        &CaseSpec::new(18, 2)
+            .with_seed(5)
+            .with_target_crossings(2)
+            .with_damping(0.02, 0.09),
+    )?;
     let ss = model.realize();
     let before = find_imaginary_eigenvalues(&ss, &SolverOptions::default())?;
     println!("# crossings before: {:?}", before.frequencies);
@@ -22,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         enforced.iterations, enforced.delta_c_norm
     );
 
-    let hi = before.band.1.min(before.frequencies.last().copied().unwrap_or(10.0) * 2.0);
+    let hi = before
+        .band
+        .1
+        .min(before.frequencies.last().copied().unwrap_or(10.0) * 2.0);
     let grid: Vec<f64> = (0..240).map(|k| hi * k as f64 / 239.0).collect();
     println!("# omega  sigma_before  sigma_after");
     let mut worst_after = 0.0f64;

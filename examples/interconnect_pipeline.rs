@@ -18,8 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Step 0: "measurement" data -----------------------------------
     // A reference structure plays the role of the physical interconnect;
     // its sampled scattering matrix is all the identification sees.
-    let reference =
-        generate_case(&CaseSpec::new(24, 3).with_seed(33).with_target_crossings(4).with_damping(0.02, 0.09))?;
+    let reference = generate_case(
+        &CaseSpec::new(24, 3)
+            .with_seed(33)
+            .with_target_crossings(4)
+            .with_damping(0.02, 0.09),
+    )?;
     let samples = FrequencySamples::from_model(&reference, 0.01, 13.0, 240)?;
     println!(
         "step 0: {} scattering samples on [{:.2}, {:.2}] rad/s, {} ports",
@@ -46,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.bands.len()
     );
     for b in &report.bands {
-        println!("        band [{:.4}, {:.4}], peak sigma {:.6}", b.lo, b.hi, b.peak_sigma);
+        println!(
+            "        band [{:.4}, {:.4}], peak sigma {:.6}",
+            b.lo, b.hi, b.peak_sigma
+        );
     }
 
     // ---- Step 3: passivity enforcement ---------------------------------
@@ -68,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for b in &report.bands {
         let s = sigma_max(&enforced.state_space, b.peak_omega)?;
-        println!("        sigma({:.4}) = {:.6} (was {:.6})", b.peak_omega, s, b.peak_sigma);
+        println!(
+            "        sigma({:.4}) = {:.6} (was {:.6})",
+            b.peak_omega, s, b.peak_sigma
+        );
     }
     assert!(check.frequencies.is_empty());
     Ok(())

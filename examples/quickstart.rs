@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          ({} matvecs total)",
         outcome.band.1, outcome.stats.scheduler.processed, outcome.stats.total_matvecs
     );
-    println!("imaginary Hamiltonian eigenvalues (N_lambda = {}):", outcome.frequencies.len());
+    println!(
+        "imaginary Hamiltonian eigenvalues (N_lambda = {}):",
+        outcome.frequencies.len()
+    );
     for w in &outcome.frequencies {
         println!("  omega = {w:.6}");
     }

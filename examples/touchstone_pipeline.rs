@@ -11,7 +11,9 @@
 //! Run with `cargo run --release --example touchstone_pipeline`.
 
 use pheig::model::generator::{generate_case, CaseSpec};
-use pheig::model::touchstone::{write_touchstone, DataFormat, FreqUnit, ParameterKind, TouchstoneOptions};
+use pheig::model::touchstone::{
+    write_touchstone, DataFormat, FreqUnit, ParameterKind, TouchstoneOptions,
+};
 use pheig::model::FrequencySamples;
 use pheig::{run_batch, Pipeline, PipelineOptions};
 
@@ -33,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let deck_path = std::env::temp_dir().join("pheig_touchstone_pipeline.s2p");
     std::fs::write(&deck_path, &deck_text)?;
-    println!("step 0: wrote {} ({} samples, 2 ports, MHz/RI)", deck_path.display(), samples.len());
+    println!(
+        "step 0: wrote {} ({} samples, 2 ports, MHz/RI)",
+        deck_path.display(),
+        samples.len()
+    );
 
     // ---- Steps 1-4 in one call ----------------------------------------
     // Parse (port count from the .s2p extension, frequencies converted
@@ -53,8 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // reuses one solver workspace across its whole share of the batch.
     let mut jobs = vec![pipeline];
     for seed in [55u64, 56] {
-        let passive =
-            generate_case(&CaseSpec::new(12, 2).with_seed(seed).with_target_crossings(0))?;
+        let passive = generate_case(
+            &CaseSpec::new(12, 2)
+                .with_seed(seed)
+                .with_target_crossings(0),
+        )?;
         let s = FrequencySamples::from_model(&passive, 0.01, 12.0, 160)?;
         jobs.push(Pipeline::from_samples(s));
     }
@@ -67,7 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             model.report.fit.order,
             model.report.sweep.crossings,
             model.report.residual_violations(),
-            if model.report.enforcement.is_some() { "ran" } else { "skipped" },
+            if model.report.enforcement.is_some() {
+                "ran"
+            } else {
+                "skipped"
+            },
         );
         assert_eq!(model.report.residual_violations(), 0);
     }

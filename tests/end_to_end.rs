@@ -27,7 +27,10 @@ fn samples_to_passive_model() {
     // violations (fit error is far below the violation amplitude).
     let outcome = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
     let report = characterize(&fit.model, &outcome.frequencies).unwrap();
-    assert!(!report.is_passive(), "fitted model should inherit violations");
+    assert!(
+        !report.is_passive(),
+        "fitted model should inherit violations"
+    );
     for (&w, &s) in report.crossings.iter().zip(&report.sigma_at_crossings) {
         assert!((s - 1.0).abs() < 1e-4, "sigma at crossing {w} is {s}");
     }
@@ -43,7 +46,11 @@ fn samples_to_passive_model() {
     assert!(check.frequencies.is_empty());
     for b in &report.bands {
         let s = sigma_max(&enforced.state_space, b.peak_omega).unwrap();
-        assert!(s <= 1.0 + 1e-9, "sigma({}) = {s} after enforcement", b.peak_omega);
+        assert!(
+            s <= 1.0 + 1e-9,
+            "sigma({}) = {s} after enforcement",
+            b.peak_omega
+        );
     }
 }
 

@@ -5,7 +5,7 @@
 use pheig::hamiltonian::immittance::{dense_hamiltonian_immittance, min_hermitian_eigenvalue};
 use pheig::hamiltonian::CLinearOp;
 use pheig::linalg::eig::eig_real;
-use pheig::linalg::{C64, Matrix};
+use pheig::linalg::{Matrix, C64};
 use pheig::model::generator::{generate_case, CaseSpec};
 use pheig::model::touchstone::{read_samples, write_samples};
 use pheig::model::{ColumnTerms, FrequencySamples, Pole, PoleResidueModel, Residue};
@@ -64,7 +64,11 @@ fn touchstone_roundtrip_feeds_vector_fitting() {
     assert!(text.contains("ports 2"));
     let parsed = read_samples(&text).unwrap();
     let fit = vector_fit(&parsed, &VectorFitOptions::new(8)).unwrap();
-    assert!(fit.rms_error < 1e-6, "rms through text roundtrip: {}", fit.rms_error);
+    assert!(
+        fit.rms_error < 1e-6,
+        "rms through text roundtrip: {}",
+        fit.rms_error
+    );
 }
 
 #[test]

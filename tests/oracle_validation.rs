@@ -27,7 +27,9 @@ fn oracle_crossings(ss: &StateSpace) -> Vec<f64> {
 
 fn assert_solver_matches_oracle(cases: &[(u64, usize, usize, usize)]) {
     for &(seed, n, p, target) in cases {
-        let spec = CaseSpec::new(n, p).with_seed(seed).with_target_crossings(target);
+        let spec = CaseSpec::new(n, p)
+            .with_seed(seed)
+            .with_target_crossings(target);
         let ss = generate_case(&spec).unwrap().realize();
         let want = oracle_crossings(&ss);
         let out = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
@@ -117,7 +119,11 @@ fn pipeline_output_is_passive_by_dense_oracle() {
         .unwrap()
         .run(&PipelineOptions::default())
         .unwrap();
-    assert_eq!(out.report.residual_violations(), 0, "sweep-level report must be clean");
+    assert_eq!(
+        out.report.residual_violations(),
+        0,
+        "sweep-level report must be clean"
+    );
 
     // The fitted (pre-enforcement) model must inherit the reference's
     // violations according to the same oracle — otherwise this test could
@@ -136,7 +142,11 @@ fn pipeline_output_is_passive_by_dense_oracle() {
     // And the sigma curve agrees: old peak frequencies are at/below 1.
     for band in &out.report.initial_report.bands {
         let s = sigma_max(&out.state_space, band.peak_omega).unwrap();
-        assert!(s <= 1.0 + 1e-9, "sigma({}) = {s} after enforcement", band.peak_omega);
+        assert!(
+            s <= 1.0 + 1e-9,
+            "sigma({}) = {s} after enforcement",
+            band.peak_omega
+        );
     }
 }
 

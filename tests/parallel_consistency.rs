@@ -52,11 +52,18 @@ fn speedup_is_monotone_enough_and_superlinear_capable() {
     let ss = model();
     let s1 = simulate_parallel(&ss, 1, &SolverOptions::default(), ScheduleMode::Dynamic).unwrap();
     let mut prev = s1.speedup_vs(s1.total_cost);
-    assert!((prev - 1.0).abs() < 1e-12, "self-speedup must be 1, got {prev}");
+    assert!(
+        (prev - 1.0).abs() < 1e-12,
+        "self-speedup must be 1, got {prev}"
+    );
     for threads in [2usize, 4, 8] {
-        let sim =
-            simulate_parallel(&ss, threads, &SolverOptions::default(), ScheduleMode::Dynamic)
-                .unwrap();
+        let sim = simulate_parallel(
+            &ss,
+            threads,
+            &SolverOptions::default(),
+            ScheduleMode::Dynamic,
+        )
+        .unwrap();
         let speedup = sim.speedup_vs(s1.total_cost);
         assert!(
             speedup >= prev * 0.8,
@@ -65,7 +72,10 @@ fn speedup_is_monotone_enough_and_superlinear_capable() {
         assert!(speedup >= 0.9, "T={threads}: speedup {speedup}");
         prev = prev.max(speedup);
     }
-    assert!(prev > 1.5, "parallelism never materialized: best speedup {prev}");
+    assert!(
+        prev > 1.5,
+        "parallelism never materialized: best speedup {prev}"
+    );
 }
 
 #[test]
@@ -77,9 +87,13 @@ fn dynamic_beats_static_grid_on_work() {
     let opts = SolverOptions::default();
     let dynamic = simulate_parallel(&ss, 8, &opts, ScheduleMode::Dynamic).unwrap();
     let n_static = (dynamic.shifts_processed * 2).max(16);
-    let static_grid =
-        simulate_parallel(&ss, 8, &opts, ScheduleMode::StaticGrid { n_shifts: n_static })
-            .unwrap();
+    let static_grid = simulate_parallel(
+        &ss,
+        8,
+        &opts,
+        ScheduleMode::StaticGrid { n_shifts: n_static },
+    )
+    .unwrap();
     assert!(
         static_grid.total_cost > dynamic.total_cost,
         "static grid ({}) should cost more work than dynamic ({})",
@@ -107,7 +121,10 @@ fn seed_variation_preserves_results_but_not_work() {
         costs.push(sim.total_cost);
         counts.push(sim.frequencies.len());
     }
-    assert!(counts.windows(2).all(|w| w[0] == w[1]), "spectrum changed with seed: {counts:?}");
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "spectrum changed with seed: {counts:?}"
+    );
     assert!(
         costs.iter().any(|&c| c != costs[0]),
         "work should vary with the random start vectors: {costs:?}"
@@ -144,7 +161,6 @@ fn thread_oversubscription_is_safe() {
         .unwrap()
         .realize();
     let serial = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
-    let wide =
-        find_imaginary_eigenvalues(&ss, &SolverOptions::default().with_threads(16)).unwrap();
+    let wide = find_imaginary_eigenvalues(&ss, &SolverOptions::default().with_threads(16)).unwrap();
     assert_eq!(serial.frequencies.len(), wide.frequencies.len());
 }

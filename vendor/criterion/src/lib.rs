@@ -21,7 +21,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 10 }
+        Criterion {
+            default_sample_size: 10,
+        }
     }
 }
 
@@ -156,7 +158,10 @@ fn run_one(
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
-    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
     f(&mut bencher);
     if bencher.samples.is_empty() {
         println!("{label:<40} (no samples)");
@@ -176,9 +181,7 @@ fn run_one(
         }
         None => String::new(),
     };
-    println!(
-        "{label:<40} median {median:>12?}  (min {min:?}, max {max:?}, {n} samples){rate}"
-    );
+    println!("{label:<40} median {median:>12?}  (min {min:?}, max {max:?}, {n} samples){rate}");
 }
 
 /// Bundles benchmark functions into a runnable group function.

@@ -26,12 +26,16 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the underlying data.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -58,13 +62,17 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.inner.as_deref().expect("guard taken during Condvar::wait")
+        self.inner
+            .as_deref()
+            .expect("guard taken during Condvar::wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.inner.as_deref_mut().expect("guard taken during Condvar::wait")
+        self.inner
+            .as_deref_mut()
+            .expect("guard taken during Condvar::wait")
     }
 }
 
@@ -77,15 +85,37 @@ pub struct Condvar {
 impl Condvar {
     /// Creates a new condition variable.
     pub const fn new() -> Self {
-        Condvar { inner: std::sync::Condvar::new() }
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     /// Atomically releases the guard's mutex and blocks until notified;
     /// the mutex is re-acquired before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("re-entrant Condvar::wait");
-        let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(inner);
+    }
+
+    /// [`Condvar::wait`] with a timeout: returns once notified or after
+    /// `timeout`, whichever comes first; the mutex is re-acquired before
+    /// returning either way.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("re-entrant Condvar::wait_for");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wakes one blocked thread.
@@ -102,6 +132,18 @@ impl Condvar {
 impl fmt::Debug for Condvar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("Condvar { .. }")
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`] (mirrors parking_lot's type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended because the timeout elapsed rather than
+    /// a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -139,6 +181,34 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         assert_eq!(consumer.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_wakes_on_notify() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut guard = m.lock();
+        // Nothing notifies: the wait must end by timeout.
+        let res = cv.wait_for(&mut guard, Duration::from_millis(5));
+        assert!(res.timed_out());
+        drop(guard);
+
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let waker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let (m, cv) = &*shared;
+                *m.lock() = true;
+                cv.notify_all();
+            })
+        };
+        let (m, cv) = &*shared;
+        let mut guard = m.lock();
+        while !*guard {
+            let _ = cv.wait_for(&mut guard, Duration::from_millis(50));
+        }
+        drop(guard);
+        waker.join().unwrap();
     }
 
     #[test]

@@ -20,14 +20,20 @@ impl From<usize> for SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty collection size range");
-        SizeRange { lo: r.start, hi: r.end - 1 }
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
         assert!(r.start() <= r.end(), "empty collection size range");
-        SizeRange { lo: *r.start(), hi: *r.end() }
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
     }
 }
 
@@ -40,7 +46,10 @@ pub struct VecStrategy<S> {
 /// Generates vectors whose elements come from `element` and whose length
 /// lies in `size` (a `usize`, `a..b`, or `a..=b`).
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 impl<S: Strategy> Strategy for VecStrategy<S> {

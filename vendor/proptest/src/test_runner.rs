@@ -31,7 +31,9 @@ pub struct TestCaseError {
 impl TestCaseError {
     /// A failed case with the given reason.
     pub fn fail(message: impl Into<String>) -> Self {
-        TestCaseError { message: message.into() }
+        TestCaseError {
+            message: message.into(),
+        }
     }
 
     /// Alias of [`TestCaseError::fail`] kept for upstream API parity.
@@ -78,7 +80,9 @@ impl TestRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        TestRng { s: [next(), next(), next(), next()] }
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// Next 64 random bits.
