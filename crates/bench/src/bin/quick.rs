@@ -5,6 +5,14 @@
 //! harness, and writes the results to `BENCH_matvec.json` so every PR has a
 //! machine-readable perf trajectory to compare against.
 //!
+//! Schema v2: both reports carry a `host` block (CPU count, rustc
+//! version, git revision) so trajectory points from different machines
+//! are distinguishable, and `solver_sweep` rows are flagged
+//! `cpus_limited` when they request more worker threads than the host
+//! has CPUs (the wall time then measures oversubscription, not
+//! speedup). All v1 fields are unchanged, so downstream diffs remain
+//! readable.
+//!
 //! A counting global allocator measures steady-state heap allocations per
 //! operator application — the quantity the allocation-free hot-path
 //! contract pins to zero.
@@ -78,6 +86,63 @@ struct SolverRow {
     total_matvecs: usize,
     shifts: usize,
     crossings: usize,
+    /// `true` when the row asked for more worker threads than the host
+    /// has CPUs: the wall time is then advisory (it measures
+    /// oversubscription, not parallel speedup).
+    cpus_limited: bool,
+}
+
+/// Host provenance recorded in every report (schema v2) so the perf
+/// trajectory stays comparable across machines: a regression against a
+/// number measured on different silicon is not a regression.
+struct HostInfo {
+    cpus: usize,
+    cpu_model: String,
+    rustc: String,
+    git_rev: String,
+}
+
+impl HostInfo {
+    fn detect() -> Self {
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let run = |cmd: &str, args: &[&str]| -> String {
+            std::process::Command::new(cmd)
+                .args(args)
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map_or_else(|| "unknown".into(), |s| s.trim().to_string())
+        };
+        // The CPU model is the comparability key for single-thread
+        // per-apply numbers (CPU *count* is irrelevant to them).
+        let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("model name"))
+                    .and_then(|l| l.split(':').nth(1))
+                    .map(|m| m.trim().to_string())
+            })
+            .unwrap_or_else(|| "unknown".into());
+        HostInfo {
+            cpus,
+            cpu_model,
+            rustc: run("rustc", &["--version"]),
+            git_rev: run("git", &["rev-parse", "--short", "HEAD"]),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "\"host\": {{\"cpus\": {}, \"cpu_model\": \"{}\", \"rustc\": \"{}\", \
+             \"git_rev\": \"{}\"}}",
+            self.cpus,
+            self.cpu_model.replace('"', "'"),
+            self.rustc.replace('"', "'"),
+            self.git_rev.replace('"', "'")
+        )
+    }
 }
 
 /// Times `f` adaptively: enough repetitions to fill ~100 ms, after warmup.
@@ -163,7 +228,7 @@ fn bench_hamiltonian(sizes: &[usize], p: usize) -> Vec<ApplyRow> {
         .collect()
 }
 
-fn bench_solver() -> Vec<SolverRow> {
+fn bench_solver(host_cpus: usize) -> Vec<SolverRow> {
     let (n, p) = (96, 3);
     let ss = generate_case(&CaseSpec::new(n, p).with_seed(7).with_target_crossings(4))
         .unwrap()
@@ -175,12 +240,18 @@ fn bench_solver() -> Vec<SolverRow> {
             let t0 = Instant::now();
             let out = find_imaginary_eigenvalues(&ss, &opts).unwrap();
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let cpus_limited = threads > host_cpus;
             eprintln!(
                 "solver_sweep n={n} p={p} T={threads}: {wall_ms:.1} ms, \
-                 {} matvecs, {} shifts, {} crossings",
+                 {} matvecs, {} shifts, {} crossings{}",
                 out.stats.total_matvecs,
                 out.shift_log.len(),
-                out.frequencies.len()
+                out.frequencies.len(),
+                if cpus_limited {
+                    " (advisory: more threads than CPUs)"
+                } else {
+                    ""
+                }
             );
             SolverRow {
                 n,
@@ -190,6 +261,7 @@ fn bench_solver() -> Vec<SolverRow> {
                 total_matvecs: out.stats.total_matvecs,
                 shifts: out.shift_log.len(),
                 crossings: out.frequencies.len(),
+                cpus_limited,
             }
         })
         .collect()
@@ -412,8 +484,16 @@ fn solver_rows_json(rows: &[SolverRow]) -> String {
         .map(|r| {
             format!(
                 "    {{\"n\": {}, \"p\": {}, \"threads\": {}, \"wall_ms\": {:.1}, \
-                 \"total_matvecs\": {}, \"shifts\": {}, \"crossings\": {}}}",
-                r.n, r.p, r.threads, r.wall_ms, r.total_matvecs, r.shifts, r.crossings
+                 \"total_matvecs\": {}, \"shifts\": {}, \"crossings\": {}, \
+                 \"cpus_limited\": {}}}",
+                r.n,
+                r.p,
+                r.threads,
+                r.wall_ms,
+                r.total_matvecs,
+                r.shifts,
+                r.crossings,
+                r.cpus_limited
             )
         })
         .collect();
@@ -493,17 +573,22 @@ fn main() {
         }
     }
 
+    let host = HostInfo::detect();
+    eprintln!(
+        "host: {} cpu(s), {}, rev {}",
+        host.cpus, host.rustc, host.git_rev
+    );
     let sizes = [250usize, 1000, 4000];
     let p = 20;
     let shift_invert = bench_shift_invert(&sizes, p);
     let hamiltonian = bench_hamiltonian(&sizes, p);
-    let solver = bench_solver();
+    let solver = bench_solver(host.cpus);
     if let Some(path) = &baseline {
         compare_with_baseline(path, &shift_invert, &hamiltonian);
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"pheig-bench-quick/v1\",\n  \"profile\": \"{}\",\n  \
+        "{{\n  \"schema\": \"pheig-bench-quick/v2\",\n  \"profile\": \"{}\",\n  {},\n  \
          \"shift_invert_apply\": [\n{}\n  ],\n  \"hamiltonian_matvec\": [\n{}\n  ],\n  \
          \"solver_sweep\": [\n{}\n  ]\n}}\n",
         if cfg!(debug_assertions) {
@@ -511,6 +596,7 @@ fn main() {
         } else {
             "release"
         },
+        host.json(),
         apply_rows_json(&shift_invert),
         apply_rows_json(&hamiltonian),
         solver_rows_json(&solver)
@@ -520,13 +606,14 @@ fn main() {
 
     let pipeline = bench_pipeline();
     let pipeline_json = format!(
-        "{{\n  \"schema\": \"pheig-bench-pipeline/v1\",\n  \"profile\": \"{}\",\n  \
+        "{{\n  \"schema\": \"pheig-bench-pipeline/v2\",\n  \"profile\": \"{}\",\n  {},\n  \
          \"pipeline\": [\n{}\n  ]\n}}\n",
         if cfg!(debug_assertions) {
             "debug"
         } else {
             "release"
         },
+        host.json(),
         pipeline_rows_json(&pipeline)
     );
     std::fs::write(&pipeline_out_path, pipeline_json).expect("write pipeline report");

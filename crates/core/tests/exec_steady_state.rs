@@ -13,6 +13,7 @@
 use pheig_core::exec::{self, Executor, ProbeShare, Task, TaskContext};
 use pheig_core::pipeline::{run_batch, Pipeline, PipelineOptions};
 use pheig_core::solver::SolverWorkspace;
+use pheig_hamiltonian::scratch_contention_total;
 use pheig_model::generator::{generate_case, CaseSpec};
 use pheig_model::FrequencySamples;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -103,5 +104,17 @@ fn executor_steady_state_spawns_no_threads_and_allocates_nothing_per_task() {
         exec::threads_spawned_total(),
         spawned_before,
         "repeated batches must reuse the persistent pool, not respawn workers"
+    );
+
+    // Lock-freedom pin: every operator apply across all of the sweeps above
+    // (batch jobs, nested parallel sweeps, enforcement re-sweeps) must take
+    // the scratch checkout fast path — zero contended acquisitions means
+    // zero lock waits and zero fallback allocations per apply. Each worker
+    // builds its own operator, so any contention here is an ownership bug.
+    assert_eq!(
+        scratch_contention_total(),
+        0,
+        "operator scratch checkouts were contended; an operator is being \
+         applied concurrently from two workers"
     );
 }

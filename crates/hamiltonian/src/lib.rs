@@ -27,10 +27,12 @@ pub mod error;
 pub mod immittance;
 pub mod matvec;
 pub mod op;
+pub mod scratch;
 pub mod shift_invert;
 
 pub use build::dense_hamiltonian;
 pub use error::HamiltonianError;
 pub use matvec::HamiltonianOp;
 pub use op::CLinearOp;
+pub use scratch::{contention_total as scratch_contention_total, ScratchCell};
 pub use shift_invert::ShiftInvertOp;

@@ -2,32 +2,68 @@
 
 use crate::error::HamiltonianError;
 use crate::op::CLinearOp;
-use pheig_linalg::{Matrix, C64};
+use crate::scratch::ScratchCell;
+use pheig_linalg::{kernels, Matrix, C64};
 use pheig_model::StateSpace;
-use std::sync::Mutex;
 
-/// Owned apply workspace (see the note on [`crate::ShiftInvertOp`]'s
-/// scratch: the [`Mutex`] keeps the operator [`Sync`] and is uncontended in
-/// every driver).
+/// Owned apply workspace in split-complex planes (see the note on
+/// [`crate::ShiftInvertOp`]'s scratch: the lock-free [`ScratchCell`]
+/// keeps the operator [`Sync`] without a per-apply lock).
 #[derive(Debug)]
 struct ApplyScratch {
-    /// `C x1` (length `p`).
-    w: Vec<C64>,
+    /// Split input `x` (length `2n` per plane).
+    xr: Vec<f64>,
+    xi: Vec<f64>,
+    /// `C x1` (length `p` per plane).
+    wr: Vec<f64>,
+    wi: Vec<f64>,
     /// `B^T x2` (length `p`).
-    u1: Vec<C64>,
+    u1r: Vec<f64>,
+    u1i: Vec<f64>,
     /// `D^T w + u1`, then reused for `D R^{-1} u1` (length `p`).
-    rhs: Vec<C64>,
+    rr: Vec<f64>,
+    ri: Vec<f64>,
     /// `R^{-1} rhs` (length `p`).
-    t: Vec<C64>,
+    tr: Vec<f64>,
+    ti: Vec<f64>,
     /// `S^{-1} w + D R^{-1} u1` (length `p`).
-    v: Vec<C64>,
-    /// State-space temporary (length `n`).
-    nbuf: Vec<C64>,
+    vr: Vec<f64>,
+    vi: Vec<f64>,
+    /// Output halves in planes (length `n` each).
+    y1r: Vec<f64>,
+    y1i: Vec<f64>,
+    y2r: Vec<f64>,
+    y2i: Vec<f64>,
+}
+
+impl ApplyScratch {
+    fn sized(n: usize, p: usize) -> Self {
+        ApplyScratch {
+            xr: vec![0.0; 2 * n],
+            xi: vec![0.0; 2 * n],
+            wr: vec![0.0; p],
+            wi: vec![0.0; p],
+            u1r: vec![0.0; p],
+            u1i: vec![0.0; p],
+            rr: vec![0.0; p],
+            ri: vec![0.0; p],
+            tr: vec![0.0; p],
+            ti: vec![0.0; p],
+            vr: vec![0.0; p],
+            vi: vec![0.0; p],
+            y1r: vec![0.0; n],
+            y1i: vec![0.0; n],
+            y2r: vec![0.0; n],
+            y2i: vec![0.0; n],
+        }
+    }
 }
 
 /// The Hamiltonian matrix `M` of a state-space macromodel as an implicit
 /// operator: `apply_into` costs `O(np)` instead of the `O(n^2)` of a dense
-/// product, and performs no steady-state heap allocations.
+/// product, and performs no steady-state heap allocations. All length-`n`
+/// sweeps run on split-complex planes through the fused
+/// [`pheig_linalg::kernels`] layer.
 ///
 /// Internally precomputes the small real inverses `R^{-1}`, `S^{-1}`,
 /// `D R^{-1}`, and `D^T` once (`O(p^3)`).
@@ -38,7 +74,7 @@ pub struct HamiltonianOp<'a> {
     s_inv: Matrix<f64>,
     d_r_inv: Matrix<f64>,
     d_t: Matrix<f64>,
-    scratch: Mutex<ApplyScratch>,
+    scratch: ScratchCell<ApplyScratch>,
 }
 
 impl<'a> HamiltonianOp<'a> {
@@ -55,14 +91,7 @@ impl<'a> HamiltonianOp<'a> {
         let d_r_inv = ss.d() * &r_inv;
         let d_t = ss.d().transpose();
         let (n, p) = (ss.order(), ss.ports());
-        let scratch = Mutex::new(ApplyScratch {
-            w: vec![C64::zero(); p],
-            u1: vec![C64::zero(); p],
-            rhs: vec![C64::zero(); p],
-            t: vec![C64::zero(); p],
-            v: vec![C64::zero(); p],
-            nbuf: vec![C64::zero(); n],
-        });
+        let scratch = ScratchCell::new(ApplyScratch::sized(n, p));
         Ok(HamiltonianOp {
             ss,
             r_inv,
@@ -77,18 +106,6 @@ impl<'a> HamiltonianOp<'a> {
     pub fn state_space(&self) -> &StateSpace {
         self.ss
     }
-
-    /// `y = M x` for a real matrix applied to a complex vector.
-    fn mixed_matvec_into(m: &Matrix<f64>, x: &[C64], y: &mut [C64]) {
-        for (i, yi) in y.iter_mut().enumerate() {
-            let row = m.row(i);
-            let mut acc = C64::zero();
-            for (a, b) in row.iter().zip(x.iter()) {
-                acc += *b * *a;
-            }
-            *yi = acc;
-        }
-    }
 }
 
 impl CLinearOp for HamiltonianOp<'_> {
@@ -98,48 +115,53 @@ impl CLinearOp for HamiltonianOp<'_> {
 
     fn apply_into(&self, x: &[C64], y: &mut [C64]) {
         let n = self.ss.order();
+        let p = self.ss.ports();
         assert_eq!(x.len(), 2 * n, "HamiltonianOp apply length mismatch");
         assert_eq!(y.len(), 2 * n, "HamiltonianOp apply output length mismatch");
-        let (x1, x2) = x.split_at(n);
-        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
-        let ApplyScratch {
-            w,
-            u1,
-            rhs,
-            t,
-            v,
-            nbuf,
-        } = &mut *guard;
+        self.scratch.with(
+            || ApplyScratch::sized(n, p),
+            |s| {
+                kernels::split(x, &mut s.xr, &mut s.xi);
+                let (x1r, x2r) = s.xr.split_at(n);
+                let (x1i, x2i) = s.xi.split_at(n);
 
-        // Port-space intermediates.
-        self.ss.apply_c_into(x1, w); // C x1                 (p)
-        self.ss.apply_bt_into(x2, u1); // B^T x2              (p)
-                                       // t = R^{-1} (D^T w + u1)
-        Self::mixed_matvec_into(&self.d_t, w, rhs);
-        for (r, u) in rhs.iter_mut().zip(u1.iter()) {
-            *r += *u;
-        }
-        Self::mixed_matvec_into(&self.r_inv, rhs, t);
-        // v = S^{-1} w + D R^{-1} u1 (rhs reused for the second term).
-        Self::mixed_matvec_into(&self.s_inv, w, v);
-        Self::mixed_matvec_into(&self.d_r_inv, u1, rhs);
-        for (vi, r) in v.iter_mut().zip(rhs.iter()) {
-            *vi += *r;
-        }
+                // Port-space intermediates, all on planes.
+                self.ss.apply_c_split(x1r, x1i, &mut s.wr, &mut s.wi); // C x1
+                self.ss.apply_bt_split(x2r, x2i, &mut s.u1r, &mut s.u1i); // B^T x2
+                                                                          // t = R^{-1} (D^T w + u1).
+                kernels::real_gemv(&self.d_t, &s.wr, &s.wi, &mut s.rr, &mut s.ri);
+                for (r, u) in s.rr.iter_mut().zip(s.u1r.iter()) {
+                    *r += *u;
+                }
+                for (r, u) in s.ri.iter_mut().zip(s.u1i.iter()) {
+                    *r += *u;
+                }
+                kernels::real_gemv(&self.r_inv, &s.rr, &s.ri, &mut s.tr, &mut s.ti);
+                // v = S^{-1} w + D R^{-1} u1 (rhs planes reused).
+                kernels::real_gemv(&self.s_inv, &s.wr, &s.wi, &mut s.vr, &mut s.vi);
+                kernels::real_gemv(&self.d_r_inv, &s.u1r, &s.u1i, &mut s.rr, &mut s.ri);
+                for (v, r) in s.vr.iter_mut().zip(s.rr.iter()) {
+                    *v += *r;
+                }
+                for (v, r) in s.vi.iter_mut().zip(s.ri.iter()) {
+                    *v += *r;
+                }
 
-        let (y1, y2) = y.split_at_mut(n);
-        // y1 = A x1 - B t.
-        self.ss.a().matvec(x1, y1);
-        self.ss.apply_b_into(t, nbuf);
-        for (yi, bi) in y1.iter_mut().zip(nbuf.iter()) {
-            *yi -= *bi;
-        }
-        // y2 = C^T v - A^T x2.
-        self.ss.apply_ct_into(v, y2);
-        self.ss.a().matvec_transpose(x2, nbuf);
-        for (yi, ai) in y2.iter_mut().zip(nbuf.iter()) {
-            *yi -= *ai;
-        }
+                // y1 = A x1 - B t (block product, then fused scatter-sub).
+                self.ss.a().matvec_split(x1r, x1i, &mut s.y1r, &mut s.y1i);
+                self.ss
+                    .sub_apply_b_split(&s.tr, &s.ti, &mut s.y1r, &mut s.y1i);
+                // y2 = C^T v - A^T x2 (gemv-T, then fused block sub).
+                self.ss.apply_ct_split(&s.vr, &s.vi, &mut s.y2r, &mut s.y2i);
+                self.ss
+                    .a()
+                    .matvec_transpose_sub_split(x2r, x2i, &mut s.y2r, &mut s.y2i);
+
+                let (y1, y2) = y.split_at_mut(n);
+                kernels::merge(&s.y1r, &s.y1i, y1);
+                kernels::merge(&s.y2r, &s.y2i, y2);
+            },
+        );
     }
 }
 

@@ -1,0 +1,145 @@
+//! Lock-free scratch checkout for `Sync` operators.
+//!
+//! The structured operators own per-apply workspaces sized at
+//! construction. [`crate::CLinearOp`] requires `Sync`, so that storage
+//! needs interior mutability; the pre-kernel-layer implementation used a
+//! `Mutex`, which is uncontended in every driver (each solver worker owns
+//! its operator) but still pays a lock acquisition per apply and couples
+//! the hot path to the platform futex on the unhappy path.
+//!
+//! [`ScratchCell`] replaces it with a single atomic flag: the fast path is
+//! one compare-exchange to check the scratch out and one release store to
+//! return it — no syscalls, no waiting, no poisoning. If two threads ever
+//! race on the *same* operator (no in-tree driver does), the loser does
+//! not block: it builds a temporary workspace from the fallback closure
+//! and proceeds, and the [`contention_total`] counter records the event so
+//! tests can pin the fast path (`crates/core/tests/exec_steady_state.rs`
+//! asserts zero contended checkouts across a full batch workload).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Process-wide count of contended scratch checkouts (fallback
+/// allocations). Zero in every supported driver topology.
+static CONTENDED: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of contended [`ScratchCell`] checkouts in this process.
+///
+/// A contended checkout means two threads applied the *same* operator
+/// concurrently; the hot-path contract expects this to stay `0`.
+pub fn contention_total() -> u64 {
+    CONTENDED.load(Ordering::Relaxed)
+}
+
+/// A lock-free single-owner scratch slot (see the module docs).
+pub struct ScratchCell<T> {
+    taken: AtomicBool,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: the `taken` flag guarantees at most one thread holds the `&mut`
+// produced from `cell` at a time (acquire on checkout, release on return),
+// so sharing the cell across threads is sound for any sendable payload.
+unsafe impl<T: Send> Sync for ScratchCell<T> {}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ScratchCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The payload may be checked out; only the flag is safely readable.
+        f.debug_struct("ScratchCell")
+            .field("taken", &self.taken.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Clears the flag even if the critical section panics, so a poisoned
+/// apply degrades to the (allocating) fallback path instead of wedging.
+struct Reset<'a>(&'a AtomicBool);
+
+impl Drop for Reset<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+impl<T> ScratchCell<T> {
+    /// Wraps a workspace.
+    pub fn new(value: T) -> Self {
+        ScratchCell {
+            taken: AtomicBool::new(false),
+            cell: UnsafeCell::new(value),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the workspace.
+    ///
+    /// Fast path: one compare-exchange, zero allocations. If the cell is
+    /// already checked out by another thread, `fallback` builds a
+    /// temporary workspace (allocating — the cold path the contention
+    /// counter tracks).
+    pub fn with<R>(&self, fallback: impl FnOnce() -> T, f: impl FnOnce(&mut T) -> R) -> R {
+        if self
+            .taken
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            let reset = Reset(&self.taken);
+            // SAFETY: the CAS above makes this thread the unique holder
+            // until the release store in `Reset::drop`.
+            let r = f(unsafe { &mut *self.cell.get() });
+            drop(reset);
+            r
+        } else {
+            CONTENDED.fetch_add(1, Ordering::Relaxed);
+            let mut tmp = fallback();
+            f(&mut tmp)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_reuses_the_owned_workspace() {
+        let cell = ScratchCell::new(vec![0u8; 8]);
+        let before = contention_total();
+        let ptr1 = cell.with(Vec::new, |v| v.as_ptr() as usize);
+        let ptr2 = cell.with(Vec::new, |v| v.as_ptr() as usize);
+        assert_eq!(ptr1, ptr2, "sequential checkouts must reuse storage");
+        assert_eq!(contention_total(), before);
+    }
+
+    #[test]
+    fn contended_checkout_falls_back_without_blocking() {
+        let cell = ScratchCell::new(1u32);
+        let before = contention_total();
+        cell.with(
+            || unreachable!("uncontended"),
+            |outer| {
+                // Re-entrant use while checked out: must take the fallback.
+                let inner = cell.with(|| 42u32, |v| *v);
+                assert_eq!(inner, 42);
+                *outer += 1;
+            },
+        );
+        assert_eq!(contention_total(), before + 1);
+        // The owned slot is intact and available again.
+        assert_eq!(cell.with(|| 0, |v| *v), 2);
+    }
+
+    #[test]
+    fn flag_clears_after_panic_in_critical_section() {
+        let cell = std::sync::Arc::new(ScratchCell::new(5u32));
+        let c2 = cell.clone();
+        let result = std::thread::spawn(move || {
+            c2.with(|| 0, |_| panic!("poisoned apply"));
+        })
+        .join();
+        assert!(result.is_err());
+        // The flag was released by the guard: the fast path still works.
+        let before = contention_total();
+        assert_eq!(cell.with(|| 0, |v| *v), 5);
+        assert_eq!(contention_total(), before);
+    }
+}

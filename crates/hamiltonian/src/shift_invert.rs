@@ -22,43 +22,83 @@
 
 use crate::error::HamiltonianError;
 use crate::op::CLinearOp;
-use pheig_linalg::{Lu, Matrix, C64};
-use pheig_model::block_diag::DiagBlock;
+use crate::scratch::ScratchCell;
+use pheig_linalg::{kernels, Lu, Matrix, C64};
+use pheig_model::block_diag::{DiagBlock, ShiftSolveFactors};
 use pheig_model::StateSpace;
-use std::sync::Mutex;
 
 /// Owned apply workspace, sized once at construction so that
 /// [`CLinearOp::apply_into`] performs zero steady-state heap allocations.
 ///
-/// Kept behind a [`Mutex`] so the operator stays [`Sync`] (the trait
-/// contract); in practice each solver worker owns its operator, so the lock
-/// is always uncontended and costs a few nanoseconds against an `O(np)`
-/// solve.
+/// Everything lives in split-complex planes (separate re/im `f64`
+/// vectors): the Woodbury pipeline runs entirely on planes and touches
+/// interleaved `C64` only at the operator boundary (splitting `x`, the
+/// tiny `2p` port solve, and the fused merge that writes `y`).
+///
+/// Kept in a lock-free [`ScratchCell`] so the operator stays [`Sync`]
+/// (the trait contract) without a per-apply lock acquisition.
 #[derive(Debug)]
 struct ApplyScratch {
-    /// `K x` upper half (length `n`).
-    w1: Vec<C64>,
-    /// `K x` lower half, negated (length `n`).
-    w2: Vec<C64>,
-    /// Port-space intermediate `V w`, then `W^{-1} V w` (length `2p`).
+    /// Split input `x` (length `2n` per plane).
+    xr: Vec<f64>,
+    xi: Vec<f64>,
+    /// `K x` upper half `w1 = (A - theta)^{-1} x1` (length `n` per plane).
+    w1r: Vec<f64>,
+    w1i: Vec<f64>,
+    /// `K x` lower half `w2 = -(A^T + theta)^{-1} x2` (length `n`).
+    w2r: Vec<f64>,
+    w2i: Vec<f64>,
+    /// Port-space planes for `V w` and the solved `s` (length `2p`).
+    tr: Vec<f64>,
+    ti: Vec<f64>,
+    /// Interleaved port vector for the `W^{-1}` LU solve (length `2p`).
     t: Vec<C64>,
-    /// `B s1` (length `n`).
-    u1: Vec<C64>,
-    /// `C^T s2` (length `n`).
-    u2: Vec<C64>,
+    /// `B s1` (length `n` per plane).
+    u1r: Vec<f64>,
+    u1i: Vec<f64>,
+    /// `C^T s2` (length `n` per plane).
+    u2r: Vec<f64>,
+    u2i: Vec<f64>,
+}
+
+impl ApplyScratch {
+    fn sized(n: usize, p: usize) -> Self {
+        ApplyScratch {
+            xr: vec![0.0; 2 * n],
+            xi: vec![0.0; 2 * n],
+            w1r: vec![0.0; n],
+            w1i: vec![0.0; n],
+            w2r: vec![0.0; n],
+            w2i: vec![0.0; n],
+            tr: vec![0.0; 2 * p],
+            ti: vec![0.0; 2 * p],
+            t: vec![C64::zero(); 2 * p],
+            u1r: vec![0.0; n],
+            u1i: vec![0.0; n],
+            u2r: vec![0.0; n],
+            u2i: vec![0.0; n],
+        }
+    }
 }
 
 /// The shifted-and-inverted Hamiltonian operator
 /// `y = (M - theta I)^{-1} x` for one fixed shift.
 ///
 /// Setup costs `O(np + p^3)`; each [`CLinearOp::apply_into`] costs `O(np)`
-/// and performs no heap allocations (owned scratch, sized at construction).
+/// and performs no heap allocations (owned scratch, sized at
+/// construction). The shifted block solves are precomputed as
+/// [`ShiftSolveFactors`], so the per-apply inner loops are fused
+/// multiply-adds over split-complex planes — no complex divisions.
 #[derive(Debug)]
 pub struct ShiftInvertOp<'a> {
     ss: &'a StateSpace,
     theta: C64,
     w_lu: Lu<C64>,
-    scratch: Mutex<ApplyScratch>,
+    /// `(A - theta I)^{-1}` as fused per-state factors.
+    k1: ShiftSolveFactors,
+    /// `-(A^T + theta I)^{-1}` as fused per-state factors.
+    k2: ShiftSolveFactors,
+    scratch: ScratchCell<ApplyScratch>,
 }
 
 impl<'a> ShiftInvertOp<'a> {
@@ -112,17 +152,15 @@ impl<'a> ShiftInvertOp<'a> {
             Err(e) => return Err(e.into()),
         };
         let n = ss.order();
-        let scratch = Mutex::new(ApplyScratch {
-            w1: vec![C64::zero(); n],
-            w2: vec![C64::zero(); n],
-            t: vec![C64::zero(); 2 * p],
-            u1: vec![C64::zero(); n],
-            u2: vec![C64::zero(); n],
-        });
+        let k1 = ss.a().shift_solve_factors(theta, false, false);
+        let k2 = ss.a().shift_solve_factors(-theta, true, true);
+        let scratch = ScratchCell::new(ApplyScratch::sized(n, p));
         Ok(ShiftInvertOp {
             ss,
             theta,
             w_lu,
+            k1,
+            k2,
             scratch,
         })
     }
@@ -184,42 +222,50 @@ impl CLinearOp for ShiftInvertOp<'_> {
 
     fn apply_into(&self, x: &[C64], y: &mut [C64]) {
         let n = self.ss.order();
+        let p = self.ss.ports();
         assert_eq!(x.len(), 2 * n, "ShiftInvertOp apply length mismatch");
         assert_eq!(y.len(), 2 * n, "ShiftInvertOp apply output length mismatch");
-        let (x1, x2) = x.split_at(n);
-        let a = self.ss.a();
-        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
-        let ApplyScratch { w1, w2, t, u1, u2 } = &mut *guard;
+        self.scratch.with(
+            || ApplyScratch::sized(n, p),
+            |s| {
+                // Stage 1: split x into planes (the only full read of
+                // interleaved input).
+                kernels::split(x, &mut s.xr, &mut s.xi);
+                let (x1r, x2r) = s.xr.split_at(n);
+                let (x1i, x2i) = s.xi.split_at(n);
 
-        // w = K x.
-        a.solve_shifted(self.theta, false, x1, w1);
-        a.solve_shifted(-self.theta, true, x2, w2);
-        for v in w2.iter_mut() {
-            *v = -*v;
-        }
+                // Stage 2: w = K x via the precomputed fused factors.
+                self.k1.apply_split(x1r, x1i, &mut s.w1r, &mut s.w1i);
+                self.k2.apply_split(x2r, x2i, &mut s.w2r, &mut s.w2i);
 
-        // t = V w = [C w1; B^T w2], then s = W^{-1} t.
-        let p = self.ss.ports();
-        {
-            let (t1, t2) = t.split_at_mut(p);
-            self.ss.apply_c_into(w1, t1);
-            self.ss.apply_bt_into(w2, t2);
-        }
-        self.w_lu.solve_in_place(t);
-        let (s1, s2) = t.split_at(p);
+                // Stage 3: t = V w = [C w1; B^T w2] in planes.
+                {
+                    let (t1r, t2r) = s.tr.split_at_mut(p);
+                    let (t1i, t2i) = s.ti.split_at_mut(p);
+                    self.ss.apply_c_split(&s.w1r, &s.w1i, t1r, t1i);
+                    self.ss.apply_bt_split(&s.w2r, &s.w2i, t2r, t2i);
+                }
 
-        // u = U s = [B s1; C^T s2], then z = K u, y = w - z.
-        self.ss.apply_b_into(s1, u1);
-        self.ss.apply_ct_into(s2, u2);
-        let (y1, y2) = y.split_at_mut(n);
-        a.solve_shifted(self.theta, false, u1, y1); // y1 holds z1
-        for (yi, wi) in y1.iter_mut().zip(w1.iter()) {
-            *yi = *wi - *yi;
-        }
-        a.solve_shifted(-self.theta, true, u2, y2); // y2 holds -z2
-        for (yi, wi) in y2.iter_mut().zip(w2.iter()) {
-            *yi += *wi;
-        }
+                // Stage 4: s = W^{-1} t — a 2p x 2p LU solve, done
+                // interleaved (p is small; not worth a split LU).
+                kernels::merge(&s.tr, &s.ti, &mut s.t);
+                self.w_lu.solve_in_place(&mut s.t);
+                kernels::split(&s.t, &mut s.tr, &mut s.ti);
+                let (s1r, s2r) = s.tr.split_at(p);
+                let (s1i, s2i) = s.ti.split_at(p);
+
+                // Stage 5: u = U s = [B s1; C^T s2] in planes.
+                self.ss.apply_b_split(s1r, s1i, &mut s.u1r, &mut s.u1i);
+                self.ss.apply_ct_split(s2r, s2i, &mut s.u2r, &mut s.u2i);
+
+                // Stage 6: y = w - K u, the solve fused with the subtract
+                // and the interleaved pack in one pass per half (the only
+                // write of interleaved output).
+                let (y1, y2) = y.split_at_mut(n);
+                self.k1.sub_merge_into(&s.w1r, &s.w1i, &s.u1r, &s.u1i, y1);
+                self.k2.sub_merge_into(&s.w2r, &s.w2i, &s.u2r, &s.u2i, y2);
+            },
+        );
     }
 }
 

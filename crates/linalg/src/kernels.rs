@@ -1,0 +1,775 @@
+//! Split-complex (planar) kernels for the eigensolver hot path.
+//!
+//! The structured operators spend their time in length-`n` complex vector
+//! sweeps. Interleaved `C64` storage forces every multiply through a
+//! real/imaginary shuffle that the autovectorizer cannot untangle on
+//! stable Rust; storing the real and imaginary parts in **separate f64
+//! planes** turns every kernel into plain fused real arithmetic that LLVM
+//! vectorizes directly. This module provides those kernels:
+//!
+//! * plane conversions ([`split`] / [`merge`]);
+//! * fused single-pass BLAS-1 analogues ([`dot`], [`nrm2`], [`axpy`],
+//!   [`scal`], [`scal_real`]) with chunk-unrolled independent accumulators;
+//! * mixed real-matrix x complex-vector products ([`real_gemv`],
+//!   [`real_gemv_t_acc`]) — two real gemvs fused into one pass per row;
+//! * blocked multi-vector kernels against a basis ([`basis_dot`],
+//!   [`basis_axpy_sub`]) that read the working vector once per block of
+//!   four basis rows instead of once per row — the memory-traffic half of
+//!   the blocked CGS2 orthogonalization in `pheig-arnoldi`;
+//! * [`SplitBasis`] — a contiguous row-major plane store for Krylov bases.
+//!
+//! Every kernel is allocation-free; callers own the planes (the
+//! workspace-reuse contract of DESIGN.md extends to this layer).
+
+use crate::complex::C64;
+use crate::matrix::Matrix;
+
+/// Runs `f` compiled for the widest SIMD tier the host supports.
+///
+/// Stable Rust compiles the workspace for baseline `x86-64` (SSE2, no
+/// FMA); the kernels in this module are written so the loop vectorizer
+/// can chew them, but the baseline ISA caps the win at two lanes and
+/// splits every fused multiply-add. This helper is the standard stable
+/// *function multiversioning* idiom: the closure is monomorphized into a
+/// `#[target_feature]` wrapper, so everything that inlines into it —
+/// including `#[inline(always)]` kernel bodies from this module — is
+/// code-generated with AVX-512/AVX2 + FMA enabled, and the wrapper is
+/// only entered after `is_x86_feature_detected!` proves the host supports
+/// it. On non-x86_64 targets (or pre-AVX hosts) the closure runs as
+/// compiled.
+///
+/// Nesting is harmless (detection results are cached by `std`), so both
+/// the individual kernels and whole operator pipelines wrap themselves.
+#[inline]
+pub fn with_simd<R>(f: impl FnOnce() -> R) -> R {
+    #[cfg(target_arch = "x86_64")]
+    {
+        #[target_feature(enable = "avx512f,avx512dq,avx512vl,avx2,fma")]
+        fn run512<R>(f: impl FnOnce() -> R) -> R {
+            f()
+        }
+        #[target_feature(enable = "avx2,fma")]
+        fn run256<R>(f: impl FnOnce() -> R) -> R {
+            f()
+        }
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            // SAFETY: the feature checks above prove the host executes
+            // AVX-512 instructions.
+            return unsafe { run512(f) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: ditto for AVX2 + FMA.
+            return unsafe { run256(f) };
+        }
+    }
+    f()
+}
+
+/// Unpacks interleaved complex values into separate re/im planes.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn split(x: &[C64], xr: &mut [f64], xi: &mut [f64]) {
+    assert_eq!(x.len(), xr.len(), "split length mismatch");
+    assert_eq!(x.len(), xi.len(), "split length mismatch");
+    with_simd(
+        #[inline(always)]
+        || {
+            for ((v, r), i) in x.iter().zip(xr.iter_mut()).zip(xi.iter_mut()) {
+                *r = v.re;
+                *i = v.im;
+            }
+        },
+    );
+}
+
+/// Packs re/im planes back into interleaved complex values.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn merge(xr: &[f64], xi: &[f64], y: &mut [C64]) {
+    assert_eq!(xr.len(), y.len(), "merge length mismatch");
+    assert_eq!(xi.len(), y.len(), "merge length mismatch");
+    with_simd(
+        #[inline(always)]
+        || {
+            for ((v, r), i) in y.iter_mut().zip(xr.iter()).zip(xi.iter()) {
+                *v = C64::new(*r, *i);
+            }
+        },
+    );
+}
+
+/// Fused subtract-and-pack `y[i] = (w[i] - z[i])` from planes to
+/// interleaved storage.
+///
+/// A general building block for plane pipelines that end at an
+/// interleaved boundary; the Woodbury operator itself closes through the
+/// even-more-fused `ShiftSolveFactors::sub_merge_into` (solve + subtract
+/// + pack in one pass), so this kernel currently has only test callers.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn merge_sub(wr: &[f64], wi: &[f64], zr: &[f64], zi: &[f64], y: &mut [C64]) {
+    let n = y.len();
+    assert_eq!(wr.len(), n, "merge_sub length mismatch");
+    assert_eq!(wi.len(), n, "merge_sub length mismatch");
+    assert_eq!(zr.len(), n, "merge_sub length mismatch");
+    assert_eq!(zi.len(), n, "merge_sub length mismatch");
+    with_simd(
+        #[inline(always)]
+        || {
+            for i in 0..n {
+                y[i] = C64::new(wr[i] - zr[i], wi[i] - zi[i]);
+            }
+        },
+    );
+}
+
+/// Conjugated dot product `x^H y` over planes, one fused pass.
+///
+/// Four real reductions (`xr*yr`, `xi*yi`, `xr*yi`, `xi*yr`) share the
+/// loads; chunk-unrolled accumulators keep the FP dependency chains
+/// independent so the reduction pipelines.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn dot(xr: &[f64], xi: &[f64], yr: &[f64], yi: &[f64]) -> C64 {
+    let n = xr.len();
+    assert_eq!(xi.len(), n, "dot length mismatch");
+    assert_eq!(yr.len(), n, "dot length mismatch");
+    assert_eq!(yi.len(), n, "dot length mismatch");
+    with_simd(
+        #[inline(always)]
+        || {
+            let mut re = [0.0f64; 8];
+            let mut im = [0.0f64; 8];
+            let mut xrc = xr.chunks_exact(8);
+            let mut xic = xi.chunks_exact(8);
+            let mut yrc = yr.chunks_exact(8);
+            let mut yic = yi.chunks_exact(8);
+            for (((a, b), c), d) in (&mut xrc).zip(&mut xic).zip(&mut yrc).zip(&mut yic) {
+                for k in 0..8 {
+                    re[k] += a[k] * c[k] + b[k] * d[k];
+                    im[k] += a[k] * d[k] - b[k] * c[k];
+                }
+            }
+            let (mut sre, mut sim) = (re.iter().sum::<f64>(), im.iter().sum::<f64>());
+            for (((a, b), c), d) in xrc
+                .remainder()
+                .iter()
+                .zip(xic.remainder())
+                .zip(yrc.remainder())
+                .zip(yic.remainder())
+            {
+                sre += a * c + b * d;
+                sim += a * d - b * c;
+            }
+            C64::new(sre, sim)
+        },
+    )
+}
+
+/// Squared Euclidean norm over planes, one fused pass.
+///
+/// # Panics
+///
+/// Panics if the plane lengths differ.
+pub fn nrm2_sq(xr: &[f64], xi: &[f64]) -> f64 {
+    let n = xr.len();
+    assert_eq!(xi.len(), n, "nrm2 length mismatch");
+    with_simd(
+        #[inline(always)]
+        || {
+            let mut acc = [0.0f64; 8];
+            let mut xrc = xr.chunks_exact(8);
+            let mut xic = xi.chunks_exact(8);
+            for (a, b) in (&mut xrc).zip(&mut xic) {
+                for k in 0..8 {
+                    acc[k] += a[k] * a[k] + b[k] * b[k];
+                }
+            }
+            let mut s = acc.iter().sum::<f64>();
+            for (a, b) in xrc.remainder().iter().zip(xic.remainder()) {
+                s += a * a + b * b;
+            }
+            s
+        },
+    )
+}
+
+/// Euclidean norm `||x||_2` over planes.
+pub fn nrm2(xr: &[f64], xi: &[f64]) -> f64 {
+    nrm2_sq(xr, xi).sqrt()
+}
+
+/// `y += alpha * x` over planes, one fused pass.
+///
+/// # Panics
+///
+/// Panics if the plane lengths differ.
+pub fn axpy(alpha: C64, xr: &[f64], xi: &[f64], yr: &mut [f64], yi: &mut [f64]) {
+    let n = xr.len();
+    assert_eq!(xi.len(), n, "axpy length mismatch");
+    assert_eq!(yr.len(), n, "axpy length mismatch");
+    assert_eq!(yi.len(), n, "axpy length mismatch");
+    let (ar, ai) = (alpha.re, alpha.im);
+    with_simd(
+        #[inline(always)]
+        || {
+            for (((a, b), c), d) in xr
+                .iter()
+                .zip(xi.iter())
+                .zip(yr.iter_mut())
+                .zip(yi.iter_mut())
+            {
+                *c += ar * a - ai * b;
+                *d += ar * b + ai * a;
+            }
+        },
+    );
+}
+
+/// `x *= alpha` over planes (complex scale).
+///
+/// # Panics
+///
+/// Panics if the plane lengths differ.
+pub fn scal(alpha: C64, xr: &mut [f64], xi: &mut [f64]) {
+    assert_eq!(xr.len(), xi.len(), "scal length mismatch");
+    let (ar, ai) = (alpha.re, alpha.im);
+    with_simd(
+        #[inline(always)]
+        || {
+            for (a, b) in xr.iter_mut().zip(xi.iter_mut()) {
+                let (r, i) = (*a, *b);
+                *a = ar * r - ai * i;
+                *b = ar * i + ai * r;
+            }
+        },
+    );
+}
+
+/// `x *= k` over planes (real scale; no cross terms).
+///
+/// # Panics
+///
+/// Panics if the plane lengths differ.
+pub fn scal_real(k: f64, xr: &mut [f64], xi: &mut [f64]) {
+    assert_eq!(xr.len(), xi.len(), "scal length mismatch");
+    with_simd(
+        #[inline(always)]
+        || {
+            for (a, b) in xr.iter_mut().zip(xi.iter_mut()) {
+                *a *= k;
+                *b *= k;
+            }
+        },
+    );
+}
+
+/// Mixed product `y = M x` for a real matrix and a split complex vector:
+/// each row is two real dot products sharing the row loads.
+///
+/// # Panics
+///
+/// Panics if `x` planes are not `m.cols()` long or `y` planes are not
+/// `m.rows()` long.
+pub fn real_gemv(m: &Matrix<f64>, xr: &[f64], xi: &[f64], yr: &mut [f64], yi: &mut [f64]) {
+    let cols = m.cols();
+    assert_eq!(xr.len(), cols, "real_gemv length mismatch");
+    assert_eq!(xi.len(), cols, "real_gemv length mismatch");
+    assert_eq!(yr.len(), m.rows(), "real_gemv output length mismatch");
+    assert_eq!(yi.len(), m.rows(), "real_gemv output length mismatch");
+    with_simd(
+        #[inline(always)]
+        || {
+            for (i, (or, oi)) in yr.iter_mut().zip(yi.iter_mut()).enumerate() {
+                let row = m.row(i);
+                let mut re = [0.0f64; 4];
+                let mut im = [0.0f64; 4];
+                let mut rc = row.chunks_exact(4);
+                let mut xrc = xr.chunks_exact(4);
+                let mut xic = xi.chunks_exact(4);
+                for ((a, b), c) in (&mut rc).zip(&mut xrc).zip(&mut xic) {
+                    for k in 0..4 {
+                        re[k] += a[k] * b[k];
+                        im[k] += a[k] * c[k];
+                    }
+                }
+                let (mut sre, mut sim) = (re.iter().sum::<f64>(), im.iter().sum::<f64>());
+                for ((a, b), c) in rc
+                    .remainder()
+                    .iter()
+                    .zip(xrc.remainder())
+                    .zip(xic.remainder())
+                {
+                    sre += a * b;
+                    sim += a * c;
+                }
+                *or = sre;
+                *oi = sim;
+            }
+        },
+    );
+}
+
+/// Mixed transposed accumulation `x += M^T u` for a real matrix and split
+/// complex vectors: each matrix row becomes one fused two-plane axpy.
+///
+/// # Panics
+///
+/// Panics if `u` planes are not `m.rows()` long or `x` planes are not
+/// `m.cols()` long.
+pub fn real_gemv_t_acc(m: &Matrix<f64>, ur: &[f64], ui: &[f64], xr: &mut [f64], xi: &mut [f64]) {
+    let cols = m.cols();
+    assert_eq!(ur.len(), m.rows(), "real_gemv_t length mismatch");
+    assert_eq!(ui.len(), m.rows(), "real_gemv_t length mismatch");
+    assert_eq!(xr.len(), cols, "real_gemv_t output length mismatch");
+    assert_eq!(xi.len(), cols, "real_gemv_t output length mismatch");
+    with_simd(
+        #[inline(always)]
+        || {
+            // Four rows per pass quarter the read-modify-write traffic on
+            // the accumulator planes (each pass still streams its rows
+            // exactly once).
+            let mut i = 0;
+            while i + 4 <= m.rows() {
+                let (c0r, c0i) = (ur[i], ui[i]);
+                let (c1r, c1i) = (ur[i + 1], ui[i + 1]);
+                let (c2r, c2i) = (ur[i + 2], ui[i + 2]);
+                let (c3r, c3i) = (ur[i + 3], ui[i + 3]);
+                let r0 = m.row(i);
+                let r1 = m.row(i + 1);
+                let r2 = m.row(i + 2);
+                let r3 = m.row(i + 3);
+                for j in 0..cols {
+                    let (a0, a1, a2, a3) = (r0[j], r1[j], r2[j], r3[j]);
+                    xr[j] += a0 * c0r + a1 * c1r + a2 * c2r + a3 * c3r;
+                    xi[j] += a0 * c0i + a1 * c1i + a2 * c2i + a3 * c3i;
+                }
+                i += 4;
+            }
+            while i < m.rows() {
+                let (cr, ci) = (ur[i], ui[i]);
+                let row = m.row(i);
+                for ((a, b), c) in row.iter().zip(xr.iter_mut()).zip(xi.iter_mut()) {
+                    *b += a * cr;
+                    *c += a * ci;
+                }
+                i += 1;
+            }
+        },
+    );
+}
+
+/// Batched conjugated inner products against a row-major basis:
+/// `out[r] = q_r^H w` for `r` in `0..rows`.
+///
+/// Rows are processed four at a time so each block reads the working
+/// vector once — the load half of the blocked CGS2 projection (a chain of
+/// per-vector [`dot`]s would stream `w` from memory `rows` times).
+///
+/// # Panics
+///
+/// Panics if plane lengths are inconsistent with `rows * n` / `n`, or if
+/// `out` is shorter than `rows`.
+pub fn basis_dot(
+    qr: &[f64],
+    qi: &[f64],
+    rows: usize,
+    n: usize,
+    wr: &[f64],
+    wi: &[f64],
+    out: &mut [C64],
+) {
+    assert!(qr.len() >= rows * n, "basis_dot basis too short");
+    assert!(qi.len() >= rows * n, "basis_dot basis too short");
+    assert_eq!(wr.len(), n, "basis_dot length mismatch");
+    assert_eq!(wi.len(), n, "basis_dot length mismatch");
+    assert!(out.len() >= rows, "basis_dot output too short");
+    with_simd(
+        #[inline(always)]
+        || basis_dot_impl(qr, qi, rows, n, wr, wi, out),
+    );
+}
+
+#[inline(always)]
+fn basis_dot_impl(
+    qr: &[f64],
+    qi: &[f64],
+    rows: usize,
+    n: usize,
+    wr: &[f64],
+    wi: &[f64],
+    out: &mut [C64],
+) {
+    let mut r = 0;
+    while r + 4 <= rows {
+        let q0r = &qr[r * n..r * n + n];
+        let q1r = &qr[(r + 1) * n..(r + 1) * n + n];
+        let q2r = &qr[(r + 2) * n..(r + 2) * n + n];
+        let q3r = &qr[(r + 3) * n..(r + 3) * n + n];
+        let q0i = &qi[r * n..r * n + n];
+        let q1i = &qi[(r + 1) * n..(r + 1) * n + n];
+        let q2i = &qi[(r + 2) * n..(r + 2) * n + n];
+        let q3i = &qi[(r + 3) * n..(r + 3) * n + n];
+        let mut re = [0.0f64; 4];
+        let mut im = [0.0f64; 4];
+        for j in 0..n {
+            let (a, b) = (wr[j], wi[j]);
+            re[0] += q0r[j] * a + q0i[j] * b;
+            im[0] += q0r[j] * b - q0i[j] * a;
+            re[1] += q1r[j] * a + q1i[j] * b;
+            im[1] += q1r[j] * b - q1i[j] * a;
+            re[2] += q2r[j] * a + q2i[j] * b;
+            im[2] += q2r[j] * b - q2i[j] * a;
+            re[3] += q3r[j] * a + q3i[j] * b;
+            im[3] += q3r[j] * b - q3i[j] * a;
+        }
+        for k in 0..4 {
+            out[r + k] = C64::new(re[k], im[k]);
+        }
+        r += 4;
+    }
+    while r < rows {
+        out[r] = dot(&qr[r * n..r * n + n], &qi[r * n..r * n + n], wr, wi);
+        r += 1;
+    }
+}
+
+/// Batched projection removal `w -= sum_r c[r] * q_r` against a row-major
+/// basis, four rows per pass over `w` — the store half of the blocked CGS2
+/// projection.
+///
+/// # Panics
+///
+/// Panics if plane lengths are inconsistent with `rows * n` / `n`, or if
+/// `c` is shorter than `rows`.
+pub fn basis_axpy_sub(
+    qr: &[f64],
+    qi: &[f64],
+    rows: usize,
+    n: usize,
+    c: &[C64],
+    wr: &mut [f64],
+    wi: &mut [f64],
+) {
+    assert!(qr.len() >= rows * n, "basis_axpy_sub basis too short");
+    assert!(qi.len() >= rows * n, "basis_axpy_sub basis too short");
+    assert_eq!(wr.len(), n, "basis_axpy_sub length mismatch");
+    assert_eq!(wi.len(), n, "basis_axpy_sub length mismatch");
+    assert!(c.len() >= rows, "basis_axpy_sub coefficients too short");
+    with_simd(
+        #[inline(always)]
+        || basis_axpy_sub_impl(qr, qi, rows, n, c, wr, wi),
+    );
+}
+
+#[inline(always)]
+fn basis_axpy_sub_impl(
+    qr: &[f64],
+    qi: &[f64],
+    rows: usize,
+    n: usize,
+    c: &[C64],
+    wr: &mut [f64],
+    wi: &mut [f64],
+) {
+    let mut r = 0;
+    while r + 4 <= rows {
+        let q0r = &qr[r * n..r * n + n];
+        let q1r = &qr[(r + 1) * n..(r + 1) * n + n];
+        let q2r = &qr[(r + 2) * n..(r + 2) * n + n];
+        let q3r = &qr[(r + 3) * n..(r + 3) * n + n];
+        let q0i = &qi[r * n..r * n + n];
+        let q1i = &qi[(r + 1) * n..(r + 1) * n + n];
+        let q2i = &qi[(r + 2) * n..(r + 2) * n + n];
+        let q3i = &qi[(r + 3) * n..(r + 3) * n + n];
+        let (c0, c1, c2, c3) = (c[r], c[r + 1], c[r + 2], c[r + 3]);
+        for j in 0..n {
+            let mut a = wr[j];
+            let mut b = wi[j];
+            a -= c0.re * q0r[j] - c0.im * q0i[j];
+            b -= c0.re * q0i[j] + c0.im * q0r[j];
+            a -= c1.re * q1r[j] - c1.im * q1i[j];
+            b -= c1.re * q1i[j] + c1.im * q1r[j];
+            a -= c2.re * q2r[j] - c2.im * q2i[j];
+            b -= c2.re * q2i[j] + c2.im * q2r[j];
+            a -= c3.re * q3r[j] - c3.im * q3i[j];
+            b -= c3.re * q3i[j] + c3.im * q3r[j];
+            wr[j] = a;
+            wi[j] = b;
+        }
+        r += 4;
+    }
+    while r < rows {
+        axpy(-c[r], &qr[r * n..r * n + n], &qi[r * n..r * n + n], wr, wi);
+        r += 1;
+    }
+}
+
+/// A contiguous, row-major split-complex basis: row `r` is the vector
+/// `q_r`, its planes stored back to back so the batched kernels
+/// ([`basis_dot`], [`basis_axpy_sub`]) can walk the whole basis without
+/// pointer chasing.
+///
+/// Storage is reusable: [`SplitBasis::reset`] keeps the capacity, so a
+/// workspace-owned basis allocates only while growing to its high-water
+/// mark (the same contract as `ArnoldiFactorization`'s recycled slots).
+#[derive(Debug, Clone, Default)]
+pub struct SplitBasis {
+    re: Vec<f64>,
+    im: Vec<f64>,
+    n: usize,
+    rows: usize,
+}
+
+impl SplitBasis {
+    /// An empty basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the basis and fixes the vector length, keeping capacity.
+    pub fn reset(&mut self, n: usize) {
+        self.re.clear();
+        self.im.clear();
+        self.n = n;
+        self.rows = 0;
+    }
+
+    /// Number of stored rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Vector length `n` of each row.
+    pub fn row_len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Appends a row from split planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane lengths differ from the row length.
+    pub fn push_split(&mut self, xr: &[f64], xi: &[f64]) {
+        assert_eq!(xr.len(), self.n, "SplitBasis row length mismatch");
+        assert_eq!(xi.len(), self.n, "SplitBasis row length mismatch");
+        self.re.extend_from_slice(xr);
+        self.im.extend_from_slice(xi);
+        self.rows += 1;
+    }
+
+    /// Appends a row from an interleaved complex vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the row length.
+    pub fn push_interleaved(&mut self, x: &[C64]) {
+        assert_eq!(x.len(), self.n, "SplitBasis row length mismatch");
+        self.re.extend(x.iter().map(|v| v.re));
+        self.im.extend(x.iter().map(|v| v.im));
+        self.rows += 1;
+    }
+
+    /// Drops rows beyond `rows`, keeping storage.
+    pub fn truncate(&mut self, rows: usize) {
+        if rows < self.rows {
+            self.re.truncate(rows * self.n);
+            self.im.truncate(rows * self.n);
+            self.rows = rows;
+        }
+    }
+
+    /// The stored planes, each `rows * n` long.
+    pub fn planes(&self) -> (&[f64], &[f64]) {
+        (&self.re, &self.im)
+    }
+
+    /// Batched conjugated inner products of every row against `w`:
+    /// `out[r] = q_r^H w` (see [`basis_dot`]).
+    pub fn dot_into(&self, wr: &[f64], wi: &[f64], out: &mut [C64]) {
+        basis_dot(&self.re, &self.im, self.rows, self.n, wr, wi, out);
+    }
+
+    /// One blocked classical Gram-Schmidt projection pass: computes
+    /// `coeff[r] = q_r^H w` for every row, then removes the projections
+    /// `w -= sum_r coeff[r] q_r`. Two passes of this are the CGS2
+    /// orthogonalization.
+    pub fn project_out(&self, wr: &mut [f64], wi: &mut [f64], coeff: &mut [C64]) {
+        self.dot_into(wr, wi, coeff);
+        basis_axpy_sub(&self.re, &self.im, self.rows, self.n, coeff, wr, wi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    fn cvec(n: usize, seed: u64) -> Vec<C64> {
+        (0..n)
+            .map(|i| {
+                let t = (i as f64 + 1.0) * (seed as f64 * 0.37 + 0.71);
+                C64::new(t.sin(), (t * 1.3).cos())
+            })
+            .collect()
+    }
+
+    fn planes(x: &[C64]) -> (Vec<f64>, Vec<f64>) {
+        let mut r = vec![0.0; x.len()];
+        let mut i = vec![0.0; x.len()];
+        split(x, &mut r, &mut i);
+        (r, i)
+    }
+
+    #[test]
+    fn split_merge_roundtrip() {
+        for n in [0usize, 1, 3, 4, 7, 16, 33] {
+            let x = cvec(n, 2);
+            let (r, i) = planes(&x);
+            let mut back = vec![C64::zero(); n];
+            merge(&r, &i, &mut back);
+            assert_eq!(back, x);
+        }
+    }
+
+    #[test]
+    fn dot_matches_interleaved_reference() {
+        for n in [1usize, 2, 3, 4, 5, 8, 13, 31, 64, 101] {
+            let x = cvec(n, 3);
+            let y = cvec(n, 5);
+            let (xr, xi) = planes(&x);
+            let (yr, yi) = planes(&y);
+            let got = dot(&xr, &xi, &yr, &yi);
+            let want = vector::dot(&x, &y);
+            assert!((got - want).abs() < 1e-12 * (1.0 + want.abs()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn nrm2_matches_interleaved_reference() {
+        for n in [1usize, 4, 9, 27, 100] {
+            let x = cvec(n, 7);
+            let (xr, xi) = planes(&x);
+            assert!((nrm2(&xr, &xi) - vector::nrm2(&x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn axpy_scal_match_interleaved_reference() {
+        let alpha = C64::new(0.7, -1.2);
+        for n in [1usize, 5, 12, 33] {
+            let x = cvec(n, 11);
+            let mut y = cvec(n, 13);
+            let (xr, xi) = planes(&x);
+            let (mut yr, mut yi) = planes(&y);
+            axpy(alpha, &xr, &xi, &mut yr, &mut yi);
+            vector::axpy(alpha, &x, &mut y);
+            for j in 0..n {
+                assert!((C64::new(yr[j], yi[j]) - y[j]).abs() < 1e-13);
+            }
+            scal(alpha, &mut yr, &mut yi);
+            vector::scal(alpha, &mut y);
+            for j in 0..n {
+                assert!((C64::new(yr[j], yi[j]) - y[j]).abs() < 1e-13);
+            }
+            scal_real(0.25, &mut yr, &mut yi);
+            vector::scal(C64::from_real(0.25), &mut y);
+            for j in 0..n {
+                assert!((C64::new(yr[j], yi[j]) - y[j]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn real_gemv_matches_dense() {
+        for (rows, cols) in [(3usize, 5usize), (4, 4), (7, 9), (1, 11)] {
+            let m = Matrix::from_fn(rows, cols, |i, j| ((i * 7 + j) as f64 * 0.13).sin());
+            let x = cvec(cols, 17);
+            let (xr, xi) = planes(&x);
+            let mut yr = vec![0.0; rows];
+            let mut yi = vec![0.0; rows];
+            real_gemv(&m, &xr, &xi, &mut yr, &mut yi);
+            let want = m.to_c64().matvec(&x);
+            for i in 0..rows {
+                assert!((C64::new(yr[i], yi[i]) - want[i]).abs() < 1e-13);
+            }
+            // Transposed accumulation against the same dense reference.
+            let u = cvec(rows, 19);
+            let (ur, ui) = planes(&u);
+            let mut xr2 = vec![0.0; cols];
+            let mut xi2 = vec![0.0; cols];
+            real_gemv_t_acc(&m, &ur, &ui, &mut xr2, &mut xi2);
+            let want_t = m.to_c64().transpose().matvec(&u);
+            for j in 0..cols {
+                assert!((C64::new(xr2[j], xi2[j]) - want_t[j]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn basis_kernels_match_per_vector_loops() {
+        // rows spanning the blocked (multiple of 4) and remainder paths.
+        for rows in [1usize, 2, 3, 4, 5, 7, 8, 9] {
+            let n = 23; // odd, exercises the chunk remainder
+            let basis: Vec<Vec<C64>> = (0..rows).map(|r| cvec(n, 100 + r as u64)).collect();
+            let mut sb = SplitBasis::new();
+            sb.reset(n);
+            for q in &basis {
+                sb.push_interleaved(q);
+            }
+            let w = cvec(n, 999);
+            let (mut wr, mut wi) = planes(&w);
+            let mut coeff = vec![C64::zero(); rows];
+            sb.project_out(&mut wr, &mut wi, &mut coeff);
+            // Reference: classical GS with interleaved kernels.
+            let mut w_ref = w.clone();
+            let want: Vec<C64> = basis.iter().map(|q| vector::dot(q, &w)).collect();
+            for (q, c) in basis.iter().zip(&want) {
+                vector::axpy(-*c, q, &mut w_ref);
+            }
+            for (c, wc) in coeff.iter().zip(&want) {
+                assert!((*c - *wc).abs() < 1e-12, "rows={rows}");
+            }
+            for j in 0..n {
+                assert!(
+                    (C64::new(wr[j], wi[j]) - w_ref[j]).abs() < 1e-12,
+                    "rows={rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_basis_storage_management() {
+        let mut sb = SplitBasis::new();
+        sb.reset(4);
+        assert!(sb.is_empty());
+        sb.push_split(&[1.0, 2.0, 3.0, 4.0], &[0.0; 4]);
+        sb.push_interleaved(&cvec(4, 1));
+        assert_eq!(sb.rows(), 2);
+        assert_eq!(sb.row_len(), 4);
+        assert_eq!(sb.planes().0.len(), 8);
+        sb.truncate(1);
+        assert_eq!(sb.rows(), 1);
+        sb.reset(2);
+        assert!(sb.is_empty());
+        assert_eq!(sb.row_len(), 2);
+    }
+}

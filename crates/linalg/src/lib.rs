@@ -15,7 +15,10 @@
 //!   Ritz vectors in the Arnoldi solver);
 //! * [`hermitian`] — a cyclic Jacobi eigensolver for Hermitian matrices;
 //! * [`svd`] — singular values (via the Hermitian eigensolver), used to
-//!   sample singular-value curves of scattering transfer matrices.
+//!   sample singular-value curves of scattering transfer matrices;
+//! * [`kernels`] — split-complex (separate re/im plane) vector kernels and
+//!   blocked multi-vector kernels, the SIMD-friendly substrate of the
+//!   shift-invert/Arnoldi hot path.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod eig;
 pub mod error;
 pub mod hermitian;
 pub mod hessenberg;
+pub mod kernels;
 pub mod lu;
 pub mod matrix;
 pub mod qr;

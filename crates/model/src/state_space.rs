@@ -2,7 +2,7 @@
 
 use crate::block_diag::{BlockDiagonal, DiagBlock};
 use crate::error::ModelError;
-use pheig_linalg::{Matrix, C64};
+use pheig_linalg::{kernels, Matrix, C64};
 use std::ops::Range;
 
 /// A structured state-space realization `H(s) = D + C (sI - A)^{-1} B`.
@@ -247,6 +247,111 @@ impl StateSpace {
         }
     }
 
+    /// Split-complex `x = B u` (see [`StateSpace::apply_b_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` planes are not `self.ports()` long or `x` planes are
+    /// not `self.order()` long.
+    pub fn apply_b_split(&self, ur: &[f64], ui: &[f64], xr: &mut [f64], xi: &mut [f64]) {
+        assert_eq!(ur.len(), self.ports(), "apply_b_split length mismatch");
+        assert_eq!(ui.len(), self.ports(), "apply_b_split length mismatch");
+        assert_eq!(xr.len(), self.order(), "apply_b_split output mismatch");
+        assert_eq!(xi.len(), self.order(), "apply_b_split output mismatch");
+        xr.fill(0.0);
+        xi.fill(0.0);
+        for (k, range) in self.col_blocks.iter().enumerate() {
+            let (ukr, uki) = (ur[k], ui[k]);
+            for bi in range.clone() {
+                let o = self.a.offset(bi);
+                for (j, &g) in Self::block_gains(&self.a.blocks()[bi]).iter().enumerate() {
+                    if g != 0.0 {
+                        xr[o + j] = ukr * g;
+                        xi[o + j] = uki * g;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Split-complex fused subtract `x -= B u` (the `y1 = A x1 - B t` tail
+    /// of the Hamiltonian matvec, without a separate scatter buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` planes are not `self.ports()` long or `x` planes are
+    /// not `self.order()` long.
+    pub fn sub_apply_b_split(&self, ur: &[f64], ui: &[f64], xr: &mut [f64], xi: &mut [f64]) {
+        assert_eq!(ur.len(), self.ports(), "sub_apply_b_split length mismatch");
+        assert_eq!(ui.len(), self.ports(), "sub_apply_b_split length mismatch");
+        assert_eq!(xr.len(), self.order(), "sub_apply_b_split output mismatch");
+        assert_eq!(xi.len(), self.order(), "sub_apply_b_split output mismatch");
+        for (k, range) in self.col_blocks.iter().enumerate() {
+            let (ukr, uki) = (ur[k], ui[k]);
+            for bi in range.clone() {
+                let o = self.a.offset(bi);
+                for (j, &g) in Self::block_gains(&self.a.blocks()[bi]).iter().enumerate() {
+                    if g != 0.0 {
+                        xr[o + j] -= ukr * g;
+                        xi[o + j] -= uki * g;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Split-complex `u = B^T x` (see [`StateSpace::apply_bt_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` planes are not `self.order()` long or `u` planes are
+    /// not `self.ports()` long.
+    pub fn apply_bt_split(&self, xr: &[f64], xi: &[f64], ur: &mut [f64], ui: &mut [f64]) {
+        assert_eq!(xr.len(), self.order(), "apply_bt_split length mismatch");
+        assert_eq!(xi.len(), self.order(), "apply_bt_split length mismatch");
+        assert_eq!(ur.len(), self.ports(), "apply_bt_split output mismatch");
+        assert_eq!(ui.len(), self.ports(), "apply_bt_split output mismatch");
+        for (k, range) in self.col_blocks.iter().enumerate() {
+            let mut accr = 0.0f64;
+            let mut acci = 0.0f64;
+            for bi in range.clone() {
+                let o = self.a.offset(bi);
+                for (j, &g) in Self::block_gains(&self.a.blocks()[bi]).iter().enumerate() {
+                    if g != 0.0 {
+                        accr += xr[o + j] * g;
+                        acci += xi[o + j] * g;
+                    }
+                }
+            }
+            ur[k] = accr;
+            ui[k] = acci;
+        }
+    }
+
+    /// Split-complex `y = C x`: `p` fused two-plane real dot products
+    /// over the dense residue matrix (see [`StateSpace::apply_c_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` planes are not `self.order()` long or `y` planes are
+    /// not `self.ports()` long.
+    pub fn apply_c_split(&self, xr: &[f64], xi: &[f64], yr: &mut [f64], yi: &mut [f64]) {
+        kernels::real_gemv(&self.c, xr, xi, yr, yi);
+    }
+
+    /// Split-complex `x = C^T y`: `p` fused two-plane real axpys (see
+    /// [`StateSpace::apply_ct_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` planes are not `self.ports()` long or `x` planes are
+    /// not `self.order()` long.
+    pub fn apply_ct_split(&self, yr: &[f64], yi: &[f64], xr: &mut [f64], xi: &mut [f64]) {
+        xr.fill(0.0);
+        xi.fill(0.0);
+        kernels::real_gemv_t_acc(&self.c, yr, yi, xr, xi);
+    }
+
     /// Dense `B` (for validation and small-model tests only).
     pub fn b_dense(&self) -> Matrix<f64> {
         let mut b = Matrix::zeros(self.order(), self.ports());
@@ -379,6 +484,56 @@ mod tests {
         for (a, b) in xt.iter().zip(&xtd) {
             assert!((*a - *b).abs() < 1e-14);
         }
+    }
+
+    #[test]
+    fn split_applies_match_interleaved() {
+        let ss = small_ss();
+        let (n, p) = (ss.order(), ss.ports());
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.9).cos(), (i as f64 * 0.4).sin()))
+            .collect();
+        let u: Vec<C64> = (0..p)
+            .map(|i| C64::new(1.0 + i as f64, -0.5 * i as f64))
+            .collect();
+        let split = |v: &[C64]| {
+            let mut r = vec![0.0; v.len()];
+            let mut i = vec![0.0; v.len()];
+            kernels::split(v, &mut r, &mut i);
+            (r, i)
+        };
+        let check = |got_r: &[f64], got_i: &[f64], want: &[C64], what: &str| {
+            for j in 0..want.len() {
+                assert!(
+                    (C64::new(got_r[j], got_i[j]) - want[j]).abs() < 1e-13,
+                    "{what}[{j}]"
+                );
+            }
+        };
+        let (xr, xi) = split(&x);
+        let (ur, ui) = split(&u);
+
+        let (mut br, mut bi) = (vec![0.0; n], vec![0.0; n]);
+        ss.apply_b_split(&ur, &ui, &mut br, &mut bi);
+        check(&br, &bi, &ss.apply_b(&u), "B u");
+
+        // Fused x -= B u against the two-step reference.
+        let (mut sr, mut si) = (xr.clone(), xi.clone());
+        ss.sub_apply_b_split(&ur, &ui, &mut sr, &mut si);
+        let want: Vec<C64> = x.iter().zip(ss.apply_b(&u)).map(|(a, b)| *a - b).collect();
+        check(&sr, &si, &want, "x - B u");
+
+        let (mut btr, mut bti) = (vec![0.0; p], vec![0.0; p]);
+        ss.apply_bt_split(&xr, &xi, &mut btr, &mut bti);
+        check(&btr, &bti, &ss.apply_bt(&x), "B^T x");
+
+        let (mut cr, mut ci) = (vec![0.0; p], vec![0.0; p]);
+        ss.apply_c_split(&xr, &xi, &mut cr, &mut ci);
+        check(&cr, &ci, &ss.apply_c(&x), "C x");
+
+        let (mut ctr, mut cti) = (vec![1.0; n], vec![1.0; n]); // stale values overwritten
+        ss.apply_ct_split(&ur, &ui, &mut ctr, &mut cti);
+        check(&ctr, &cti, &ss.apply_ct(&u), "C^T u");
     }
 
     #[test]
