@@ -1,0 +1,104 @@
+//! Seed-range fuzz sweep: generate, check, summarize — and optionally
+//! auto-minimize every failure into a committed-corpus repro file.
+//!
+//! ```sh
+//! cargo run --release -p pheig-fuzz --example fuzz_sweep -- [lo] [hi]
+//! PHEIG_FUZZ_REPRO_DIR=corpus/regressions \
+//!     cargo run --release -p pheig-fuzz --example fuzz_sweep -- 0 220
+//! ```
+//!
+//! Prints one line per failing seed (scenario, failure class, detail) and
+//! a per-scenario pass/fail tally — the loop a developer runs after
+//! touching the parser or the solver, before CI does the same. With
+//! `PHEIG_FUZZ_REPRO_DIR` set, each failing deck is shrunk by
+//! [`pheig_fuzz::minimize`] (preserving its failure class) and written as
+//! a replayable repro with a `! pheig-fuzz repro` header.
+
+use pheig_fuzz::{check_case, check_deck, minimize, render_repro, Expectation, FuzzCase};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let lo: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let hi: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(lo + 44);
+    let repro_dir = std::env::var("PHEIG_FUZZ_REPRO_DIR").ok();
+    let mut tally: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+    let mut failures = 0usize;
+    for seed in lo..hi {
+        let case = FuzzCase::from_seed(seed);
+        let entry = tally.entry(case.scenario.name()).or_insert((0, 0));
+        match check_case(&case) {
+            Ok(()) => entry.0 += 1,
+            Err(f) => {
+                entry.1 += 1;
+                failures += 1;
+                println!(
+                    "FAIL seed={seed} scenario={} class={} {}",
+                    case.scenario.name(),
+                    f.class,
+                    f.detail
+                );
+                if let Some(dir) = &repro_dir {
+                    emit_repro(Path::new(dir), &case, f.class);
+                }
+            }
+        }
+    }
+    println!("--- {} seed(s), {failures} failure(s) ---", hi - lo);
+    for (name, (ok, bad)) in &tally {
+        println!("{name:>20}: {ok} ok, {bad} fail");
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Shrinks a failing case (class-preserving) and writes it as a repro
+/// deck under `dir`. `ParsesLike` failures are skipped: their expectation
+/// references a second deck and cannot be replayed standalone.
+fn emit_repro(dir: &Path, case: &FuzzCase, class: &'static str) {
+    let expect_name = match &case.expect {
+        Expectation::Differential => "differential",
+        Expectation::TypedError => "typed-error",
+        Expectation::ParsesLike { .. } => {
+            eprintln!("  (no repro: parses-like failures replay from the seed, not a deck)");
+            return;
+        }
+    };
+    // A differential predicate runs the full fit/sweep/enforce pipeline
+    // per candidate, so its shrink budget is much tighter.
+    let budget = match &case.expect {
+        Expectation::Differential => 60,
+        _ => 600,
+    };
+    let poles = case.poles_per_column;
+    let expect = case.expect.clone();
+    let mut fails = |d: &str, p: Option<usize>| {
+        check_deck(d, p, poles, &expect).is_err_and(|g| g.class == class)
+    };
+    let out = minimize(&case.deck, case.ports_hint, budget, &mut fails);
+    let repro = render_repro(
+        case.seed,
+        case.scenario.name(),
+        expect_name,
+        poles,
+        out.ports,
+        class,
+        &out.deck,
+    );
+    let ext = out
+        .ports
+        .map_or_else(|| "snp".to_string(), |p| format!("s{p}p"));
+    let path = dir.join(format!("seed{:04}-{class}.{ext}", case.seed));
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, repro)) {
+        eprintln!("  (repro write failed: {e})");
+    } else {
+        println!(
+            "  minimized to {} line(s) in {} eval(s) -> {}",
+            out.deck.lines().count(),
+            out.evals,
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Replays every committed repro deck in a corpus directory.
+//!
+//! ```sh
+//! cargo run --release -p pheig-fuzz --example replay_corpus -- corpus/regressions
+//! cargo run --release -p pheig-fuzz --example replay_corpus -- corpus/regressions --expect-fail
+//! ```
+//!
+//! Default mode asserts every historical defect stays fixed (exit 1 on
+//! any regression). `--expect-fail` inverts the check — the mode used to
+//! confirm a freshly minimized repro actually reproduces before the fix
+//! lands.
+
+use pheig_fuzz::check_repro;
+
+fn main() {
+    let mut dir = None;
+    let mut expect_fail = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--expect-fail" {
+            expect_fail = true;
+        } else {
+            dir = Some(arg);
+        }
+    }
+    let dir = dir.unwrap_or_else(|| "corpus/regressions".to_string());
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read corpus dir {dir}: {e}"))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension()
+                .and_then(|x| x.to_str())
+                .is_some_and(|x| x.starts_with('s') && x.ends_with('p'))
+        })
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no repro decks found under {dir}");
+    let mut bad = 0usize;
+    for path in &paths {
+        let text = std::fs::read_to_string(path).expect("readable repro");
+        let name = path.file_name().unwrap().to_string_lossy();
+        match (check_repro(&text), expect_fail) {
+            (Ok(spec), false) => {
+                println!("PASS {name} (seed={} {})", spec.seed, spec.scenario);
+            }
+            (Err(f), true) => println!("REPRODUCES {name} [{}]", f.class),
+            (Ok(_), true) => {
+                bad += 1;
+                println!("NO-REPRO {name}: deck no longer fails");
+            }
+            (Err(f), false) => {
+                bad += 1;
+                println!("REGRESSED {name}: {f}");
+            }
+        }
+    }
+    println!("--- {} repro(s), {bad} problem(s) ---", paths.len());
+    if bad > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Adversarial test infrastructure for the pheig workspace: a
+//! deterministic scenario zoo of pathological Touchstone decks, a
+//! property harness that differential-checks the full pipeline against
+//! the dense `O(n^3)` oracle, a failure minimizer, and a committed-repro
+//! corpus format.
+//!
+//! This crate is test support — it ships no production code paths. The
+//! root integration tests (`tests/fuzz_pipeline.rs`,
+//! `tests/oracle_validation.rs`) are its consumers:
+//!
+//! ```text
+//! seed --FuzzCase::from_seed--> deck + Expectation
+//!      --check_case----------> Ok | Failure{class, detail}
+//!      --minimize------------> small still-failing deck
+//!      --render_repro--------> corpus/regressions/*.sNp (replayed by CI)
+//! ```
+//!
+//! Determinism is the design center: a case is fully addressed by its
+//! `u64` seed, a failure is fully addressed by its repro file, and both
+//! reproduce bit-identically on every run.
+
+pub mod check;
+pub mod minimize;
+pub mod mutate;
+pub mod oracle;
+pub mod repro;
+pub mod scenario;
+
+pub use check::{check_case, check_deck, Failure};
+pub use minimize::{minimize, MinimizedDeck};
+pub use repro::{check_repro, render_repro, ReproSpec};
+pub use scenario::{Expectation, FuzzCase, Scenario, ZOO};

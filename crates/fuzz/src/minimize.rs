@@ -1,0 +1,199 @@
+//! Failure minimization: shrinks a failing deck while preserving its
+//! failure class, so committed regression repros stay small and readable.
+//!
+//! Two complementary passes:
+//!
+//! * **Structured** (parseable decks): canonical re-render, then
+//!   frequency-row chunk removal (halving granularity) and greedy port
+//!   dropping, re-rendering through [`write_touchstone`] after each edit
+//!   so the deck stays well-formed by construction.
+//! * **Textual** (unparseable decks, or as a final polish): classic
+//!   delta-debugging over raw lines.
+//!
+//! Every candidate is judged by a caller-supplied predicate — typically
+//! "[`crate::check::check_deck`] still fails with the same class" — and
+//! the total number of predicate evaluations is budgeted, because a
+//! differential predicate runs the full fit/sweep/enforce pipeline.
+
+use pheig_linalg::{Matrix, C64};
+use pheig_model::touchstone::{read_touchstone, write_touchstone};
+use pheig_model::FrequencySamples;
+
+/// A deck plus the port hint it must be parsed with.
+#[derive(Debug, Clone)]
+pub struct MinimizedDeck {
+    /// The shrunk deck text.
+    pub deck: String,
+    /// Port hint for the shrunk deck.
+    pub ports: Option<usize>,
+    /// Predicate evaluations spent.
+    pub evals: usize,
+}
+
+/// Budgeted predicate wrapper: once the budget is spent every candidate
+/// is rejected, which terminates all shrink loops promptly.
+struct Budget<'a> {
+    fails: &'a mut dyn FnMut(&str, Option<usize>) -> bool,
+    remaining: usize,
+    spent: usize,
+}
+
+impl Budget<'_> {
+    fn check(&mut self, deck: &str, ports: Option<usize>) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        self.spent += 1;
+        (self.fails)(deck, ports)
+    }
+}
+
+/// Shrinks `deck` while `fails(candidate, ports)` stays `true`, spending
+/// at most `budget` predicate evaluations. The input is assumed failing;
+/// the result is the smallest still-failing deck found.
+pub fn minimize(
+    deck: &str,
+    ports: Option<usize>,
+    budget: usize,
+    fails: &mut dyn FnMut(&str, Option<usize>) -> bool,
+) -> MinimizedDeck {
+    let mut b = Budget {
+        fails,
+        remaining: budget,
+        spent: 0,
+    };
+    let mut current = deck.to_string();
+    let mut current_ports = ports;
+
+    // Canonicalize: re-render a parseable deck one record per line, which
+    // turns row removal into plain line removal.
+    if let Ok(parsed) = read_touchstone(&current, current_ports) {
+        let canonical = write_touchstone(&parsed.samples, &parsed.options);
+        let p = parsed.ports();
+        if canonical != current && b.check(&canonical, Some(p)) {
+            current = canonical;
+            current_ports = Some(p);
+        }
+    }
+
+    // Structured pass: drop ports greedily (the biggest single reduction:
+    // each dropped port removes 2p-1 columns from every record), then
+    // shrink again at line level.
+    while let Some((deck, p)) = drop_one_port(&current, current_ports, &mut b) {
+        current = deck;
+        current_ports = Some(p);
+    }
+
+    // Textual pass: delta-debug the lines (rows of a canonical deck).
+    current = ddmin_lines(&current, current_ports, &mut b);
+
+    MinimizedDeck {
+        deck: current,
+        ports: current_ports,
+        evals: b.spent,
+    }
+}
+
+/// Tries to remove one port (any index) from a parseable deck, keeping
+/// the failure. Returns the new deck and port count on success.
+fn drop_one_port(deck: &str, ports: Option<usize>, b: &mut Budget<'_>) -> Option<(String, usize)> {
+    let parsed = read_touchstone(deck, ports).ok()?;
+    let p = parsed.ports();
+    if p <= 1 {
+        return None;
+    }
+    for dropped in 0..p {
+        let keep: Vec<usize> = (0..p).filter(|&i| i != dropped).collect();
+        let mats: Vec<Matrix<C64>> = parsed
+            .samples
+            .matrices()
+            .iter()
+            .map(|m| Matrix::from_fn(p - 1, p - 1, |i, j| m[(keep[i], keep[j])]))
+            .collect();
+        let Ok(sub) = FrequencySamples::new(parsed.samples.omegas().to_vec(), mats) else {
+            continue;
+        };
+        let candidate = write_touchstone(&sub, &parsed.options);
+        if b.check(&candidate, Some(p - 1)) {
+            return Some((candidate, p - 1));
+        }
+    }
+    None
+}
+
+/// Delta-debugging over raw lines: remove chunks at halving granularity
+/// while the predicate keeps failing.
+fn ddmin_lines(deck: &str, ports: Option<usize>, b: &mut Budget<'_>) -> String {
+    let mut lines: Vec<String> = deck.lines().map(str::to_string).collect();
+    if lines.len() <= 1 {
+        return deck.to_string();
+    }
+    let mut chunk = (lines.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < lines.len() && lines.len() > 1 {
+            let hi = (i + chunk).min(lines.len());
+            let candidate: Vec<String> = lines[..i].iter().chain(&lines[hi..]).cloned().collect();
+            if !candidate.is_empty() && b.check(&render(&candidate), ports) {
+                lines = candidate;
+                progressed = true;
+                // Do not advance: the chunk now starting at `i` is new.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !progressed {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    render(&lines)
+}
+
+fn render(lines: &[String]) -> String {
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddmin_shrinks_to_the_essential_lines() {
+        // Predicate: deck still contains the poison token.
+        let deck = "# Hz S RI R 50\n1 0.5 0\n2 nan 0\n3 0.25 0\n4 0.1 0\n";
+        let mut fails = |d: &str, _: Option<usize>| d.contains("nan") && d.contains('#');
+        let out = minimize(deck, Some(1), 200, &mut fails);
+        assert!(out.deck.contains("nan"));
+        assert!(out.deck.lines().count() <= 3, "{}", out.deck);
+    }
+
+    #[test]
+    fn port_dropping_shrinks_wide_decks() {
+        // A 3-port deck whose "failure" is carried by port 0 self term.
+        let mut rows = String::from("# Hz S RI R 50\n");
+        for k in 0..4 {
+            rows.push_str(&format!("{}", k + 1));
+            for idx in 0..9 {
+                let v = if idx == 0 { 0.75 } else { 0.01 };
+                rows.push_str(&format!(" {v} 0.0"));
+            }
+            rows.push('\n');
+        }
+        let mut fails = |d: &str, p: Option<usize>| {
+            read_touchstone(d, p).is_ok_and(|parsed| parsed.samples.matrices()[0][(0, 0)].re > 0.5)
+        };
+        assert!(fails(&rows, Some(3)), "seed deck must fail");
+        let out = minimize(&rows, Some(3), 400, &mut fails);
+        let parsed = read_touchstone(&out.deck, out.ports).unwrap();
+        assert_eq!(parsed.ports(), 1, "ports not dropped: {}", out.deck);
+        assert!(parsed.samples.len() <= 2);
+    }
+}

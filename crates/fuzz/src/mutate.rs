@@ -1,0 +1,118 @@
+//! Parse-preserving structural abuse of valid Touchstone decks.
+//!
+//! Touchstone v1 is whitespace- and line-structure agnostic once the
+//! option line is fixed: records may wrap across lines, comments may
+//! appear anywhere, and token spacing is free-form. [`restructure`]
+//! exercises exactly those freedoms — the output must parse to the same
+//! network data as the input, which is what the `FormatTorture` scenario
+//! asserts differentially.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Splits a deck into (pre-data lines, data tokens): everything up to and
+/// including the option line passes through verbatim; data lines flatten
+/// into a token stream we are free to re-wrap.
+fn split_deck(deck: &str) -> (Vec<String>, Vec<String>) {
+    let mut header = Vec::new();
+    let mut tokens = Vec::new();
+    let mut seen_options = false;
+    for line in deck.lines() {
+        let trimmed = line.trim_start();
+        if !seen_options {
+            header.push(line.to_string());
+            if trimmed.starts_with('#') {
+                seen_options = true;
+            }
+            continue;
+        }
+        // Strip trailing comments, keep data tokens.
+        let data = match line.find('!') {
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+        tokens.extend(data.split_whitespace().map(str::to_string));
+    }
+    (header, tokens)
+}
+
+/// Rewraps and decorates a valid deck without changing its meaning:
+/// random record wrapping, interleaved comments, tab/space soup, blank
+/// lines, trailing inline comments, and a leading BOM-free comment block.
+///
+/// The result must parse identically to the input (given an explicit port
+/// hint, since wrapped decks defeat first-line width inference).
+pub fn restructure(deck: &str, seed: u64, rng: &mut StdRng) -> String {
+    let (header, tokens) = split_deck(deck);
+    let mut out = String::new();
+    out.push_str(&format!("! pheig-fuzz format-torture seed={seed}\n"));
+    if rng.gen::<bool>() {
+        out.push_str("!< some vendors emit marker comments like this >\n");
+    }
+    for line in &header {
+        out.push_str(line);
+        out.push('\n');
+    }
+    let mut col = 0usize;
+    // Wrap width in tokens; 1 forces one-token-per-line pathology.
+    let wrap = [1usize, 2, 3, 5, 7, 9][rng.gen_range(0u32..6) as usize];
+    for (i, tok) in tokens.iter().enumerate() {
+        if col == 0 {
+            // Random leading whitespace on continuation lines.
+            for _ in 0..rng.gen_range(0u32..4) {
+                out.push(if rng.gen::<bool>() { ' ' } else { '\t' });
+            }
+        } else {
+            out.push_str(if rng.gen_range(0u32..5) == 0 {
+                " \t "
+            } else {
+                " "
+            });
+        }
+        out.push_str(tok);
+        col += 1;
+        if col >= wrap || i + 1 == tokens.len() {
+            if rng.gen_range(0u32..6) == 0 {
+                out.push_str(" ! trailing noise");
+            }
+            out.push('\n');
+            col = 0;
+            if rng.gen_range(0u32..8) == 0 {
+                out.push_str("! interleaved commentary\n");
+            }
+            if rng.gen_range(0u32..10) == 0 {
+                out.push('\n');
+            }
+        }
+    }
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    if rng.gen::<bool>() {
+        out.push_str("! trailing remark after the last record\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn restructure_preserves_tokens() {
+        let deck = "! hi\n# Hz S RI R 50\n1.0 0.5 -0.5\n2.0 0.25 0.125\n";
+        let mut rng = StdRng::seed_from_u64(9);
+        let abused = restructure(deck, 9, &mut rng);
+        let strip = |d: &str| {
+            d.lines()
+                .map(|l| l.find('!').map_or(l, |p| &l[..p]))
+                .filter(|l| !l.trim_start().starts_with('#'))
+                .flat_map(str::split_whitespace)
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(deck), strip(&abused));
+        assert!(abused.contains("# Hz S RI R 50"));
+    }
+}

@@ -1,0 +1,152 @@
+//! The committed-repro corpus format: a minimized failing deck plus the
+//! metadata the replayer needs, all inside ordinary Touchstone comments so
+//! every repro file is itself a valid (or deliberately invalid) `.sNp`
+//! deck any tool can open.
+//!
+//! Header shape (first lines of the file):
+//!
+//! ```text
+//! ! pheig-fuzz repro seed=40 scenario=syntax-garbage expect=typed-error poles=4 ports=2
+//! ! class=accepted-nonfinite
+//! ! <free-form description>
+//! ```
+//!
+//! [`check_repro`] re-runs the expectation encoded in the header, so a
+//! corpus directory replay is one directory walk — no out-of-band
+//! manifest to drift out of sync.
+
+use crate::check::{check_deck, Failure};
+use crate::scenario::Expectation;
+
+/// Parsed repro header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReproSpec {
+    /// Originating seed (provenance only).
+    pub seed: u64,
+    /// Originating scenario name (provenance only).
+    pub scenario: String,
+    /// `"differential"` or `"typed-error"` — the check to replay.
+    pub expect: String,
+    /// Vector-fit order for differential replays.
+    pub poles: usize,
+    /// Port hint for the parser.
+    pub ports: Option<usize>,
+}
+
+/// Renders a repro file: metadata header, failure class, then the deck.
+pub fn render_repro(
+    seed: u64,
+    scenario: &str,
+    expect: &str,
+    poles: usize,
+    ports: Option<usize>,
+    class: &str,
+    deck: &str,
+) -> String {
+    let ports_field = ports.map_or(String::from("infer"), |p| p.to_string());
+    format!(
+        "! pheig-fuzz repro seed={seed} scenario={scenario} expect={expect} \
+         poles={poles} ports={ports_field}\n! class={class}\n{deck}"
+    )
+}
+
+/// Parses the metadata header of a repro file.
+///
+/// Returns `None` when the file carries no `pheig-fuzz repro` marker or a
+/// mandatory field is missing/malformed — the replayer treats that as a
+/// hard error so a corrupt corpus cannot silently skip decks.
+pub fn parse_repro(text: &str) -> Option<ReproSpec> {
+    let header = text
+        .lines()
+        .find(|l| l.trim_start().starts_with('!') && l.contains("pheig-fuzz repro"))?;
+    let mut seed = None;
+    let mut scenario = None;
+    let mut expect = None;
+    let mut poles = None;
+    let mut ports = None;
+    for field in header.split_whitespace() {
+        if let Some((key, value)) = field.split_once('=') {
+            match key {
+                "seed" => seed = value.parse::<u64>().ok(),
+                "scenario" => scenario = Some(value.to_string()),
+                "expect" => expect = Some(value.to_string()),
+                "poles" => poles = value.parse::<usize>().ok(),
+                "ports" => {
+                    ports = if value == "infer" {
+                        Some(None)
+                    } else {
+                        value.parse::<usize>().ok().map(Some)
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Some(ReproSpec {
+        seed: seed?,
+        scenario: scenario?,
+        expect: expect?,
+        poles: poles?,
+        ports: ports?,
+    })
+}
+
+/// Replays a repro file: parses its header and re-runs the encoded check.
+///
+/// # Errors
+///
+/// Returns the [`Failure`] when the historical defect has regressed, or a
+/// `corrupt-repro` failure when the header is unreadable.
+pub fn check_repro(text: &str) -> Result<ReproSpec, Failure> {
+    let spec = parse_repro(text).ok_or(Failure {
+        class: "corrupt-repro",
+        detail: "missing or malformed 'pheig-fuzz repro' header".to_string(),
+    })?;
+    let expect = match spec.expect.as_str() {
+        "differential" => Expectation::Differential,
+        "typed-error" => Expectation::TypedError,
+        other => {
+            return Err(Failure {
+                class: "corrupt-repro",
+                detail: format!("unknown expect '{other}'"),
+            })
+        }
+    };
+    check_deck(text, spec.ports, spec.poles, &expect)?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let text = render_repro(
+            42,
+            "syntax-garbage",
+            "typed-error",
+            4,
+            Some(2),
+            "accepted-nonfinite",
+            "# Hz S RI R 50\n1 nan 0\n",
+        );
+        let spec = parse_repro(&text).unwrap();
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.scenario, "syntax-garbage");
+        assert_eq!(spec.expect, "typed-error");
+        assert_eq!(spec.poles, 4);
+        assert_eq!(spec.ports, Some(2));
+        let inferred = render_repro(7, "x", "typed-error", 4, None, "c", "bogus\n");
+        assert_eq!(parse_repro(&inferred).unwrap().ports, None);
+    }
+
+    #[test]
+    fn files_without_header_are_rejected() {
+        assert!(parse_repro("# GHz S RI\n1 0 0\n").is_none());
+        assert_eq!(
+            check_repro("# GHz S RI\n1.0 0.0 0.0\n").unwrap_err().class,
+            "corrupt-repro"
+        );
+    }
+}

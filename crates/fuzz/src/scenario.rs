@@ -1,0 +1,658 @@
+//! The scenario zoo: a deterministic, seed-addressed corpus generator for
+//! pathological Touchstone decks.
+//!
+//! Every `u64` seed maps to exactly one [`FuzzCase`]: the scenario family
+//! is `seed % ZOO.len()` and every other knob (format variant, model
+//! dimensions, structural abuse) derives from an RNG seeded by the seed,
+//! so a failing seed reproduces forever with no corpus files on disk.
+//!
+//! The families target the spots where vector-fitting and Hamiltonian
+//! passivity characterization break silently in practice: clustered and
+//! grazing unit-singular-value crossings, near-singular and rank-deficient
+//! direct coupling `D`, frequency dynamic range of 1e9, narrow bands, port
+//! counts in the tens, every Touchstone v1 format variant, and structural
+//! abuse (wrapped records, comments, whitespace) that must not change the
+//! parse.
+
+use crate::mutate;
+use pheig_linalg::{Lu, Matrix, C64};
+use pheig_model::generator::{generate_case, CaseSpec};
+use pheig_model::touchstone::{
+    write_touchstone, DataFormat, FreqUnit, ParameterKind, TouchstoneOptions,
+};
+use pheig_model::transfer::{sigma_max, TransferEval};
+use pheig_model::{ColumnTerms, FrequencySamples, Pole, PoleResidueModel, Residue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scenario family of the zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Small calibrated-passive model: the sweep must certify emptiness.
+    PassiveBaseline,
+    /// Demo-like mildly non-passive model: enforcement must converge and
+    /// the enforced output must be oracle-passive.
+    MildViolations,
+    /// Several crossings calibrated into a narrow resonance band.
+    ClusteredCrossings,
+    /// A single resonance whose peak grazes the unit threshold from
+    /// either side (near-tangent crossing).
+    GrazingPeak,
+    /// Direct coupling with a widely spread singular spectrum
+    /// (`sigma_max` close to 1, smallest singular value near 1e-12).
+    NearSingularD,
+    /// Exactly rank-deficient direct coupling (zero singular values).
+    RankDeficientD,
+    /// Pole resonances spread over nine decades of frequency.
+    WideDynamicRange,
+    /// Crossings packed into a band a few percent wide.
+    NarrowBand,
+    /// Port counts in the tens (one resonance per column).
+    ManyPorts,
+    /// Structural abuse of a valid deck: wrapping, comments, whitespace.
+    /// Must parse identically to the clean rendering.
+    FormatTorture,
+    /// Malformed decks: must fail with a typed error, never panic.
+    SyntaxGarbage,
+}
+
+/// The scenario families, in seed-addressing order (`seed % ZOO.len()`).
+pub const ZOO: [Scenario; 11] = [
+    Scenario::PassiveBaseline,
+    Scenario::MildViolations,
+    Scenario::ClusteredCrossings,
+    Scenario::GrazingPeak,
+    Scenario::NearSingularD,
+    Scenario::RankDeficientD,
+    Scenario::WideDynamicRange,
+    Scenario::NarrowBand,
+    Scenario::ManyPorts,
+    Scenario::FormatTorture,
+    Scenario::SyntaxGarbage,
+];
+
+impl Scenario {
+    /// Stable kebab-case name (used in repro filenames and metadata).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::PassiveBaseline => "passive-baseline",
+            Scenario::MildViolations => "mild-violations",
+            Scenario::ClusteredCrossings => "clustered-crossings",
+            Scenario::GrazingPeak => "grazing-peak",
+            Scenario::NearSingularD => "near-singular-d",
+            Scenario::RankDeficientD => "rank-deficient-d",
+            Scenario::WideDynamicRange => "wide-dynamic-range",
+            Scenario::NarrowBand => "narrow-band",
+            Scenario::ManyPorts => "many-ports",
+            Scenario::FormatTorture => "format-torture",
+            Scenario::SyntaxGarbage => "syntax-garbage",
+        }
+    }
+}
+
+/// What the harness should do with a deck and what outcome passes.
+#[derive(Debug, Clone)]
+pub enum Expectation {
+    /// Parse, run the full pipeline, and differential-check every verdict
+    /// (crossings, passivity, certificate coverage, enforced output)
+    /// against the dense oracle.
+    Differential,
+    /// The deck must parse (and convert to scattering form) *identically*
+    /// to this clean reference rendering.
+    ParsesLike {
+        /// The clean deck the abused variant must agree with.
+        reference: String,
+        /// Port hint for the reference (one record per line).
+        reference_ports: Option<usize>,
+    },
+    /// The deck must be rejected with a typed error — never a panic, and
+    /// never silently accepted.
+    TypedError,
+}
+
+/// One seed-addressed fuzz case: the deck text plus everything the harness
+/// needs to run and judge it.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// The generating seed (full provenance).
+    pub seed: u64,
+    /// Scenario family.
+    pub scenario: Scenario,
+    /// The Touchstone deck text.
+    pub deck: String,
+    /// Port-count hint to pass to the parser (wrapped decks need it).
+    pub ports_hint: Option<usize>,
+    /// Vector-fit order (poles per column) matched to the reference model.
+    pub poles_per_column: usize,
+    /// The option-line variant the deck was rendered with.
+    pub options: TouchstoneOptions,
+    /// What passing looks like.
+    pub expect: Expectation,
+}
+
+fn pick_options(rng: &mut StdRng) -> TouchstoneOptions {
+    let unit = [FreqUnit::Hz, FreqUnit::KHz, FreqUnit::MHz, FreqUnit::GHz]
+        [rng.gen_range(0u32..4) as usize];
+    let kind = [
+        ParameterKind::Scattering,
+        ParameterKind::Admittance,
+        ParameterKind::Impedance,
+    ][rng.gen_range(0u32..3) as usize];
+    let format = [
+        DataFormat::RealImag,
+        DataFormat::MagAngle,
+        DataFormat::DbAngle,
+    ][rng.gen_range(0u32..3) as usize];
+    let resistance = [25.0, 50.0, 75.0, 100.0][rng.gen_range(0u32..4) as usize];
+    TouchstoneOptions {
+        unit,
+        kind,
+        format,
+        resistance,
+    }
+}
+
+/// Converts scattering samples to the representation `kind` declares, so a
+/// deck written with that option line round-trips back to the same S data.
+///
+/// `Z = R0 (I + S)(I - S)^{-1}` and `Y = (1/R0) (I - S)(I + S)^{-1}`; when
+/// the required matrix is singular at some frequency (a lossless `|S| = 1`
+/// point) the caller falls back to an S deck.
+fn to_declared_kind(
+    samples: &FrequencySamples,
+    kind: ParameterKind,
+    r0: f64,
+) -> Option<FrequencySamples> {
+    if kind == ParameterKind::Scattering {
+        return Some(samples.clone());
+    }
+    let p = samples.ports();
+    let eye = Matrix::<C64>::identity(p);
+    let mut out = Vec::with_capacity(samples.len());
+    for s in samples.matrices() {
+        let (num, den, scale) = match kind {
+            ParameterKind::Impedance => (&eye + s, &eye - s, r0),
+            ParameterKind::Admittance => (&eye - s, &eye + s, 1.0 / r0),
+            ParameterKind::Scattering => unreachable!("handled above"),
+        };
+        let m = Lu::new(den).ok()?.solve_matrix(&num).ok()?;
+        out.push(m.map(|z| z.scale(scale)));
+    }
+    FrequencySamples::new(samples.omegas().to_vec(), out).ok()
+}
+
+/// Renders `samples` as a deck declaring `opts` (converting S data to the
+/// declared Y/Z representation first). Falls back to an S deck when the
+/// conversion hits a singular point; returns the actually used options.
+fn render_deck(samples: &FrequencySamples, opts: TouchstoneOptions) -> (String, TouchstoneOptions) {
+    match to_declared_kind(samples, opts.kind, opts.resistance) {
+        Some(declared) => (write_touchstone(&declared, &opts), opts),
+        None => {
+            let fallback = TouchstoneOptions {
+                kind: ParameterKind::Scattering,
+                ..opts
+            };
+            (write_touchstone(samples, &fallback), fallback)
+        }
+    }
+}
+
+/// Sampling grid shape: linear for band-limited models, logarithmic for
+/// the nine-decade dynamic-range family (a linear grid would alias every
+/// low-frequency resonance away).
+enum Grid {
+    Linear(f64, f64, usize),
+    Log(f64, f64, usize),
+}
+
+impl Grid {
+    fn sample(&self, model: &PoleResidueModel) -> FrequencySamples {
+        match *self {
+            Grid::Linear(lo, hi, n) => FrequencySamples::from_model(model, lo, hi, n)
+                .expect("well-formed linear sampling grid"),
+            Grid::Log(lo, hi, n) => {
+                let ratio = hi / lo;
+                let omegas: Vec<f64> = (0..n)
+                    .map(|k| lo * ratio.powf(k as f64 / (n - 1) as f64))
+                    .collect();
+                let matrices = omegas
+                    .iter()
+                    .map(|&w| model.transfer_at(C64::from_imag(w)))
+                    .collect();
+                FrequencySamples::new(omegas, matrices).expect("well-formed log sampling grid")
+            }
+        }
+    }
+}
+
+/// A generated model plus the sampling grid and fit order that suit it.
+struct ModelPlan {
+    model: PoleResidueModel,
+    grid: Grid,
+    poles_per_column: usize,
+}
+
+/// [`generate_case`] with deterministic reseeding: the workspace generator
+/// rejects a small fraction of seeds ("resonances too weak to calibrate"),
+/// so walk a derived seed sequence until one sticks. The walk is a pure
+/// function of `seed`, preserving seed-addressability.
+fn gen_case_retry(seed: u64, build: impl Fn(u64) -> CaseSpec) -> PoleResidueModel {
+    for k in 0..64u64 {
+        let derived = seed.wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Ok(model) = generate_case(&build(derived)) {
+            return model;
+        }
+    }
+    unreachable!("no calibratable case in 64 derived seeds — spec family is degenerate")
+}
+
+fn gen_model(scenario: Scenario, seed: u64, rng: &mut StdRng) -> ModelPlan {
+    match scenario {
+        Scenario::PassiveBaseline => {
+            let p = rng.gen_range(1usize..4);
+            let n = p * rng.gen_range(4usize..7);
+            ModelPlan {
+                model: gen_case_retry(seed, |s| {
+                    CaseSpec::new(n, p).with_seed(s).with_target_crossings(0)
+                }),
+                grid: Grid::Linear(0.01, 12.0, 120),
+                poles_per_column: n / p,
+            }
+        }
+        Scenario::MildViolations => {
+            let target = rng.gen_range(1usize..3);
+            ModelPlan {
+                model: gen_case_retry(seed, |s| {
+                    CaseSpec::new(16, 2)
+                        .with_seed(s)
+                        .with_target_crossings(target)
+                        .with_damping(0.02, 0.09)
+                }),
+                grid: Grid::Linear(0.01, 13.0, 200),
+                poles_per_column: 8,
+            }
+        }
+        Scenario::ClusteredCrossings => {
+            let target = rng.gen_range(2usize..5);
+            ModelPlan {
+                model: gen_case_retry(seed, |s| {
+                    CaseSpec::new(14, 2)
+                        .with_seed(s)
+                        .with_target_crossings(target)
+                        .with_band(2.0, 3.5)
+                        .with_damping(0.015, 0.06)
+                }),
+                grid: Grid::Linear(0.01, 5.0, 220),
+                poles_per_column: 7,
+            }
+        }
+        Scenario::GrazingPeak => grazing_plan(rng),
+        Scenario::NearSingularD | Scenario::RankDeficientD => {
+            let p = rng.gen_range(2usize..4);
+            let n = p * rng.gen_range(4usize..6);
+            let base = gen_case_retry(seed, |s| {
+                CaseSpec::new(n, p)
+                    .with_seed(s)
+                    .with_target_crossings(0)
+                    .with_damping(0.02, 0.09)
+            });
+            // Replace D with a deliberately ill-conditioned diagonal: the
+            // leading entry keeps sigma_max(D) close to (but below) 1, the
+            // rest collapse to ~1e-12 (near-singular) or exactly 0
+            // (rank-deficient), stressing the (I - D^T D)^{-1} port
+            // couplings the Hamiltonian build inverts.
+            let lead = rng.gen_range(0.55..0.9);
+            let tiny = if scenario == Scenario::NearSingularD {
+                1e-12
+            } else {
+                0.0
+            };
+            let d = Matrix::from_fn(p, p, |i, j| {
+                if i != j {
+                    0.0
+                } else if i == 0 {
+                    lead
+                } else {
+                    tiny
+                }
+            });
+            let model =
+                PoleResidueModel::new(base.columns().to_vec(), d).expect("sigma_max(D) < 1");
+            ModelPlan {
+                model,
+                grid: Grid::Linear(0.01, 12.0, 140),
+                poles_per_column: n / p,
+            }
+        }
+        Scenario::WideDynamicRange => wide_dynamic_plan(rng),
+        Scenario::NarrowBand => ModelPlan {
+            model: gen_case_retry(seed, |s| {
+                CaseSpec::new(12, 2)
+                    .with_seed(s)
+                    .with_target_crossings(2)
+                    .with_band(4.0, 4.6)
+                    .with_damping(0.02, 0.07)
+            }),
+            grid: Grid::Linear(0.02, 7.0, 220),
+            poles_per_column: 6,
+        },
+        Scenario::ManyPorts => {
+            let p = rng.gen_range(10usize..14);
+            ModelPlan {
+                model: gen_case_retry(seed, |s| {
+                    CaseSpec::new(2 * p, p)
+                        .with_seed(s)
+                        .with_target_crossings(0)
+                        .with_damping(0.02, 0.09)
+                }),
+                grid: Grid::Linear(0.05, 12.0, 100),
+                poles_per_column: 2,
+            }
+        }
+        Scenario::FormatTorture | Scenario::SyntaxGarbage => {
+            // Small, cheap base model; the interest is in the text layer.
+            let p = rng.gen_range(1usize..4);
+            let n = p * 4;
+            ModelPlan {
+                model: gen_case_retry(seed, |s| {
+                    CaseSpec::new(n, p).with_seed(s).with_target_crossings(0)
+                }),
+                grid: Grid::Linear(0.05, 10.0, 24),
+                poles_per_column: 4,
+            }
+        }
+    }
+}
+
+/// Builds the dynamic-range >= 1e9 family: the deck's logarithmic
+/// frequency grid spans 1e-3..2e6 rad/s (over nine decades), while the
+/// model's resonances sit in a two-decade core (0.5..50 rad/s) with flat
+/// `D`-dominated tails on both sides.
+///
+/// The nine-decade grid is the stressor — unit conversion, fit
+/// conditioning, and the sweep's band scaling all see the full range —
+/// and the sub-unit amplitude budget (each resonance contributes about
+/// `amp` to sigma, summed well below 1) keeps the reference model deeply
+/// passive so the differential verdict is exact on both sides.
+fn wide_dynamic_plan(rng: &mut StdRng) -> ModelPlan {
+    let p = rng.gen_range(1usize..3);
+    let pairs_per_column = rng.gen_range(2usize..4);
+    let total = (p * pairs_per_column).max(2);
+    let mut columns = Vec::with_capacity(p);
+    for j in 0..p {
+        let mut poles = Vec::with_capacity(pairs_per_column);
+        let mut residues = Vec::with_capacity(pairs_per_column);
+        for k in 0..pairs_per_column {
+            // Interleave the columns' resonances across the two-decade core.
+            let t = (j + k * p) as f64 / (total - 1) as f64;
+            let w0 = 0.5 * 10f64.powf(2.0 * t) * rng.gen_range(0.85..1.2);
+            let zeta = rng.gen_range(0.03..0.1);
+            let im = w0 * (1.0 - zeta * zeta).sqrt();
+            poles.push(Pole::Pair { re: -zeta * w0, im });
+            let amp = rng.gen_range(0.05..0.3) / pairs_per_column as f64;
+            let gain = amp * 2.0 * zeta * w0;
+            let col_residue: Vec<C64> = (0..p)
+                .map(|i| C64::from_real(if i == j { gain } else { 0.15 * gain }))
+                .collect();
+            residues.push(Residue::Complex(col_residue));
+        }
+        columns.push(ColumnTerms { poles, residues });
+    }
+    let d = Matrix::from_fn(p, p, |i, j| if i == j { 0.2 } else { 0.0 });
+    let model = PoleResidueModel::new(columns, d).expect("sub-unit wideband model");
+    ModelPlan {
+        model,
+        grid: Grid::Log(1e-3, 2e6, 220),
+        poles_per_column: 2 * pairs_per_column,
+    }
+}
+
+/// Builds a one-port, single-resonance model whose sigma peak grazes the
+/// unit threshold by `delta` (above or below), by direct bisection of the
+/// residue scale against the exact peak.
+fn grazing_plan(rng: &mut StdRng) -> ModelPlan {
+    let w0 = rng.gen_range(1.5..6.0);
+    let zeta = rng.gen_range(0.006..0.02);
+    // Graze from either side; above-threshold peaks stay small enough for
+    // first-order enforcement to annihilate the crossing pair.
+    let delta = if rng.gen::<bool>() { 1.0 } else { -1.0 } * rng.gen_range(0.002..0.02);
+    let target = 1.0 + delta;
+    let d = 0.3;
+    let im = w0 * (1.0 - zeta * zeta).sqrt();
+    let build = |gamma: f64| {
+        let col = ColumnTerms {
+            poles: vec![Pole::Pair { re: -zeta * w0, im }],
+            residues: vec![Residue::Complex(vec![C64::from_real(gamma)])],
+        };
+        PoleResidueModel::new(vec![col], Matrix::from_fn(1, 1, |_, _| d))
+            .expect("stable single resonance")
+    };
+    // Peak sigma over a fine scan near the resonance is monotone in the
+    // residue scale; bisect it onto the target.
+    let peak = |model: &PoleResidueModel| -> f64 {
+        (0..41)
+            .map(|k| {
+                let w = im * (0.96 + 0.08 * k as f64 / 40.0);
+                sigma_max(model, w).expect("1x1 sigma")
+            })
+            .fold(0.0, f64::max)
+    };
+    let mut lo = 1e-6;
+    let mut hi = 2.0 * zeta * w0;
+    while peak(&build(hi)) < target {
+        hi *= 2.0;
+    }
+    for _ in 0..48 {
+        let mid = 0.5 * (lo + hi);
+        if peak(&build(mid)) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    ModelPlan {
+        model: build(hi),
+        grid: Grid::Linear(0.02, w0 * 2.2, 180),
+        poles_per_column: 2,
+    }
+}
+
+/// Deterministically renders the garbage variant `k` of a valid deck.
+fn garbage_deck(clean: &str, ports: usize, rng: &mut StdRng) -> String {
+    match rng.gen_range(0u32..10) {
+        0 => {
+            // Truncate mid-record: drop the last few numeric tokens.
+            let trimmed = clean.trim_end();
+            let cut = trimmed
+                .rfind(char::is_whitespace)
+                .and_then(|c| trimmed[..c].trim_end().rfind(char::is_whitespace))
+                .unwrap_or(trimmed.len() / 2);
+            trimmed[..cut].to_string()
+        }
+        1 => {
+            // Replace one data token with a non-numeric word.
+            replace_nth_data_token(clean, rng, "beans")
+        }
+        2 => {
+            // Non-finite literal: f64::from_str happily parses "NaN".
+            replace_nth_data_token(clean, rng, "nan")
+        }
+        3 => {
+            // Overflowing literal: parses to +inf.
+            replace_nth_data_token(clean, rng, "1e999")
+        }
+        4 => {
+            // Duplicate option line in the middle of the data.
+            let mut out = String::new();
+            for (i, line) in clean.lines().enumerate() {
+                out.push_str(line);
+                out.push('\n');
+                if i == 3 {
+                    out.push_str("# GHz S RI\n");
+                }
+            }
+            out
+        }
+        5 => "! a deck of nothing but comments\n! and more comments\n".to_string(),
+        6 => format!(
+            "# GHz {} RI\n1.0 0.0 0.0\n",
+            ["W", "T", "Q"][rng.gen_range(0u32..3) as usize]
+        ),
+        7 => format!(
+            "# GHz S RI R {}\n1.0 0.0 0.0\n",
+            ["-50", "0", "beans"][rng.gen_range(0u32..3) as usize]
+        ),
+        8 => {
+            // Duplicated frequency points with full-width records for the
+            // hinted port count: well-formed except for the ordering.
+            // (A *decreasing* frequency would legitimately start a 2-port
+            // noise section; a duplicate must hit the ordering error for
+            // every port count.)
+            let mut out = String::from("# Hz S RI R 50\n");
+            for freq in [3.0f64, 3.0, 4.0] {
+                out.push_str(&format!("{freq}"));
+                for _ in 0..2 * ports * ports {
+                    out.push_str(" 0.1");
+                }
+                out.push('\n');
+            }
+            out
+        }
+        _ => {
+            // Binary noise with an embedded plausible prefix.
+            "# Hz S RI\n1.0 0.5 0.5\n\u{0}\u{1}\u{feff}garbage \u{7f}\n".to_string()
+        }
+    }
+}
+
+fn replace_nth_data_token(clean: &str, rng: &mut StdRng, with: &str) -> String {
+    let mut out = String::new();
+    let mut data_lines = 0usize;
+    let target_line = rng.gen_range(0usize..4);
+    for line in clean.lines() {
+        let is_data = !line.trim_start().starts_with(['!', '#']) && !line.trim().is_empty();
+        if is_data && data_lines == target_line {
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            let idx = 1 + rng.gen_range(0usize..(tokens.len() - 1).max(1));
+            for (i, tok) in tokens.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(if i == idx { with } else { tok });
+            }
+            out.push('\n');
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if is_data {
+            data_lines += 1;
+        }
+    }
+    out
+}
+
+impl FuzzCase {
+    /// The deterministic seed-to-case mapping (see module docs).
+    pub fn from_seed(seed: u64) -> FuzzCase {
+        let scenario = ZOO[(seed % ZOO.len() as u64) as usize];
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(7));
+        let plan = gen_model(scenario, seed, &mut rng);
+        let opts = pick_options(&mut rng);
+        let samples = plan.grid.sample(&plan.model);
+        let p = samples.ports();
+        let (clean, used_opts) = render_deck(&samples, opts);
+        match scenario {
+            Scenario::FormatTorture => {
+                let abused = mutate::restructure(&clean, seed, &mut rng);
+                FuzzCase {
+                    seed,
+                    scenario,
+                    deck: abused,
+                    ports_hint: Some(p),
+                    poles_per_column: plan.poles_per_column,
+                    options: used_opts,
+                    expect: Expectation::ParsesLike {
+                        reference: clean,
+                        reference_ports: Some(p),
+                    },
+                }
+            }
+            Scenario::SyntaxGarbage => {
+                let deck = garbage_deck(&clean, p, &mut rng);
+                FuzzCase {
+                    seed,
+                    scenario,
+                    deck,
+                    ports_hint: Some(p),
+                    poles_per_column: plan.poles_per_column,
+                    options: used_opts,
+                    expect: Expectation::TypedError,
+                }
+            }
+            _ => FuzzCase {
+                seed,
+                scenario,
+                deck: clean,
+                ports_hint: Some(p),
+                poles_per_column: plan.poles_per_column,
+                options: used_opts,
+                expect: Expectation::Differential,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_addressing_is_deterministic() {
+        for seed in 0..22 {
+            let a = FuzzCase::from_seed(seed);
+            let b = FuzzCase::from_seed(seed);
+            assert_eq!(a.deck, b.deck, "seed {seed} not deterministic");
+            assert_eq!(a.scenario, b.scenario);
+        }
+    }
+
+    #[test]
+    fn zoo_covers_every_scenario_in_one_cycle() {
+        let mut seen = Vec::new();
+        for seed in 0..ZOO.len() as u64 {
+            let c = FuzzCase::from_seed(seed);
+            assert!(!seen.contains(&c.scenario));
+            seen.push(c.scenario);
+        }
+        assert_eq!(seen.len(), ZOO.len());
+    }
+
+    #[test]
+    fn declared_kind_round_trips_through_parser_conversion() {
+        // Rendering S data as a Y or Z deck and converting back must be
+        // the identity (this is what makes Y/Z differential decks valid).
+        let model = generate_case(&CaseSpec::new(6, 2).with_seed(5).with_target_crossings(0))
+            .expect("valid spec");
+        let samples = FrequencySamples::from_model(&model, 0.1, 8.0, 10).unwrap();
+        for kind in [ParameterKind::Admittance, ParameterKind::Impedance] {
+            let declared = to_declared_kind(&samples, kind, 50.0).expect("non-singular");
+            let opts = TouchstoneOptions {
+                unit: FreqUnit::Hz,
+                kind,
+                format: DataFormat::RealImag,
+                resistance: 50.0,
+            };
+            let text = write_touchstone(&declared, &opts);
+            let deck = pheig_model::touchstone::read_touchstone(&text, Some(2)).unwrap();
+            let back = deck.scattering_samples().unwrap();
+            for k in 0..samples.len() {
+                assert!(
+                    (&back.matrices()[k] - &samples.matrices()[k]).max_abs() < 1e-9,
+                    "{kind:?} sample {k} drifted"
+                );
+            }
+        }
+    }
+}

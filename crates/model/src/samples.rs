@@ -35,6 +35,12 @@ impl FrequencySamples {
                 matrices.len()
             )));
         }
+        // The finiteness check must come first: NaN defeats both ordering
+        // comparisons below (NaN < x and x <= NaN are both false), so a
+        // NaN frequency would otherwise slip through.
+        if omegas.iter().any(|w| !w.is_finite()) {
+            return Err(ModelError::invalid("frequencies must be finite"));
+        }
         if omegas[0] < 0.0 || omegas.windows(2).any(|w| w[1] <= w[0]) {
             return Err(ModelError::invalid(
                 "frequencies must be non-negative and strictly increasing",

@@ -505,6 +505,14 @@ pub fn read_touchstone(text: &str, ports: Option<usize>) -> Result<TouchstoneDec
             let v: f64 = tok.parse().map_err(|_| {
                 ModelError::touchstone(line_idx, format!("unparsable number '{tok}'"))
             })?;
+            // f64::from_str happily parses "nan", "inf", and overflowing
+            // literals like "1e999"; none of them is valid Touchstone data.
+            if !v.is_finite() {
+                return Err(ModelError::touchstone(
+                    line_idx,
+                    format!("non-finite number '{tok}'"),
+                ));
+            }
             values.push((line_idx, v));
         }
     }
@@ -536,9 +544,20 @@ pub fn read_touchstone(text: &str, ports: Option<usize>) -> Result<TouchstoneDec
         let mut m = Matrix::<C64>::zeros(p, p);
         for idx in 0..p * p {
             let (i, j) = entry_position(p, idx);
-            m[(i, j)] = options
-                .format
-                .decode(record[1 + 2 * idx].1, record[2 + 2 * idx].1);
+            let (a, b) = (record[1 + 2 * idx].1, record[2 + 2 * idx].1);
+            let z = options.format.decode(a, b);
+            // Finite tokens can still decode non-finite: the DB format's
+            // 10^(a/20) overflows f64 past a ~= 6165 dB.
+            if !z.is_finite() {
+                return Err(ModelError::touchstone(
+                    record[1 + 2 * idx].0,
+                    format!(
+                        "({a}, {b}) decodes to a non-finite value in {} format",
+                        options.format.token()
+                    ),
+                ));
+            }
+            m[(i, j)] = z;
         }
         matrices.push(m);
     }
@@ -551,10 +570,9 @@ pub fn read_touchstone(text: &str, ports: Option<usize>) -> Result<TouchstoneDec
 ///
 /// # Errors
 ///
-/// Returns [`ModelError::InvalidArgument`] on I/O failures, and the same
-/// parse errors as [`read_touchstone`] wrapped in [`ModelError::InFile`]
-/// so the offending path survives alongside the line number — batch
-/// tooling reading many decks needs both.
+/// Every failure — I/O or parse — comes back wrapped in
+/// [`ModelError::InFile`] so the offending path survives alongside the
+/// underlying cause — batch tooling reading many decks needs both.
 pub fn read_touchstone_path(
     path: impl AsRef<std::path::Path>,
 ) -> Result<TouchstoneDeck, ModelError> {
@@ -565,7 +583,7 @@ pub fn read_touchstone_path(
         digits.parse::<usize>().ok().filter(|&p| p > 0)
     });
     let text = std::fs::read_to_string(path)
-        .map_err(|e| ModelError::invalid(format!("cannot read {}: {e}", path.display())))?;
+        .map_err(|e| ModelError::in_file(path, ModelError::invalid(format!("cannot read: {e}"))))?;
     read_touchstone(&text, ports).map_err(|e| ModelError::in_file(path, e))
 }
 

@@ -10,8 +10,12 @@ use pheig_model::touchstone::{
     read_touchstone, write_touchstone, DataFormat, FreqUnit, ParameterKind, TouchstoneOptions,
 };
 use pheig_model::{FrequencySamples, ModelError};
+use proptest::prelude::*;
 
 const GOLDEN: &str = include_str!("data/golden.s2p");
+const GOLDEN_DB: &str = include_str!("data/golden_db.s1p");
+const GOLDEN_Y: &str = include_str!("data/golden_y.s2p");
+const GOLDEN_Z: &str = include_str!("data/golden_z.s1p");
 
 fn ma(mag: f64, deg: f64) -> C64 {
     let rad = deg.to_radians();
@@ -98,6 +102,111 @@ fn write_read_identity_across_units_formats_and_ports() {
                     );
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn golden_db_deck_decodes_exactly() {
+    // -20 log10(2) dB = 0.5, -10 log10(2) dB = 1/sqrt(2), 0 dB = 1.
+    let deck = read_touchstone(GOLDEN_DB, Some(1)).unwrap();
+    assert_eq!(deck.ports(), 1);
+    assert_eq!(deck.options.unit, FreqUnit::MHz);
+    assert_eq!(deck.options.format, DataFormat::DbAngle);
+    let expected = [
+        C64::new(0.5, 0.0),
+        ma(std::f64::consts::FRAC_1_SQRT_2, 90.0),
+        ma(1.0, -45.0),
+    ];
+    for (m, want) in deck.samples.matrices().iter().zip(expected) {
+        assert!(
+            (m[(0, 0)] - want).abs() < 1e-14,
+            "{:?} vs {want:?}",
+            m[(0, 0)]
+        );
+    }
+    // MHz unit: omega = 2 pi f * 1e6.
+    let w0 = deck.samples.omegas()[0];
+    assert!((w0 - 2.0 * std::f64::consts::PI * 1e6).abs() < 1e-3);
+}
+
+#[test]
+fn golden_y_deck_converts_to_scattering() {
+    // Y = diag(0.01, 0.04) S with R0 = 50 gives S = diag(1/3, -1/3).
+    let deck = read_touchstone(GOLDEN_Y, Some(2)).unwrap();
+    assert_eq!(deck.options.kind, ParameterKind::Admittance);
+    let s = deck.scattering_samples().unwrap();
+    for m in s.matrices() {
+        assert!((m[(0, 0)] - C64::new(1.0 / 3.0, 0.0)).abs() < 1e-13);
+        assert!((m[(1, 1)] - C64::new(-1.0 / 3.0, 0.0)).abs() < 1e-13);
+        assert!(m[(0, 1)].abs() < 1e-13 && m[(1, 0)].abs() < 1e-13);
+    }
+}
+
+#[test]
+fn golden_z_deck_converts_to_scattering() {
+    // With R0 = 75: Z = 150 -> S = 1/3, Z = 75j -> S = j, Z = 75 -> S = 0.
+    let deck = read_touchstone(GOLDEN_Z, Some(1)).unwrap();
+    assert_eq!(deck.options.kind, ParameterKind::Impedance);
+    assert_eq!(deck.options.resistance, 75.0);
+    let s = deck.scattering_samples().unwrap();
+    let expected = [
+        C64::new(1.0 / 3.0, 0.0),
+        C64::new(0.0, 1.0),
+        C64::new(0.0, 0.0),
+    ];
+    for (m, want) in s.matrices().iter().zip(expected) {
+        assert!(
+            (m[(0, 0)] - want).abs() < 1e-13,
+            "{:?} vs {want:?}",
+            m[(0, 0)]
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// parse -> write -> parse is the identity on options and samples for
+    /// arbitrary small passive models across every unit/format combo.
+    #[test]
+    fn parse_write_parse_identity(
+        seed in 0u64..512,
+        ports in 1usize..4,
+        unit_ix in 0usize..4,
+        format_ix in 0usize..3,
+        resistance in prop_oneof![Just(50.0f64), Just(75.0), Just(1.0), Just(377.0)],
+    ) {
+        let unit = [FreqUnit::Hz, FreqUnit::KHz, FreqUnit::MHz, FreqUnit::GHz][unit_ix];
+        let format = [DataFormat::RealImag, DataFormat::MagAngle, DataFormat::DbAngle][format_ix];
+        let model = generate_case(&CaseSpec::new(4 * ports, ports).with_seed(seed))
+            .unwrap_or_else(|_| {
+                generate_case(&CaseSpec::new(4 * ports, ports).with_seed(seed + 1000)).unwrap()
+            });
+        let samples = FrequencySamples::from_model(&model, 0.05, 9.0, 7).unwrap();
+        let opts = TouchstoneOptions { unit, kind: ParameterKind::Scattering, format, resistance };
+
+        let text = write_touchstone(&samples, &opts);
+        let deck = read_touchstone(&text, Some(ports)).unwrap();
+        prop_assert_eq!(deck.options, opts);
+        prop_assert_eq!(deck.samples.len(), samples.len());
+        for k in 0..samples.len() {
+            let w = samples.omegas()[k];
+            prop_assert!((deck.samples.omegas()[k] - w).abs() <= 1e-12 * w.max(1.0));
+            prop_assert!(
+                (&deck.samples.matrices()[k] - &samples.matrices()[k]).max_abs() < 1e-11,
+                "{:?}/{:?} p={}: matrix {} drifted", unit, format, ports, k
+            );
+        }
+
+        // Second round trip must be exact (the writer is a fixed point).
+        let text2 = write_touchstone(&deck.samples, &deck.options);
+        let deck2 = read_touchstone(&text2, Some(ports)).unwrap();
+        for k in 0..deck.samples.len() {
+            prop_assert!(
+                (&deck2.samples.matrices()[k] - &deck.samples.matrices()[k]).max_abs() < 1e-15,
+                "writer is not a fixed point at matrix {}", k
+            );
         }
     }
 }

@@ -3,51 +3,17 @@
 //! correctness claim of the reproduction (the fast solver finds *exactly*
 //! the imaginary spectrum the dense baseline finds).
 
+//! The oracle itself ([`pheig_fuzz::oracle`]) is shared with the fuzz
+//! harness, so these hand-written cases and the generated scenario zoo
+//! exercise one implementation.
+
 use pheig::core::solver::{find_imaginary_eigenvalues, SolverOptions};
-use pheig::hamiltonian::dense_hamiltonian;
-use pheig::linalg::eig::eig_real;
 use pheig::model::generator::{generate_case, CaseSpec};
 use pheig::model::touchstone::{write_touchstone, TouchstoneOptions};
 use pheig::model::transfer::sigma_max;
-use pheig::model::{FrequencySamples, StateSpace};
+use pheig::model::FrequencySamples;
 use pheig::{Pipeline, PipelineOptions};
-
-fn oracle_crossings(ss: &StateSpace) -> Vec<f64> {
-    let m = dense_hamiltonian(ss).unwrap();
-    let scale = m.max_abs();
-    let mut out: Vec<f64> = eig_real(&m)
-        .unwrap()
-        .into_iter()
-        .filter(|z| z.re.abs() <= 1e-8 * scale && z.im > 0.0)
-        .map(|z| z.im)
-        .collect();
-    out.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    out
-}
-
-fn assert_solver_matches_oracle(cases: &[(u64, usize, usize, usize)]) {
-    for &(seed, n, p, target) in cases {
-        let spec = CaseSpec::new(n, p)
-            .with_seed(seed)
-            .with_target_crossings(target);
-        let ss = generate_case(&spec).unwrap().realize();
-        let want = oracle_crossings(&ss);
-        let out = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
-        assert_eq!(
-            out.frequencies.len(),
-            want.len(),
-            "seed {seed}: solver {:?} vs oracle {:?}",
-            out.frequencies,
-            want
-        );
-        for (g, w) in out.frequencies.iter().zip(&want) {
-            assert!(
-                (g - w).abs() < 1e-5 * out.band.1,
-                "seed {seed}: crossing {g} vs oracle {w}"
-            );
-        }
-    }
-}
+use pheig_fuzz::oracle::{assert_solver_matches_oracle, disks_cover_band, oracle_crossings};
 
 #[test]
 fn solver_matches_dense_oracle_across_seeds() {
@@ -157,22 +123,7 @@ fn band_edges_and_radius_certificates_cover_spectrum() {
     let spec = CaseSpec::new(24, 3).with_seed(2).with_target_crossings(4);
     let ss = generate_case(&spec).unwrap().realize();
     let out = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
-    let mut disks: Vec<(f64, f64)> = out
-        .shift_log
-        .iter()
-        .map(|r| (r.omega - r.radius, r.omega + r.radius))
-        .collect();
-    disks.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    // Sweep the band and verify every point is inside some disk.
-    let mut covered_up_to = out.band.0;
-    for (lo, hi) in disks {
-        if lo <= covered_up_to + 1e-9 * out.band.1 {
-            covered_up_to = covered_up_to.max(hi);
-        }
+    if let Err(gap) = disks_cover_band(&out.shift_log, out.band) {
+        panic!("{gap}");
     }
-    assert!(
-        covered_up_to >= out.band.1 * (1.0 - 1e-9),
-        "disks cover only up to {covered_up_to} of {}",
-        out.band.1
-    );
 }
