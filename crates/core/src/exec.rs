@@ -53,15 +53,19 @@
 //! more members than free workers degrades gracefully (queued members find
 //! the shared state drained and return immediately).
 
+pub mod gate;
+pub mod lockfree;
+
+use self::gate::{CohortLatch, WakeGate};
+use self::lockfree::{Deque, Injector, Steal};
 use crate::pipeline::BatchShare;
 use crate::solver::{SolverWorkspace, SweepShare};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -69,9 +73,10 @@ use std::time::Duration;
 /// injector, so this is a fast-path size, not a correctness limit.
 const DEQUE_CAPACITY: usize = 256;
 
-/// Injector capacity reserved at construction so steady-state submission
-/// stays allocation-free.
-const INJECTOR_RESERVE: usize = 1024;
+/// Injector ring capacity (power of two). A full ring is not an error:
+/// the submitter helps drain one entry and retries, so a burst larger
+/// than the ring degrades to inline execution instead of allocating.
+const INJECTOR_CAPACITY: usize = 1024;
 
 /// Workspace checkout-pool capacity reserved at construction.
 const WORKSPACE_RESERVE: usize = 64;
@@ -243,125 +248,25 @@ type Entry = usize;
 /// # Safety contract
 ///
 /// The record lives in [`Executor::run_cohort`]'s stack frame, which does
-/// not return (and therefore does not unwind past the record) until
-/// `remaining` reaches zero. Exactly `remaining` entries pointing at the
-/// record are pushed, each entry is consumed exactly once, and a consumer
-/// never touches the record after its `fetch_sub` — so no entry can
-/// outlive the frame it points into.
+/// not return (and therefore does not unwind past the record) until the
+/// latch reaches zero. Exactly `latch` entries pointing at the record are
+/// pushed, each entry is consumed exactly once, and a consumer never
+/// touches the record after its [`CohortLatch::complete_one`] — so no
+/// entry can outlive the frame it points into. The cohort-lifecycle model
+/// harness (`crates/verify/src/harnesses.rs`) machine-checks this
+/// contract: workers open read windows on a modeled record, the owner
+/// opens a write window (the frame's death) only after its latch wait
+/// returns, and any schedule where they overlap is reported as a race.
 struct GroupRecord<'env> {
     task: Task<'env>,
-    remaining: AtomicUsize,
+    latch: CohortLatch,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
-}
-
-/// Result of a steal attempt (Chase–Lev terminology).
-enum Steal {
-    Success(Entry),
-    Empty,
-    Retry,
-}
-
-/// A Chase–Lev work-stealing deque over single-word entries.
-///
-/// The owner pushes and pops at the bottom; thieves CAS the top. Entries
-/// are plain words (pointers into cohort-owner stack frames), so there is
-/// no reclamation problem — the cohort completion barrier guarantees
-/// liveness (see [`GroupRecord`]).
-struct Deque {
-    top: AtomicI64,
-    bottom: AtomicI64,
-    slots: Box<[AtomicUsize]>,
-}
-
-impl Deque {
-    fn new() -> Self {
-        Deque {
-            top: AtomicI64::new(0),
-            bottom: AtomicI64::new(0),
-            slots: (0..DEQUE_CAPACITY).map(|_| AtomicUsize::new(0)).collect(),
-        }
-    }
-
-    #[inline]
-    fn mask(&self) -> i64 {
-        (self.slots.len() - 1) as i64
-    }
-
-    /// `true` when the deque *may* hold entries (racy, used only as a
-    /// wakeup hint).
-    fn maybe_nonempty(&self) -> bool {
-        self.bottom.load(Ordering::Relaxed) > self.top.load(Ordering::Relaxed)
-    }
-
-    /// Owner-side push. Fails (returning the entry) when full; the caller
-    /// spills to the injector.
-    fn push(&self, entry: Entry) -> Result<(), Entry> {
-        let b = self.bottom.load(Ordering::Relaxed);
-        let t = self.top.load(Ordering::Acquire);
-        if b - t >= self.slots.len() as i64 {
-            return Err(entry);
-        }
-        self.slots[(b & self.mask()) as usize].store(entry, Ordering::Relaxed);
-        self.bottom.store(b + 1, Ordering::Release);
-        Ok(())
-    }
-
-    /// Owner-side pop from the bottom (LIFO for the owner).
-    fn pop(&self) -> Option<Entry> {
-        let b = self.bottom.load(Ordering::Relaxed) - 1;
-        self.bottom.store(b, Ordering::Relaxed);
-        std::sync::atomic::fence(Ordering::SeqCst);
-        let t = self.top.load(Ordering::Relaxed);
-        if t <= b {
-            let entry = self.slots[(b & self.mask()) as usize].load(Ordering::Relaxed);
-            if t == b {
-                // Last element: race the thieves for it.
-                let won = self
-                    .top
-                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
-                    .is_ok();
-                self.bottom.store(b + 1, Ordering::Relaxed);
-                if won {
-                    Some(entry)
-                } else {
-                    None
-                }
-            } else {
-                Some(entry)
-            }
-        } else {
-            self.bottom.store(b + 1, Ordering::Relaxed);
-            None
-        }
-    }
-
-    /// Thief-side steal from the top (FIFO for thieves).
-    fn steal(&self) -> Steal {
-        let t = self.top.load(Ordering::Acquire);
-        std::sync::atomic::fence(Ordering::SeqCst);
-        let b = self.bottom.load(Ordering::Acquire);
-        if t < b {
-            let entry = self.slots[(t & self.mask()) as usize].load(Ordering::Relaxed);
-            if self
-                .top
-                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
-                .is_ok()
-            {
-                Steal::Success(entry)
-            } else {
-                Steal::Retry
-            }
-        } else {
-            Steal::Empty
-        }
-    }
 }
 
 struct PoolShared {
     deques: Vec<Deque>,
-    injector: Mutex<VecDeque<Entry>>,
-    sleep: Mutex<()>,
-    wake: Condvar,
+    injector: Injector,
+    gate: WakeGate,
     workspaces: Mutex<Vec<SolverWorkspace>>,
     counters: Counters,
 }
@@ -421,14 +326,16 @@ impl PoolShared {
     }
 
     /// Racy "is there anything queued" probe used to close the
-    /// check-then-park race under the sleep lock.
+    /// check-then-park race under the gate lock.
     fn maybe_work(&self) -> bool {
-        !self.injector.lock().is_empty() || self.deques.iter().any(Deque::maybe_nonempty)
+        self.injector.maybe_nonempty() || self.deques.iter().any(Deque::maybe_nonempty)
     }
 
     /// Pushes `copies` entries: to this worker's own deque when the
     /// caller is a pool worker (spilling to the injector on overflow),
-    /// otherwise to the injector; then wakes sleepers.
+    /// otherwise to the injector; then wakes sleepers. A full injector
+    /// ring means queued work exists, so the submitter helps drain one
+    /// entry and retries — bounded memory without a deadlock.
     fn submit(&self, entry: Entry, copies: usize, slot: Option<usize>) {
         let mut spill = copies;
         if let Some(i) = slot {
@@ -437,20 +344,19 @@ impl PoolShared {
                 spill -= 1;
             }
         }
-        if spill > 0 {
-            let mut injector = self.injector.lock();
-            for _ in 0..spill {
-                injector.push_back(entry);
+        while spill > 0 {
+            if self.injector.push(entry).is_ok() {
+                spill -= 1;
+            } else if let Some(queued) = self.find_entry(slot) {
+                self.execute_pooled(queued);
             }
         }
-        // Empty critical section: a worker that re-checked the queues and
-        // is about to park holds this lock, so our notification cannot be
-        // lost between its re-check and its wait.
-        drop(self.sleep.lock());
+        // The gate's empty critical section makes this notification
+        // un-losable against a worker between its re-check and its wait.
         if copies == 1 {
-            self.wake.notify_one();
+            self.gate.notify_one();
         } else {
-            self.wake.notify_all();
+            self.gate.notify_all();
         }
     }
 
@@ -462,7 +368,7 @@ impl PoolShared {
                 return Some(entry);
             }
         }
-        if let Some(entry) = self.injector.lock().pop_front() {
+        if let Some(entry) = self.injector.pop() {
             return Some(entry);
         }
         let n = self.deques.len();
@@ -505,25 +411,24 @@ impl PoolShared {
     }
 
     /// Executes one claimed entry against `ctx`, storing any panic in the
-    /// cohort record and signalling completion. The `fetch_sub` is the
+    /// cohort record and signalling completion. The latch arrival is the
     /// last touch of the record (see [`GroupRecord`]'s safety contract).
     fn execute(&self, entry: Entry, ctx: &mut TaskContext<'_>) {
-        // SAFETY: `entry` is the address of a `GroupRecord` pinned in a
-        // `run_cohort` frame that cannot return before `remaining` hits
-        // zero; this entry was claimed exactly once, and we do not touch
-        // the record after the decrement below.
-        let group: &GroupRecord<'_> = unsafe { &*(entry as *const GroupRecord<'_>) };
+        // SAFETY: `entry` is the exposed provenance of a `GroupRecord`
+        // pinned in a `run_cohort` frame that cannot return before the
+        // cohort latch reaches zero; this entry was claimed exactly once,
+        // and we do not touch the record after `complete_one` below.
+        let group: &GroupRecord<'_> =
+            unsafe { &*std::ptr::with_exposed_provenance::<GroupRecord<'_>>(entry) };
         let task = group.task;
         self.record(&task);
         let result = catch_unwind(AssertUnwindSafe(|| task.run(ctx)));
         if let Err(payload) = result {
             *group.panic.lock() = Some(payload);
         }
-        if group.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // Cohort complete: its owner may be parked on the pool condvar.
-            drop(self.sleep.lock());
-            self.wake.notify_all();
-        }
+        // Cohort owners may be parked on the pool gate; the latch wakes
+        // them when this was the last member.
+        group.latch.complete_one(&self.gate);
     }
 
     /// Executes an entry against a checked-out pool workspace.
@@ -542,11 +447,9 @@ fn worker_loop(shared: Arc<PoolShared>, index: usize) {
         if let Some(entry) = shared.find_entry(Some(index)) {
             shared.execute_pooled(entry);
         } else {
-            let mut guard = shared.sleep.lock();
-            if shared.maybe_work() {
-                continue;
-            }
-            let _ = shared.wake.wait_for(&mut guard, PARK_INTERVAL);
+            shared
+                .gate
+                .park_unless(|| shared.maybe_work(), PARK_INTERVAL);
         }
     }
 }
@@ -574,10 +477,11 @@ impl Executor {
     /// exists for tests that need an isolated instance.
     fn spawn_pool(workers: usize) -> Executor {
         let shared = Arc::new(PoolShared {
-            deques: (0..workers).map(|_| Deque::new()).collect(),
-            injector: Mutex::new(VecDeque::with_capacity(INJECTOR_RESERVE)),
-            sleep: Mutex::new(()),
-            wake: Condvar::new(),
+            deques: (0..workers)
+                .map(|_| Deque::with_capacity(DEQUE_CAPACITY))
+                .collect(),
+            injector: Injector::with_capacity(INJECTOR_CAPACITY),
+            gate: WakeGate::new(),
             workspaces: Mutex::new(Vec::with_capacity(WORKSPACE_RESERVE)),
             counters: Counters::default(),
         });
@@ -697,30 +601,31 @@ impl Executor {
         }
         let group = GroupRecord {
             task,
-            remaining: AtomicUsize::new(extra),
+            latch: CohortLatch::new(extra),
             panic: Mutex::new(None),
         };
-        let entry = &group as *const GroupRecord<'_> as usize;
+        // Expose the record's provenance so consumers can soundly rebuild
+        // a reference from the word-sized entry (`execute`'s
+        // `with_exposed_provenance` counterpart).
+        let entry = std::ptr::from_ref(&group).expose_provenance();
         let slot = shared.my_slot();
         shared.submit(entry, extra, slot);
         shared.record(&task);
         let inline_result = catch_unwind(AssertUnwindSafe(|| task.run(ctx)));
         // Completion barrier: every pushed entry must be consumed before
         // `group` leaves scope (see the GroupRecord safety contract).
-        while group.remaining.load(Ordering::Acquire) > 0 {
-            if let Some(e) = shared.find_entry(slot) {
-                shared.execute(e, ctx);
-                continue;
-            }
-            let mut guard = shared.sleep.lock();
-            if group.remaining.load(Ordering::Acquire) == 0 {
-                break;
-            }
-            if shared.maybe_work() {
-                continue;
-            }
-            let _ = shared.wake.wait_for(&mut guard, PARK_INTERVAL);
-        }
+        group.latch.wait(
+            &shared.gate,
+            || match shared.find_entry(slot) {
+                Some(e) => {
+                    shared.execute(e, ctx);
+                    true
+                }
+                None => false,
+            },
+            || shared.maybe_work(),
+            PARK_INTERVAL,
+        );
         if let Some(payload) = group.panic.lock().take() {
             resume_unwind(payload);
         }
@@ -742,7 +647,7 @@ mod tests {
 
     #[test]
     fn deque_push_pop_steal() {
-        let d = Deque::new();
+        let d = Deque::with_capacity(DEQUE_CAPACITY);
         assert!(d.pop().is_none());
         assert!(matches!(d.steal(), Steal::Empty));
         for v in 1..=5usize {
@@ -770,11 +675,28 @@ mod tests {
 
     #[test]
     fn deque_overflow_is_reported() {
-        let d = Deque::new();
+        let d = Deque::with_capacity(DEQUE_CAPACITY);
         for v in 0..DEQUE_CAPACITY {
             d.push(v + 1).unwrap();
         }
         assert_eq!(d.push(99), Err(99));
+    }
+
+    #[test]
+    fn injector_ring_is_fifo_and_bounded() {
+        let inj = Injector::with_capacity(4);
+        assert!(inj.pop().is_none());
+        for v in 1..=4usize {
+            inj.push(v).unwrap();
+        }
+        assert_eq!(inj.push(5), Err(5), "full ring must report overflow");
+        assert_eq!(inj.pop(), Some(1));
+        // Freed slot is reusable one lap ahead.
+        inj.push(5).unwrap();
+        for expect in 2..=5usize {
+            assert_eq!(inj.pop(), Some(expect));
+        }
+        assert!(inj.pop().is_none());
     }
 
     #[test]

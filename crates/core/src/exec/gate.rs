@@ -1,0 +1,135 @@
+//! The executor's wakeup protocol: the sleep gate workers park on and the
+//! cohort completion latch.
+//!
+//! Like `lockfree.rs`, this file is compiled twice — into `pheig-core`
+//! against `parking_lot` / `std::sync::atomic`, and into `pheig-verify`
+//! (`cfg(pheig_model)`) against the instrumented shim, where the model
+//! checker proves the protocol free of lost wakeups *without* the timed
+//! backstop: shim condvar waits are untimed, so a notification protocol
+//! that relied on the production `PARK_INTERVAL` timeout would show up as
+//! a deadlock in `crates/verify/src/harnesses.rs`.
+
+use std::time::Duration;
+
+#[cfg(not(pheig_model))]
+use parking_lot::{Condvar, Mutex};
+#[cfg(pheig_model)]
+use pheig_verify::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(pheig_model)]
+use pheig_verify::sync::{Condvar, Mutex};
+#[cfg(not(pheig_model))]
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The check-then-park gate shared by every sleeper on one pool.
+///
+/// The protocol closing the lost-wakeup race: a would-be sleeper takes the
+/// gate lock, re-checks its condition, and only then waits on the condvar;
+/// a waker touches the lock with an **empty critical section** before
+/// notifying, so it cannot slip between a sleeper's re-check and its wait.
+pub struct WakeGate {
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Default for WakeGate {
+    fn default() -> Self {
+        WakeGate::new()
+    }
+}
+
+impl WakeGate {
+    /// A fresh gate (usable in statics).
+    pub const fn new() -> Self {
+        WakeGate {
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Wakes one parked sleeper (see the struct docs for why the empty
+    /// critical section is load-bearing).
+    pub fn notify_one(&self) {
+        drop(self.sleep.lock());
+        self.wake.notify_one();
+    }
+
+    /// Wakes every parked sleeper.
+    pub fn notify_all(&self) {
+        drop(self.sleep.lock());
+        self.wake.notify_all();
+    }
+
+    /// Parks the calling thread unless `cancel` reports (under the gate
+    /// lock) that there is a reason to stay awake. The timeout is a
+    /// defensive backstop, not the scheduling mechanism — the model build
+    /// waits untimed, which is how the checker proves notifications alone
+    /// suffice.
+    pub fn park_unless(&self, cancel: impl FnOnce() -> bool, timeout: Duration) {
+        let mut guard = self.sleep.lock();
+        if cancel() {
+            return;
+        }
+        let _ = self.wake.wait_for(&mut guard, timeout);
+    }
+}
+
+/// Completion latch of one cohort: counts outstanding pool copies and
+/// wakes the owner (through the pool's [`WakeGate`]) when the last one
+/// finishes.
+///
+/// The liveness half of the `GroupRecord` safety contract in `exec.rs`
+/// lives here: the owner's [`CohortLatch::wait`] cannot return before
+/// every member's [`CohortLatch::complete_one`], so the record the
+/// members borrow outlives every borrow.
+pub struct CohortLatch {
+    remaining: AtomicUsize,
+}
+
+impl CohortLatch {
+    /// A latch awaiting `members` completions.
+    pub fn new(members: usize) -> Self {
+        CohortLatch {
+            remaining: AtomicUsize::new(members),
+        }
+    }
+
+    /// `true` once every member has completed. The acquire load pairs
+    /// with the release half of the `fetch_sub` in
+    /// [`CohortLatch::complete_one`], so an owner that observes zero also
+    /// observes all member writes (panic payloads in particular).
+    pub fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Records one member completion; returns `true` (after waking the
+    /// gate's sleepers — the owner may be parked there) when this was the
+    /// last member. The caller must not touch cohort-owned state after
+    /// this call.
+    pub fn complete_one(&self, gate: &WakeGate) -> bool {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            gate.notify_all();
+            return true;
+        }
+        false
+    }
+
+    /// Owner-side wait: blocks until every member completed, invoking
+    /// `help` (which reports whether it made progress) instead of parking
+    /// whenever possible, and parking on `gate` only when `help` found
+    /// nothing and `more_work` (checked under the gate lock) agrees the
+    /// pool looks drained.
+    pub fn wait(
+        &self,
+        gate: &WakeGate,
+        mut help: impl FnMut() -> bool,
+        more_work: impl Fn() -> bool,
+        park: Duration,
+    ) {
+        while !self.is_done() {
+            if help() {
+                continue;
+            }
+            gate.park_unless(|| self.is_done() || more_work(), park);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The executor's lock-free queue primitives: the per-worker Chase–Lev
+//! deque and the bounded Vyukov MPMC injector ring.
+//!
+//! This file is compiled **twice**:
+//!
+//! * into `pheig-core` (no `pheig_model` cfg) against real
+//!   `std::sync::atomic` — the production hot path, zero overhead;
+//! * into `pheig-verify` (`cfg(pheig_model)`, set by that crate's
+//!   `build.rs`) against the instrumented shim in `pheig_verify::sync`,
+//!   where every atomic access is a scheduling point and the model
+//!   checker exhaustively interleaves them (`crates/verify/src/
+//!   harnesses.rs`).
+//!
+//! Identical code runs in both worlds; only the `use` lines below switch.
+//! Queue entries are single machine words (`usize`), so neither structure
+//! allocates after construction.
+
+#[cfg(pheig_model)]
+use pheig_verify::sync::atomic::{fence, AtomicI64, AtomicUsize, Ordering};
+#[cfg(not(pheig_model))]
+use std::sync::atomic::{fence, AtomicI64, AtomicUsize, Ordering};
+
+/// Result of a steal attempt (Chase–Lev terminology).
+pub enum Steal {
+    /// Claimed the entry at the top of the victim's deque.
+    Success(usize),
+    /// The victim's deque was observed empty.
+    Empty,
+    /// Lost the top CAS to the owner or another thief; worth retrying.
+    Retry,
+}
+
+/// A Chase–Lev work-stealing deque over single-word entries.
+///
+/// The owner pushes and pops at the bottom; thieves CAS the top — the
+/// Chase–Lev 2005 discipline with the Lê et al. 2013 orderings. Entries
+/// are plain words (pointers into cohort-owner stack frames), so there is
+/// no reclamation problem — the cohort completion barrier guarantees
+/// liveness (see `GroupRecord` in `exec.rs`).
+pub struct Deque {
+    top: AtomicI64,
+    bottom: AtomicI64,
+    slots: Box<[AtomicUsize]>,
+}
+
+impl Deque {
+    /// An empty deque with `capacity` slots (must be a power of two).
+    /// Overflow is reported by [`Deque::push`], not handled here — the
+    /// executor spills to the injector.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(
+            capacity.is_power_of_two() && capacity >= 2,
+            "deque capacity must be a power of two >= 2"
+        );
+        Deque {
+            top: AtomicI64::new(0),
+            bottom: AtomicI64::new(0),
+            slots: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> i64 {
+        (self.slots.len() - 1) as i64
+    }
+
+    /// `true` when the deque *may* hold entries (racy, used only as a
+    /// wakeup hint).
+    pub fn maybe_nonempty(&self) -> bool {
+        self.bottom.load(Ordering::Relaxed) > self.top.load(Ordering::Relaxed)
+    }
+
+    /// Owner-side push. Fails (returning the entry) when full; the caller
+    /// spills to the injector.
+    pub fn push(&self, entry: usize) -> Result<(), usize> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= self.slots.len() as i64 {
+            return Err(entry);
+        }
+        self.slots[(b & self.mask()) as usize].store(entry, Ordering::Relaxed);
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-side pop from the bottom (LIFO for the owner).
+    pub fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let entry = self.slots[(b & self.mask()) as usize].load(Ordering::Relaxed);
+            if t == b {
+                // Last element: race the thieves for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(entry)
+                } else {
+                    None
+                }
+            } else {
+                Some(entry)
+            }
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief-side steal from the top (FIFO for thieves).
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let entry = self.slots[(t & self.mask()) as usize].load(Ordering::Relaxed);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(entry)
+            } else {
+                Steal::Retry
+            }
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+/// One slot of the [`Injector`] ring: a sequence number gating access to
+/// the value word (Vyukov's bounded MPMC protocol).
+struct Slot {
+    sequence: AtomicUsize,
+    value: AtomicUsize,
+}
+
+/// A bounded lock-free MPMC queue (Vyukov's sequence-numbered ring) for
+/// external task submission.
+///
+/// Replaces the earlier `Mutex<VecDeque>` injector: producers and
+/// consumers now synchronize per-slot through one CAS on their position
+/// counter plus an acquire/release handshake on the slot's sequence
+/// number — no lock, no allocation, and genuinely bounded (a full ring
+/// reports [`Err`] instead of growing, and a full ring implies queued
+/// work exists for the submitter to help drain).
+///
+/// Protocol: slot `i` starts with `sequence == i`. A producer claiming
+/// position `p` waits for `sequence == p` (slot free), writes the value,
+/// then publishes `sequence = p + 1`. A consumer claiming position `p`
+/// waits for `sequence == p + 1` (value present), reads it, then recycles
+/// the slot with `sequence = p + capacity` for the producer one lap
+/// ahead.
+pub struct Injector {
+    slots: Box<[Slot]>,
+    mask: usize,
+    /// Producer position counter (total pushes started).
+    tail: AtomicUsize,
+    /// Consumer position counter (total pops started).
+    head: AtomicUsize,
+}
+
+impl Injector {
+    /// An empty ring with `capacity` slots (must be a power of two).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(
+            capacity.is_power_of_two() && capacity >= 2,
+            "injector capacity must be a power of two >= 2"
+        );
+        Injector {
+            slots: (0..capacity)
+                .map(|i| Slot {
+                    sequence: AtomicUsize::new(i),
+                    value: AtomicUsize::new(0),
+                })
+                .collect(),
+            mask: capacity - 1,
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// `true` when the ring *may* hold entries (racy, used only as a
+    /// wakeup hint).
+    pub fn maybe_nonempty(&self) -> bool {
+        self.tail.load(Ordering::Relaxed) != self.head.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues an entry; `Err(entry)` when the ring is full.
+    pub fn push(&self, entry: usize) -> Result<(), usize> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        slot.value.store(entry, Ordering::Relaxed);
+                        slot.sequence.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                // The slot still carries the value from one lap behind:
+                // the ring is full.
+                return Err(entry);
+            } else {
+                // Another producer claimed this position; reload.
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest entry, if any.
+    pub fn pop(&self) -> Option<usize> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let dif = seq as isize - pos.wrapping_add(1) as isize;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let entry = slot.value.load(Ordering::Relaxed);
+                        // Recycle for the producer one lap ahead.
+                        slot.sequence
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(entry);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                // No published value at our position: empty.
+                return None;
+            } else {
+                // Another consumer claimed this position; reload.
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}

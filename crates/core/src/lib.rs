@@ -29,6 +29,11 @@
 //!    enforcement re-sweeps all schedule on, instead of nesting scoped
 //!    thread pools per call.
 
+// Unsafe code in this crate must discharge obligations explicitly:
+// every unsafe operation inside an `unsafe fn` needs its own block (and
+// `// SAFETY:` comment — enforced by `pheig-verify`'s audit binary).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod band;
 pub mod characterization;
 pub mod enforcement;

@@ -10,6 +10,8 @@
 //! `crates/hamiltonian/tests/alloc_free.rs`; one test per file because a
 //! concurrently running test would pollute the counter.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use pheig_core::exec::{self, Executor, ProbeShare, Task, TaskContext};
 use pheig_core::pipeline::{run_batch, Pipeline, PipelineOptions};
 use pheig_core::solver::SolverWorkspace;
@@ -23,17 +25,26 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every operation defers to `System` with the caller's layout
+// contract forwarded unchanged; the counter increments are side-effect-free.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: the caller upholds `GlobalAlloc::alloc`'s layout contract.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: same layout the caller vouched for.
+        unsafe { System.alloc(layout) }
     }
+    // SAFETY: the caller upholds `GlobalAlloc::dealloc`'s contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` was produced by this allocator (which defers to
+        // `System`) with the same layout.
+        unsafe { System.dealloc(ptr, layout) }
     }
+    // SAFETY: the caller upholds `GlobalAlloc::realloc`'s contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: forwarded contract, as in `dealloc`.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 

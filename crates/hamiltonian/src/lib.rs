@@ -22,6 +22,11 @@
 //! * [`immittance`] — the impedance/admittance (positive-realness)
 //!   Hamiltonian variant the paper mentions as an extension (Sec. II).
 
+// Unsafe code in this crate must discharge obligations explicitly:
+// every unsafe operation inside an `unsafe fn` needs its own block (and
+// `// SAFETY:` comment — enforced by `pheig-verify`'s audit binary).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod build;
 pub mod error;
 pub mod immittance;

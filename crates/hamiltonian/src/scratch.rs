@@ -15,9 +15,36 @@
 //! and proceeds, and the [`contention_total`] counter records the event so
 //! tests can pin the fast path (`crates/core/tests/exec_steady_state.rs`
 //! asserts zero contended checkouts across a full batch workload).
+//!
+//! The checkout protocol itself lives in `scratch/cell.rs`, which is also
+//! compiled into `pheig-verify`'s model checker — the `scratch_checkout`
+//! harness there exhaustively interleaves concurrent checkouts and proves
+//! the flag excludes overlapping access windows on every schedule.
+//!
+//! # `Sync` bound
+//!
+//! `ScratchCell<T>` is `Sync` exactly when `T: Send` — the flag hands the
+//! payload's `&mut` across threads, so a non-`Send` payload must not be
+//! shareable:
+//!
+//! ```
+//! use pheig_hamiltonian::ScratchCell;
+//! fn assert_sync<S: Sync>() {}
+//! assert_sync::<ScratchCell<Vec<f64>>>();
+//! ```
+//!
+//! ```compile_fail,E0277
+//! use pheig_hamiltonian::ScratchCell;
+//! fn assert_sync<S: Sync>() {}
+//! // Rc is not Send, so the cell must not be Sync.
+//! assert_sync::<ScratchCell<std::rc::Rc<u8>>>();
+//! ```
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+mod cell;
+
+pub use cell::{Checkout, ScratchCell};
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide count of contended scratch checkouts (fallback
 /// allocations). Zero in every supported driver topology.
@@ -31,45 +58,7 @@ pub fn contention_total() -> u64 {
     CONTENDED.load(Ordering::Relaxed)
 }
 
-/// A lock-free single-owner scratch slot (see the module docs).
-pub struct ScratchCell<T> {
-    taken: AtomicBool,
-    cell: UnsafeCell<T>,
-}
-
-// SAFETY: the `taken` flag guarantees at most one thread holds the `&mut`
-// produced from `cell` at a time (acquire on checkout, release on return),
-// so sharing the cell across threads is sound for any sendable payload.
-unsafe impl<T: Send> Sync for ScratchCell<T> {}
-
-impl<T: std::fmt::Debug> std::fmt::Debug for ScratchCell<T> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        // The payload may be checked out; only the flag is safely readable.
-        f.debug_struct("ScratchCell")
-            .field("taken", &self.taken.load(Ordering::Relaxed))
-            .finish()
-    }
-}
-
-/// Clears the flag even if the critical section panics, so a poisoned
-/// apply degrades to the (allocating) fallback path instead of wedging.
-struct Reset<'a>(&'a AtomicBool);
-
-impl Drop for Reset<'_> {
-    fn drop(&mut self) {
-        self.0.store(false, Ordering::Release);
-    }
-}
-
 impl<T> ScratchCell<T> {
-    /// Wraps a workspace.
-    pub fn new(value: T) -> Self {
-        ScratchCell {
-            taken: AtomicBool::new(false),
-            cell: UnsafeCell::new(value),
-        }
-    }
-
     /// Runs `f` with exclusive access to the workspace.
     ///
     /// Fast path: one compare-exchange, zero allocations. If the cell is
@@ -77,21 +66,13 @@ impl<T> ScratchCell<T> {
     /// temporary workspace (allocating — the cold path the contention
     /// counter tracks).
     pub fn with<R>(&self, fallback: impl FnOnce() -> T, f: impl FnOnce(&mut T) -> R) -> R {
-        if self
-            .taken
-            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
-        {
-            let reset = Reset(&self.taken);
-            // SAFETY: the CAS above makes this thread the unique holder
-            // until the release store in `Reset::drop`.
-            let r = f(unsafe { &mut *self.cell.get() });
-            drop(reset);
-            r
-        } else {
-            CONTENDED.fetch_add(1, Ordering::Relaxed);
-            let mut tmp = fallback();
-            f(&mut tmp)
+        match self.try_with(f) {
+            Checkout::Done(r) => r,
+            Checkout::Contended(f) => {
+                CONTENDED.fetch_add(1, Ordering::Relaxed);
+                let mut tmp = fallback();
+                f(&mut tmp)
+            }
         }
     }
 }

@@ -1,0 +1,121 @@
+//! The checkout core of [`ScratchCell`]: one atomic flag guarding one
+//! interior-mutable slot.
+//!
+//! Like `crates/core/src/exec/lockfree.rs`, this file is compiled twice:
+//! into `pheig-hamiltonian` against real atomics and a zero-cost
+//! `UnsafeCell` wrapper, and into `pheig-verify` (`cfg(pheig_model)`)
+//! against the instrumented shim, whose cell type reports *any* pair of
+//! overlapping access windows as a data race — so the model checker
+//! proves the flag protocol actually excludes concurrent access, rather
+//! than trusting the `// SAFETY` prose.
+
+#[cfg(pheig_model)]
+use pheig_verify::sync::atomic::{AtomicBool, Ordering};
+#[cfg(pheig_model)]
+use pheig_verify::sync::cell::UnsafeCell;
+#[cfg(not(pheig_model))]
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Production stand-in for the model shim's window-API cell: `with_mut`
+/// inlines to a bare `UnsafeCell::get`, so the window bookkeeping exists
+/// only in the model build.
+#[cfg(not(pheig_model))]
+mod win {
+    #[derive(Debug, Default)]
+    pub struct UnsafeCell<T> {
+        data: std::cell::UnsafeCell<T>,
+    }
+
+    impl<T> UnsafeCell<T> {
+        pub const fn new(value: T) -> Self {
+            UnsafeCell {
+                data: std::cell::UnsafeCell::new(value),
+            }
+        }
+
+        /// Opens an exclusive access window for the duration of `f`. The
+        /// *caller* guarantees exclusivity (here: the `taken` flag); the
+        /// model build checks that guarantee on every explored schedule.
+        #[inline]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.data.get())
+        }
+    }
+}
+
+#[cfg(not(pheig_model))]
+use win::UnsafeCell;
+
+/// Outcome of a [`ScratchCell::try_with`] checkout attempt.
+pub enum Checkout<R, F> {
+    /// The flag was free: `f` ran against the owned slot.
+    Done(R),
+    /// Another holder is inside: the closure is handed back so the caller
+    /// can run it against a fallback workspace.
+    Contended(F),
+}
+
+/// A lock-free single-owner scratch slot (see `scratch.rs` for the role
+/// it plays and the public `with` API wrapping this core).
+pub struct ScratchCell<T> {
+    taken: AtomicBool,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: the `taken` flag guarantees at most one thread is inside the
+// `with_mut` window at a time (acquire on checkout, release on return),
+// so sharing the cell across threads is sound for any sendable payload.
+// `T: Send` is required because the holder thread obtains `&mut T`; the
+// compile-fail doctest on `scratch.rs` pins this bound, and the
+// `scratch_checkout` model harness checks the exclusion itself.
+unsafe impl<T: Send> Sync for ScratchCell<T> {}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ScratchCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The payload may be checked out; only the flag is safely readable.
+        f.debug_struct("ScratchCell")
+            .field("taken", &self.taken.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Clears the flag even if the critical section panics, so a poisoned
+/// apply degrades to the (allocating) fallback path instead of wedging.
+struct Reset<'a>(&'a AtomicBool);
+
+impl Drop for Reset<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+impl<T> ScratchCell<T> {
+    /// Wraps a workspace.
+    pub fn new(value: T) -> Self {
+        ScratchCell {
+            taken: AtomicBool::new(false),
+            cell: UnsafeCell::new(value),
+        }
+    }
+
+    /// Attempts the checkout: one compare-exchange, zero allocations.
+    /// Runs `f` with exclusive access to the slot on success; hands `f`
+    /// back (without blocking) when another holder is inside.
+    pub fn try_with<R, F: FnOnce(&mut T) -> R>(&self, f: F) -> Checkout<R, F> {
+        if self
+            .taken
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            let reset = Reset(&self.taken);
+            // SAFETY: the CAS above makes this thread the unique holder
+            // until the release store in `Reset::drop`, which happens
+            // after the window closes.
+            let r = self.cell.with_mut(|p| f(unsafe { &mut *p }));
+            drop(reset);
+            Checkout::Done(r)
+        } else {
+            Checkout::Contended(f)
+        }
+    }
+}

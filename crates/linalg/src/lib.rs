@@ -39,6 +39,10 @@
 // Dense kernels index by design: the loops mirror the textbook algorithms
 // (i/j/k over rows, columns, reflectors), and most bodies mix a vector index
 // with packed 2-D storage, where iterator rewrites obscure the math.
+// Unsafe code in this crate must discharge obligations explicitly:
+// every unsafe operation inside an `unsafe fn` needs its own block (and
+// `// SAFETY:` comment — enforced by `pheig-verify`'s audit binary).
+#![deny(unsafe_op_in_unsafe_fn)]
 #![allow(clippy::needless_range_loop)]
 
 pub mod complex;

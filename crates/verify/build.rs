@@ -1,0 +1,13 @@
+//! Turns on the `pheig_model` cfg for every target of *this crate only*.
+//!
+//! The shared lock-free sources under `crates/core/src/exec/` and
+//! `crates/hamiltonian/src/scratch/` select their atomics layer on this
+//! cfg: production crates compile them without it (plain `std::sync::atomic`
+//! / `parking_lot`, zero overhead), while `pheig-verify` re-includes the
+//! same files with the cfg set, swapping in the instrumented shim from
+//! [`pheig_verify::sync`] so the model checker can enumerate schedules.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(pheig_model)");
+    println!("cargo::rustc-cfg=pheig_model");
+}

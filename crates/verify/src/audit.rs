@@ -1,0 +1,718 @@
+//! Static unsafe-audit pass over the workspace sources.
+//!
+//! `cargo run -p pheig-verify --bin audit` (and the `audit_repo`
+//! integration test, so plain `cargo test` enforces it too) walks every
+//! non-vendored `.rs` file and checks three things:
+//!
+//! 1. **Every `unsafe` site is justified.** Each `unsafe` token — block,
+//!    `fn`, `impl`, or `trait` — must carry a `// SAFETY:` comment on the
+//!    site line or in the contiguous comment/attribute block above it
+//!    (a `/// # Safety` doc section also counts for `unsafe fn`).
+//! 2. **The unsafe surface is frozen by an allowlist.** Per-file site
+//!    counts must match `unsafe_allowlist.toml` exactly: a new unsafe
+//!    block — or a new file with any — fails the audit until the list is
+//!    updated in the same change, which is the review hook; stale entries
+//!    fail too, so the list cannot rot.
+//! 3. **`unsafe fn` bodies discharge obligations explicitly.** Crates on
+//!    the [`DENY_ROOTS`] list must carry `#![deny(unsafe_op_in_unsafe_fn)]`,
+//!    and any file outside those crates that defines an `unsafe fn` must
+//!    carry the attribute itself.
+//!
+//! The scanner is a deliberately small hand-rolled lexer (no external
+//! parser, per the no-new-deps rule): it strips line/block comments
+//! (nested), string/char literals (including raw and byte forms), and
+//! distinguishes lifetimes from char literals, so `"unsafe"` in a string
+//! or a doc comment never counts as a site. It does not expand macros —
+//! an `unsafe` token inside a macro body still counts, which errs on the
+//! strict side.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Crate roots that must carry `#![deny(unsafe_op_in_unsafe_fn)]`; files
+/// under the matching `src/` trees inherit the guarantee.
+pub const DENY_ROOTS: &[&str] = &[
+    "crates/core/src/lib.rs",
+    "crates/hamiltonian/src/lib.rs",
+    "crates/linalg/src/lib.rs",
+    "crates/verify/src/lib.rs",
+];
+
+const DENY_ATTR: &str = "#![deny(unsafe_op_in_unsafe_fn)]";
+
+/// What the `unsafe` keyword introduces at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// `unsafe { ... }`
+    Block,
+    /// `unsafe fn ...` (including in trait impls)
+    Fn,
+    /// `unsafe impl Trait for ...`
+    Impl,
+    /// `unsafe trait ...`
+    Trait,
+}
+
+/// One `unsafe` occurrence in a scanned file.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// 1-indexed source line of the `unsafe` token.
+    pub line: usize,
+    pub kind: SiteKind,
+    /// Whether a `// SAFETY:` (or `# Safety` doc) justification was found.
+    pub documented: bool,
+}
+
+/// A single audit failure, pointing at a file (and line where relevant).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: String,
+    /// 1-indexed line, or 0 for file-level findings.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}", self.file, self.message)
+        } else {
+            write!(f, "{}:{}: {}", self.file, self.line, self.message)
+        }
+    }
+}
+
+/// Outcome of a full repository audit.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    pub files_scanned: usize,
+    /// Unsafe sites per repo-relative path (files with none are absent).
+    pub sites: BTreeMap<String, Vec<UnsafeSite>>,
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    pub fn total_sites(&self) -> usize {
+        self.sites.values().map(Vec::len).sum()
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexical stripping.
+// ---------------------------------------------------------------------------
+
+/// Source text split into parallel per-line streams: `code` has comments
+/// and string/char literal *contents* blanked out; `comments` holds the
+/// comment text (line, block, and doc) that appeared on each line.
+struct Stripped {
+    code: Vec<String>,
+    comments: Vec<String>,
+}
+
+fn strip(source: &str) -> Stripped {
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+    }
+
+    let mut code = vec![String::new()];
+    let mut comments = vec![String::new()];
+    let mut state = State::Normal;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Normal;
+            }
+            code.push(String::new());
+            comments.push(String::new());
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.last_mut().unwrap().push(' ');
+                    state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b' || c == 'c') && !prev_is_ident(&chars, i) {
+                    if let Some((skip, hashes)) = raw_string_hashes(&chars, i) {
+                        code.last_mut().unwrap().push(' ');
+                        if hashes == usize::MAX {
+                            // Plain byte string b"...": normal string state.
+                            state = State::Str;
+                        } else {
+                            state = State::RawStr(hashes);
+                        }
+                        i += skip;
+                    } else {
+                        code.last_mut().unwrap().push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Lifetime or char literal?
+                    if next == Some('\\') {
+                        // Escaped char literal: quote, backslash, the
+                        // escaped character itself (`'\\'`, `'\''`), then
+                        // anything up to the closing quote (`'\u{..}'`).
+                        i += 3;
+                        while i < chars.len() && chars[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                        code.last_mut().unwrap().push(' ');
+                    } else if chars.get(i + 2).copied() == Some('\'') && next != Some('\'') {
+                        // 'x' — a plain char literal.
+                        i += 3;
+                        code.last_mut().unwrap().push(' ');
+                    } else {
+                        // A lifetime: drop the tick, keep the identifier.
+                        code.last_mut().unwrap().push(' ');
+                        i += 1;
+                    }
+                } else {
+                    code.last_mut().unwrap().push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comments.last_mut().unwrap().push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comments.last_mut().unwrap().push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                let closes = c == '"'
+                    && chars
+                        .get(i + 1..i + 1 + hashes)
+                        .is_some_and(|tail| tail.iter().all(|&h| h == '#'));
+                if closes {
+                    state = State::Normal;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    Stripped { code, comments }
+}
+
+/// True when `chars[i]` is preceded by an identifier character (so an
+/// `r`/`b` here is the tail of a name like `ptr`, not a literal prefix).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If `chars[i..]` begins a raw or byte string literal (`r"`, `r##"`,
+/// `br"`, `b"`, `c"`, ...), returns `(chars consumed through the opening
+/// quote, hash count)` — with `usize::MAX` hashes marking a non-raw
+/// `b"`/`c"` literal that still escapes like an ordinary string.
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars[j] == 'b' || chars[j] == 'c' {
+        j += 1;
+        if chars.get(j).copied() == Some('"') {
+            return Some((j - i + 1, usize::MAX));
+        }
+    }
+    if chars.get(j).copied() != Some('r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j).copied() == Some('#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j).copied() == Some('"') {
+        Some((j - i + 1, hashes))
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Site scanning.
+// ---------------------------------------------------------------------------
+
+/// Scans one file's source text for `unsafe` sites and their
+/// justification comments. Public for the self-tests; [`audit`] is the
+/// repository entry point.
+pub fn scan_source(source: &str) -> Vec<UnsafeSite> {
+    let stripped = strip(source);
+    let mut sites = Vec::new();
+    for (idx, line) in stripped.code.iter().enumerate() {
+        for col in find_word(line, "unsafe") {
+            let kind = classify(&stripped.code, idx, col + "unsafe".len());
+            let documented = is_documented(&stripped, idx, kind);
+            sites.push(UnsafeSite {
+                line: idx + 1,
+                kind,
+                documented,
+            });
+        }
+    }
+    sites
+}
+
+/// Byte offsets of whole-word occurrences of `word` in `line`.
+fn find_word(line: &str, word: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok =
+            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let end = at + word.len();
+        let after_ok =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        start = at + word.len();
+    }
+    out
+}
+
+/// Looks at the token after the `unsafe` keyword (possibly on a later
+/// line) to classify the site.
+fn classify(code: &[String], line: usize, col: usize) -> SiteKind {
+    let mut rest = code[line][col..].to_string();
+    let mut next_line = line + 1;
+    loop {
+        let trimmed = rest.trim_start();
+        if !trimmed.is_empty() {
+            let word: String = trimmed
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            return match word.as_str() {
+                "fn" => SiteKind::Fn,
+                "impl" => SiteKind::Impl,
+                "trait" => SiteKind::Trait,
+                // `unsafe extern "C" fn ...` declares functions too.
+                "extern" => SiteKind::Fn,
+                _ => SiteKind::Block,
+            };
+        }
+        match code.get(next_line) {
+            Some(l) => {
+                rest = l.clone();
+                next_line += 1;
+            }
+            None => return SiteKind::Block,
+        }
+    }
+}
+
+/// A site is documented when the site line, or the contiguous block of
+/// comment/attribute lines above it, contains `SAFETY:` — or, for
+/// `unsafe fn`/`unsafe trait`, a `# Safety` doc heading.
+fn is_documented(stripped: &Stripped, line: usize, kind: SiteKind) -> bool {
+    let accepts = |comment: &str| {
+        comment.contains("SAFETY:")
+            || (matches!(kind, SiteKind::Fn | SiteKind::Trait) && comment.contains("# Safety"))
+    };
+    if accepts(&stripped.comments[line]) {
+        return true;
+    }
+    let mut k = line;
+    while k > 0 {
+        k -= 1;
+        let comment = &stripped.comments[k];
+        let code = stripped.code[k].trim();
+        if accepts(comment) {
+            return true;
+        }
+        let is_comment_line = !comment.is_empty() && code.is_empty();
+        let is_attr_line = code.starts_with("#[") || code.starts_with("#![");
+        // A code line that *opens* the statement the site continues
+        // (`let x: T =`, a call spread over lines, ...) stays transparent;
+        // a completed statement, opened block, or blank line ends the
+        // justification window.
+        let is_continuation_head = ["=", "(", ",", ".", "&&", "||", "+", "-", "?"]
+            .iter()
+            .any(|tail| code.ends_with(tail));
+        if !(is_comment_line || is_attr_line || is_continuation_head) {
+            return false;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist.
+// ---------------------------------------------------------------------------
+
+/// Parses the `[files]` table of `unsafe_allowlist.toml` (a strict TOML
+/// subset: comments, one section header, `"path" = count` entries).
+pub fn parse_allowlist(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut entries = BTreeMap::new();
+    let mut in_files = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[files]" {
+            in_files = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {}: unknown section {line}", idx + 1));
+        }
+        if !in_files {
+            return Err(format!("line {}: entry outside [files]", idx + 1));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `\"path\" = count`", idx + 1))?;
+        let key = key.trim();
+        if !(key.starts_with('"') && key.ends_with('"') && key.len() >= 2) {
+            return Err(format!("line {}: path must be quoted", idx + 1));
+        }
+        let path = key[1..key.len() - 1].to_string();
+        let count: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: count must be an integer", idx + 1))?;
+        if entries.insert(path, count).is_some() {
+            return Err(format!("line {}: duplicate entry", idx + 1));
+        }
+    }
+    Ok(entries)
+}
+
+// ---------------------------------------------------------------------------
+// Repository walk + audit.
+// ---------------------------------------------------------------------------
+
+/// Directories never scanned: third-party stand-ins, build products, VCS.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git"];
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked path under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full audit from the repository root. IO errors (an unreadable
+/// tree) surface as `Err`; findings surface as [`AuditReport::violations`].
+pub fn audit(root: &Path) -> std::io::Result<AuditReport> {
+    let mut report = AuditReport::default();
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    report.files_scanned = files.len();
+
+    // Pass 1: scan every file; record sites and SAFETY violations.
+    let mut deny_in_file: BTreeMap<String, bool> = BTreeMap::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        deny_in_file.insert(rel.clone(), source.contains(DENY_ATTR));
+        let sites = scan_source(&source);
+        for site in &sites {
+            if !site.documented {
+                report.violations.push(Violation {
+                    file: rel.clone(),
+                    line: site.line,
+                    message: format!(
+                        "undocumented {:?} `unsafe` site: add a `// SAFETY:` comment",
+                        site.kind
+                    ),
+                });
+            }
+        }
+        if !sites.is_empty() {
+            report.sites.insert(rel.clone(), sites);
+        }
+    }
+
+    // Pass 2: allowlist reconciliation.
+    let allowlist_path = root.join("unsafe_allowlist.toml");
+    match fs::read_to_string(&allowlist_path) {
+        Ok(text) => match parse_allowlist(&text) {
+            Ok(allow) => {
+                for (file, sites) in &report.sites {
+                    match allow.get(file) {
+                        None => report.violations.push(Violation {
+                            file: file.clone(),
+                            line: sites[0].line,
+                            message: format!(
+                                "{} unsafe site(s) in a file absent from unsafe_allowlist.toml",
+                                sites.len()
+                            ),
+                        }),
+                        Some(&expected) if expected != sites.len() => report
+                            .violations
+                            .push(Violation {
+                            file: file.clone(),
+                            line: 0,
+                            message: format!(
+                                "unsafe site count drifted: found {}, allowlist says {expected}",
+                                sites.len()
+                            ),
+                        }),
+                        Some(_) => {}
+                    }
+                }
+                for file in allow.keys() {
+                    if !report.sites.contains_key(file) {
+                        report.violations.push(Violation {
+                            file: file.clone(),
+                            line: 0,
+                            message: "stale allowlist entry: file has no unsafe sites".into(),
+                        });
+                    }
+                }
+            }
+            Err(e) => report.violations.push(Violation {
+                file: "unsafe_allowlist.toml".into(),
+                line: 0,
+                message: format!("parse error: {e}"),
+            }),
+        },
+        Err(_) => report.violations.push(Violation {
+            file: "unsafe_allowlist.toml".into(),
+            line: 0,
+            message: "missing allowlist file".into(),
+        }),
+    }
+
+    // Pass 3: deny(unsafe_op_in_unsafe_fn) coverage.
+    for lib in DENY_ROOTS {
+        match deny_in_file.get(*lib) {
+            Some(true) => {}
+            _ => report.violations.push(Violation {
+                file: (*lib).to_string(),
+                line: 0,
+                message: format!("crate root must carry {DENY_ATTR}"),
+            }),
+        }
+    }
+    let covered_prefixes: Vec<String> = DENY_ROOTS
+        .iter()
+        .map(|lib| lib.trim_end_matches("lib.rs").to_string())
+        .collect();
+    for (file, sites) in &report.sites {
+        let has_unsafe_fn = sites.iter().any(|s| s.kind == SiteKind::Fn);
+        if !has_unsafe_fn {
+            continue;
+        }
+        let covered = covered_prefixes
+            .iter()
+            .any(|p| file.starts_with(p.as_str()))
+            || deny_in_file.get(file).copied().unwrap_or(false);
+        if !covered {
+            report.violations.push(Violation {
+                file: file.clone(),
+                line: 0,
+                message: format!("file defines `unsafe fn` but lacks {DENY_ATTR}"),
+            });
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_not_sites() {
+        let src = r##"
+// unsafe in a line comment
+/* unsafe in a /* nested */ block */
+/// unsafe in a doc comment
+fn f() {
+    let _s = "unsafe";
+    let _r = r#"unsafe { }"#;
+    let _b = b"unsafe";
+    let _c = 'u';
+}
+"##;
+        assert!(scan_source(src).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_break_the_lexer() {
+        let src = "fn f<'a>(x: &'a u32) -> &'a u32 { x }\n\
+                   // SAFETY: covered.\n\
+                   fn g() { unsafe { std::hint::unreachable_unchecked() } }";
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].kind, SiteKind::Block);
+        assert!(sites[0].documented);
+    }
+
+    #[test]
+    fn identifiers_containing_unsafe_are_not_sites() {
+        let src = "fn f() { let unsafe_count = 1; let _ = unsafe_count; }";
+        assert!(scan_source(src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_block_is_flagged() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}";
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].documented);
+    }
+
+    #[test]
+    fn safety_comment_above_attributes_still_counts() {
+        let src = "// SAFETY: the flag serializes access.\n\
+                   #[allow(dead_code)]\n\
+                   unsafe impl Sync for X {}";
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].kind, SiteKind::Impl);
+        assert!(sites[0].documented);
+    }
+
+    #[test]
+    fn blank_line_severs_the_justification() {
+        let src = "// SAFETY: stale, refers to something else.\n\n\
+                   fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].documented);
+    }
+
+    #[test]
+    fn doc_safety_section_covers_unsafe_fn() {
+        let src = "/// Does a thing.\n\
+                   ///\n\
+                   /// # Safety\n\
+                   /// `p` must be valid.\n\
+                   pub unsafe fn f(p: *const u8) -> u8 { p as usize as u8 }";
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].kind, SiteKind::Fn);
+        assert!(sites[0].documented, "doc # Safety must cover the fn");
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_desync_the_lexer() {
+        let src = "fn f(s: &str) -> String { s.replace('\\\\', \"/\") }\n\
+                   fn g(p: *const u8) -> u8 { unsafe { *p } }";
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1, "quote parity survived '\\\\'");
+        assert_eq!(sites[0].line, 2);
+    }
+
+    #[test]
+    fn safety_above_a_multiline_statement_counts() {
+        let src = "fn f(p: *const u8) -> u8 {\n\
+                   \x20   // SAFETY: p is valid.\n\
+                   \x20   let v: u8 =\n\
+                   \x20       unsafe { *p };\n\
+                   \x20   v\n\
+                   }";
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].documented, "walkback must cross the `=` line");
+    }
+
+    #[test]
+    fn trailing_same_line_safety_counts() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } } // SAFETY: caller checked.";
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].documented);
+    }
+
+    #[test]
+    fn keyword_split_across_lines_is_classified() {
+        let src = "// SAFETY: fine.\nunsafe\nimpl Sync for X {}";
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].kind, SiteKind::Impl);
+        assert!(sites[0].documented);
+    }
+
+    #[test]
+    fn allowlist_round_trips() {
+        let text = "# header comment\n[files]\n\"a/b.rs\" = 3\n\"c.rs\" = 1\n";
+        let map = parse_allowlist(text).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["a/b.rs"], 3);
+        assert_eq!(map["c.rs"], 1);
+    }
+
+    #[test]
+    fn allowlist_rejects_junk() {
+        assert!(parse_allowlist("[files]\nnot an entry\n").is_err());
+        assert!(
+            parse_allowlist("\"x.rs\" = 1\n").is_err(),
+            "entry before [files]"
+        );
+        assert!(parse_allowlist("[other]\n").is_err());
+        assert!(parse_allowlist("[files]\n\"x.rs\" = 1\n\"x.rs\" = 2\n").is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! CLI entry point for the workspace unsafe audit.
+//!
+//! ```text
+//! cargo run -p pheig-verify --bin audit            # audit the repo root
+//! cargo run -p pheig-verify --bin audit -- <path>  # audit another tree
+//! ```
+//!
+//! Exits non-zero when any violation is found; `pheig_verify::audit` has
+//! the rules. The same check runs as the `audit_repo` integration test,
+//! so CI enforces it through both `cargo test` and this binary.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root: PathBuf = match std::env::args_os().nth(1) {
+        Some(p) => PathBuf::from(p),
+        // crates/verify -> crates -> repo root.
+        None => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("manifest dir has a repo root")
+            .to_path_buf(),
+    };
+
+    let report = match pheig_verify::audit::audit(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("audit: failed to walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "audit: scanned {} files, {} unsafe site(s) in {} file(s)",
+        report.files_scanned,
+        report.total_sites(),
+        report.sites.len()
+    );
+    for (file, sites) in &report.sites {
+        println!("  {file}: {}", sites.len());
+    }
+
+    if report.is_clean() {
+        println!("audit: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("audit: {} violation(s)", report.violations.len());
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,488 @@
+//! Model-checked harnesses for the lock-free execution layer.
+//!
+//! Each harness is a self-contained concurrent scenario over the shared
+//! sources in [`crate::subjects`], written against the cfg-switched
+//! imports below so the *identical code path* runs in two worlds:
+//!
+//! * under `cfg(pheig_model)` (the `pheig-verify` build), the shim
+//!   primitives make every access a scheduling point and
+//!   `model::check` explores the interleavings exhaustively
+//!   (`crates/verify/tests/harness_model.rs`);
+//! * without the cfg, the same file is `#[path]`-included by the root
+//!   crate's `tests/concurrency_stress.rs` and runs repeatedly on real
+//!   `std` atomics / OS threads as a stress test.
+//!
+//! Every assertion is *internal* to the harness (the model reports a
+//! failing schedule when one fires), and every loop is bounded so the
+//! state space is finite. Harnesses use at most three threads — the
+//! interesting races in this layer are pairwise, and exhaustive coverage
+//! of small instances beats bounded coverage of big ones.
+
+#[cfg(pheig_model)]
+use pheig_verify::subjects::gate::{CohortLatch, WakeGate};
+#[cfg(pheig_model)]
+use pheig_verify::subjects::lockfree::{Deque, Injector, Steal};
+#[cfg(pheig_model)]
+use pheig_verify::subjects::scratch::{Checkout, ScratchCell};
+#[cfg(pheig_model)]
+use pheig_verify::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(pheig_model)]
+#[allow(clippy::unsafe_removed_from_name)] // it *is* the shim's window-checked cell
+use pheig_verify::sync::cell::UnsafeCell as RecordCell;
+#[cfg(pheig_model)]
+use pheig_verify::sync::thread;
+
+#[cfg(not(pheig_model))]
+use pheig_core::exec::gate::{CohortLatch, WakeGate};
+#[cfg(not(pheig_model))]
+use pheig_core::exec::lockfree::{Deque, Injector, Steal};
+#[cfg(not(pheig_model))]
+use pheig_hamiltonian::scratch::{Checkout, ScratchCell};
+#[cfg(not(pheig_model))]
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(not(pheig_model))]
+use std::thread;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Joins a spawned harness thread in either world (the shim handle has no
+/// `Result` wrapper — child panics abort the model execution instead).
+#[cfg(pheig_model)]
+fn join<T>(handle: thread::JoinHandle<T>) -> T {
+    handle.join()
+}
+
+/// Joins a spawned harness thread in either world.
+#[cfg(not(pheig_model))]
+fn join<T>(handle: thread::JoinHandle<T>) -> T {
+    handle.join().expect("harness thread panicked")
+}
+
+/// Production stand-in for the shim's window-API cell, used by the
+/// cohort-record harness in the stress build. Accesses are raw — the
+/// exclusion argument is exactly the one the model build verifies.
+#[cfg(not(pheig_model))]
+struct RecordCell<T> {
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: the harness protocols below guarantee no write window overlaps
+// any other window (checked exhaustively by the model build of this same
+// file); `T: Send` because a write window hands out `&mut`-equivalent
+// access from another thread.
+#[cfg(not(pheig_model))]
+unsafe impl<T: Send> Sync for RecordCell<T> {}
+
+#[cfg(not(pheig_model))]
+impl<T> RecordCell<T> {
+    fn new(value: T) -> Self {
+        RecordCell {
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        f(self.data.get())
+    }
+
+    fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        f(self.data.get())
+    }
+}
+
+/// Parking backstop used by the gate harnesses. The model build waits
+/// untimed regardless (that is the point: the protocol must be correct on
+/// notifications alone); the stress build keeps the production-style
+/// timeout so a genuine regression shows up as slowness, not a hang.
+const PARK: Duration = Duration::from_millis(50);
+
+/// Marks `entry` claimed in the shared bitmap, asserting it was claimed
+/// exactly once (entries are small integers).
+fn claim(claimed: &AtomicUsize, entry: usize) {
+    let bit = 1usize << entry;
+    let prev = claimed.fetch_add(bit, Ordering::SeqCst);
+    assert_eq!(prev & bit, 0, "entry {entry} claimed twice");
+}
+
+// ---------------------------------------------------------------------------
+// Harness 1: Chase–Lev deque, owner pop vs thief steal.
+// ---------------------------------------------------------------------------
+
+/// Owner pushes then pops while a thief steals concurrently: every entry
+/// must be claimed exactly once, across all interleavings — including the
+/// single-element bottom/top race the `pop`/`steal` CAS pair arbitrates.
+pub fn chase_lev_steal_take() {
+    let deque = Arc::new(Deque::with_capacity(4));
+    let claimed = Arc::new(AtomicUsize::new(0));
+
+    let thief = {
+        let deque = Arc::clone(&deque);
+        let claimed = Arc::clone(&claimed);
+        thread::spawn(move || {
+            let mut stolen = 0usize;
+            // Bounded attempts keep the schedule space finite; Retry is
+            // consumed by the attempt budget like any other outcome.
+            for _ in 0..3 {
+                match deque.steal() {
+                    Steal::Success(entry) => {
+                        claim(&claimed, entry);
+                        stolen += 1;
+                    }
+                    Steal::Empty | Steal::Retry => {}
+                }
+            }
+            stolen
+        })
+    };
+
+    deque.push(1).unwrap();
+    deque.push(2).unwrap();
+    let mut popped = 0usize;
+    while let Some(entry) = deque.pop() {
+        claim(&claimed, entry);
+        popped += 1;
+    }
+    let stolen = join(thief);
+    // The thief may have quit after transient Empty/Retry observations
+    // while an entry was still in flight; anything left after both sides
+    // finish belongs to the owner.
+    while let Some(entry) = deque.pop() {
+        claim(&claimed, entry);
+        popped += 1;
+    }
+    assert_eq!(popped + stolen, 2, "an entry was lost or duplicated");
+    assert_eq!(claimed.load(Ordering::SeqCst), 0b110);
+}
+
+/// The distilled last-element race: one entry, owner pop racing thief
+/// steal. Exactly one side must win it.
+pub fn chase_lev_last_element() {
+    let deque = Arc::new(Deque::with_capacity(2));
+    let wins = Arc::new(AtomicUsize::new(0));
+    deque.push(7).unwrap();
+
+    let thief = {
+        let deque = Arc::clone(&deque);
+        let wins = Arc::clone(&wins);
+        thread::spawn(move || {
+            for _ in 0..2 {
+                match deque.steal() {
+                    Steal::Success(entry) => {
+                        assert_eq!(entry, 7);
+                        wins.fetch_add(1, Ordering::SeqCst);
+                        break;
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => {}
+                }
+            }
+        })
+    };
+
+    if let Some(entry) = deque.pop() {
+        assert_eq!(entry, 7);
+        wins.fetch_add(1, Ordering::SeqCst);
+    }
+    join(thief);
+    assert_eq!(
+        wins.load(Ordering::SeqCst),
+        1,
+        "the last element must go to exactly one claimant"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Harness 2: bounded injector ring, full/empty edges.
+// ---------------------------------------------------------------------------
+
+/// Pushes `values` into the ring, draining one entry into `claimed`
+/// whenever it reports full — the executor's submit strategy.
+///
+/// Retries are bounded: the push/drain pair is lock-free but not
+/// wait-free (a ring that looks full while the other producer sits
+/// between its tail claim and its sequence publish also pops `None`), so
+/// under the model's demonic scheduler an unbounded retry loop spins
+/// forever. After the retry budget the value is claimed inline — exactly
+/// what `PoolShared::submit` does when it executes a drained entry
+/// itself — which preserves the exactly-once property under test.
+fn push_draining(injector: &Injector, claimed: &AtomicUsize, values: [usize; 2]) {
+    for value in values {
+        let mut pending = value;
+        let mut placed = false;
+        for _ in 0..3 {
+            match injector.push(pending) {
+                Ok(()) => {
+                    placed = true;
+                    break;
+                }
+                Err(back) => {
+                    pending = back;
+                    // Full implies queued work exists (or a concurrent
+                    // consumer just made room, and the retry succeeds).
+                    if let Some(entry) = injector.pop() {
+                        claim(claimed, entry);
+                    }
+                }
+            }
+        }
+        if !placed {
+            claim(claimed, pending);
+        }
+    }
+}
+
+/// Two producers push through a capacity-2 ring, draining on full. Every
+/// value must come out exactly once, and the ring must end empty.
+pub fn injector_full_empty_edges() {
+    let injector = Arc::new(Injector::with_capacity(2));
+    let claimed = Arc::new(AtomicUsize::new(0));
+
+    let producer = {
+        let injector = Arc::clone(&injector);
+        let claimed = Arc::clone(&claimed);
+        thread::spawn(move || push_draining(&injector, &claimed, [1, 2]))
+    };
+
+    push_draining(&injector, &claimed, [3, 4]);
+    join(producer);
+    while let Some(entry) = injector.pop() {
+        claim(&claimed, entry);
+    }
+    assert!(injector.pop().is_none(), "ring must drain empty");
+    assert_eq!(
+        claimed.load(Ordering::SeqCst),
+        0b11110,
+        "all four values must be consumed exactly once"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Harness 3: wake gate + cohort latch (the executor park protocol).
+// ---------------------------------------------------------------------------
+
+struct PoolModel {
+    injector: Injector,
+    gate: WakeGate,
+    latch: CohortLatch,
+    executed: AtomicUsize,
+}
+
+impl PoolModel {
+    fn new(members: usize) -> Self {
+        PoolModel {
+            injector: Injector::with_capacity(4),
+            gate: WakeGate::new(),
+            latch: CohortLatch::new(members),
+            executed: AtomicUsize::new(0),
+        }
+    }
+
+    fn run_entry(&self, entry: usize) {
+        self.executed.fetch_add(entry, Ordering::SeqCst);
+        // Last touch of cohort state, as in `PoolShared::execute`.
+        self.latch.complete_one(&self.gate);
+    }
+}
+
+/// The executor's submit → park → help protocol in miniature: an owner
+/// submits two entries and waits on the cohort latch (helping), a worker
+/// consumes from the injector and parks on the gate when it looks empty.
+/// Model waits are untimed, so a losable notification — e.g. dropping the
+/// gate's empty critical section — shows up as a deadlock, not a stall
+/// papered over by `PARK_INTERVAL`.
+pub fn cohort_latch_park_and_help() {
+    let pool = Arc::new(PoolModel::new(2));
+
+    let worker = {
+        let pool = Arc::clone(&pool);
+        thread::spawn(move || {
+            // Iteration-bounded: `maybe_nonempty` can report `true` while
+            // the producer sits between its tail claim and its sequence
+            // publish, so an unbounded pop/park loop spins forever under
+            // the model's demonic scheduler. Quitting early is safe — the
+            // owner's latch wait helps drain whatever this worker leaves.
+            for _ in 0..6 {
+                if pool.latch.is_done() {
+                    break;
+                }
+                if let Some(entry) = pool.injector.pop() {
+                    pool.run_entry(entry);
+                } else {
+                    pool.gate.park_unless(
+                        || pool.latch.is_done() || pool.injector.maybe_nonempty(),
+                        PARK,
+                    );
+                }
+            }
+        })
+    };
+
+    // Owner submit: push both entries, then wake sleepers (the gate's
+    // empty critical section makes the notification un-losable).
+    pool.injector.push(1).unwrap();
+    pool.injector.push(2).unwrap();
+    pool.gate.notify_all();
+    // Owner wait: help drain while the latch is open.
+    pool.latch.wait(
+        &pool.gate,
+        || match pool.injector.pop() {
+            Some(entry) => {
+                pool.run_entry(entry);
+                true
+            }
+            None => false,
+        },
+        || pool.injector.maybe_nonempty(),
+        PARK,
+    );
+    assert_eq!(pool.executed.load(Ordering::SeqCst), 3);
+    join(worker);
+}
+
+/// The `GroupRecord` liveness contract, machine-checked: consumers open
+/// *read* windows on the record while running its task; the owner opens
+/// the *write* window (standing in for the stack frame's death) only
+/// after its latch wait returns. Any schedule where a consumer still
+/// touches the record after its `complete_one` — or where the owner's
+/// wait could return early — would be an overlapping-window data race in
+/// the model build.
+pub fn cohort_record_lifecycle() {
+    let record = Arc::new(RecordCell::new(7u32));
+    let pool = Arc::new(PoolModel::new(2));
+
+    let worker = {
+        let record = Arc::clone(&record);
+        let pool = Arc::clone(&pool);
+        thread::spawn(move || {
+            // Iteration-bounded for the same reason as the latch harness.
+            for _ in 0..6 {
+                if pool.latch.is_done() {
+                    break;
+                }
+                if pool.injector.pop().is_some() {
+                    // "Run the task": read the record inside a window,
+                    // close it, then signal completion — the order
+                    // `PoolShared::execute` relies on.
+                    record.with(|p| {
+                        // SAFETY: read window; the model proves no write
+                        // window overlaps it (the owner writes only after
+                        // the latch closes).
+                        let value = unsafe { *p };
+                        assert_eq!(value, 7, "record read after owner teardown");
+                    });
+                    pool.latch.complete_one(&pool.gate);
+                } else {
+                    pool.gate.park_unless(
+                        || pool.latch.is_done() || pool.injector.maybe_nonempty(),
+                        PARK,
+                    );
+                }
+            }
+        })
+    };
+
+    pool.injector.push(1).unwrap();
+    pool.injector.push(2).unwrap();
+    pool.gate.notify_all();
+    pool.latch.wait(
+        &pool.gate,
+        || match pool.injector.pop() {
+            Some(_) => {
+                record.with(|p| {
+                    // SAFETY: read window, same contract as the worker's.
+                    let value = unsafe { *p };
+                    assert_eq!(value, 7);
+                });
+                pool.latch.complete_one(&pool.gate);
+                true
+            }
+            None => false,
+        },
+        || pool.injector.maybe_nonempty(),
+        PARK,
+    );
+    // The frame dies: exclusive access must now be safe.
+    record.with_mut(|p| {
+        // SAFETY: write window standing in for dropping the record; the
+        // latch guarantees every member's read window has closed.
+        unsafe { *p = 0 };
+    });
+    join(worker);
+}
+
+// ---------------------------------------------------------------------------
+// Harness 4: scratch-cell checkout.
+// ---------------------------------------------------------------------------
+
+/// Two threads race `try_with` on one scratch cell: the flag must make
+/// the access windows mutually exclusive (the model build's cell reports
+/// overlap as a race), losers must not block, and the flag must always be
+/// released afterwards.
+pub fn scratch_checkout_contention() {
+    let cell = Arc::new(ScratchCell::new(0u32));
+    let dones = Arc::new(AtomicUsize::new(0));
+
+    let contender = {
+        let cell = Arc::clone(&cell);
+        let dones = Arc::clone(&dones);
+        thread::spawn(move || {
+            match cell.try_with(|value| *value += 1) {
+                Checkout::Done(()) => {
+                    dones.fetch_add(1, Ordering::SeqCst);
+                }
+                Checkout::Contended(_) => {
+                    // The production caller would run the closure against
+                    // a fallback workspace; the exclusion property is
+                    // what's under test here.
+                }
+            }
+        })
+    };
+
+    match cell.try_with(|value| *value += 1) {
+        Checkout::Done(()) => {
+            dones.fetch_add(1, Ordering::SeqCst);
+        }
+        Checkout::Contended(_) => {}
+    }
+    join(contender);
+
+    // Both threads released the flag: this checkout must succeed, and the
+    // payload must reflect exactly the successful checkouts.
+    match cell.try_with(|value| *value) {
+        Checkout::Done(value) => {
+            assert_eq!(value as usize, dones.load(Ordering::SeqCst));
+        }
+        Checkout::Contended(_) => panic!("flag leaked: checkout blocked with no holder"),
+    }
+}
+
+/// Negative control for the checker itself: the scratch protocol with the
+/// compare-exchange replaced by a load-then-store (a classic TOCTOU bug).
+/// The model build MUST report a data race on this; the stress build
+/// never calls it.
+pub fn seeded_broken_checkout() {
+    let taken = Arc::new(AtomicBool::new(false));
+    let slot = Arc::new(RecordCell::new(0u32));
+    let attempt = {
+        let taken = Arc::clone(&taken);
+        let slot = Arc::clone(&slot);
+        move || {
+            // BUG on purpose: check-then-act without atomicity.
+            if !taken.load(Ordering::Acquire) {
+                taken.store(true, Ordering::Release);
+                slot.with_mut(|p| {
+                    // SAFETY: *unsound* — the non-atomic flag admits two
+                    // concurrent write windows; the model must catch it.
+                    unsafe { *p += 1 };
+                });
+                taken.store(false, Ordering::Release);
+            }
+        }
+    };
+    let other = attempt.clone();
+    let handle = thread::spawn(other);
+    attempt();
+    join(handle);
+}

@@ -1,0 +1,927 @@
+//! The schedule explorer: stateless DFS model checking over shim ops.
+//!
+//! [`explore`] runs a closure (the *harness*) repeatedly, once per
+//! interleaving. Inside the closure, every operation on a
+//! [`crate::sync`] primitive is a *scheduling point*: the model thread
+//! parks there and a controller decides which thread performs its pending
+//! operation next. Threads are real OS threads, but **exactly one runs at
+//! a time**, so each execution is a deterministic serialization and can be
+//! replayed from its decision vector.
+//!
+//! The search is the classic stateless model-checking loop (VeriSoft /
+//! CHESS / loom lineage):
+//!
+//! * **DFS over decision points.** Each completed execution leaves a stack
+//!   of `(candidates, chosen)` frames; the explorer backtracks to the
+//!   deepest frame with an unexplored candidate and re-runs with that
+//!   prefix forced.
+//! * **Sleep sets** (Godefroid). After a subtree rooted at thread `t` is
+//!   fully explored, `t` sleeps for the node's remaining children and is
+//!   only woken by a *dependent* operation (same object, at least one
+//!   write). Redundant interleavings of commuting operations are pruned
+//!   without loss of soundness for safety properties.
+//! * **Bounded preemption** (CHESS, Musuvathi & Qadeer). With
+//!   [`Config::preemption_bound`] set, schedules with more than `k`
+//!   preemptive context switches are not explored; candidate ordering
+//!   prefers the running thread, so the first failure found uses as few
+//!   preemptions as the search has needed so far — a short, readable
+//!   repro by construction.
+//!
+//! Detected failure classes: data races on [`crate::sync::cell::UnsafeCell`]
+//! access windows, deadlock (including lost wakeups — model condvar waits
+//! are untimed, so a timeout-backstopped production wait that would "only"
+//! stall is reported), harness assertion failures/panics, and step-budget
+//! exhaustion (livelock suspicion). A failure report carries the decision
+//! vector, replayable with [`replay`].
+//!
+//! # Model limitations
+//!
+//! The explorer enumerates **sequentially consistent** interleavings.
+//! Weak-memory reorderings permitted by `Relaxed`/`Acquire`/`Release` are
+//! *not* modeled (every shim op executes `SeqCst`), so ordering-annotation
+//! bugs are out of scope — reviewed instead by the unsafe audit and the
+//! documented Miri recipe. Harnesses must be deterministic apart from
+//! scheduling (no wall clock, no ambient randomness).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Maximum live model threads per execution (runaway guard).
+const MAX_THREADS: usize = 16;
+
+/// Read/write classification of an op for the dependence relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rw {
+    /// Pure load: commutes with other loads of the same object.
+    Read,
+    /// Store, RMW, or CAS (conservatively a write even when it fails).
+    Write,
+}
+
+/// One pending/performed operation at a scheduling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// First scheduling point of every model thread.
+    Start,
+    /// An atomic access; `name` is the method for trace readability.
+    Atomic {
+        /// Address of the shim atomic (object identity).
+        addr: usize,
+        /// Load vs store/RMW.
+        rw: Rw,
+        /// Method name, e.g. `"AtomicUsize::compare_exchange"`.
+        name: &'static str,
+    },
+    /// An atomic fence (a no-op under the SC model, kept as a point so
+    /// fence-adjacent interleavings still get their own schedules).
+    Fence,
+    /// Entering an [`crate::sync::cell::UnsafeCell`] access window.
+    CellEnter {
+        /// Address of the cell.
+        addr: usize,
+        /// Shared (`with`) vs exclusive (`with_mut`) window.
+        rw: Rw,
+    },
+    /// Leaving a cell access window.
+    CellExit {
+        /// Address of the cell.
+        addr: usize,
+    },
+    /// Acquiring a shim [`crate::sync::Mutex`].
+    Lock {
+        /// Address of the mutex.
+        addr: usize,
+    },
+    /// Releasing a shim mutex.
+    Unlock {
+        /// Address of the mutex.
+        addr: usize,
+    },
+    /// Entering a shim [`crate::sync::Condvar`] wait (releases the mutex).
+    CondWait {
+        /// Address of the condvar.
+        cv: usize,
+        /// Address of the mutex released while waiting.
+        mutex: usize,
+    },
+    /// `notify_one` / `notify_all` on a shim condvar.
+    Notify {
+        /// Address of the condvar.
+        cv: usize,
+        /// Whether this wakes every waiter.
+        all: bool,
+    },
+    /// `thread::spawn` of a model thread.
+    Spawn,
+    /// `JoinHandle::join`; enabled once the target thread finished.
+    Join {
+        /// Tid of the joined thread.
+        target: usize,
+    },
+    /// `thread::yield_now` (a pure scheduling point).
+    Yield,
+}
+
+impl Op {
+    /// The DPOR dependence relation: do the two ops fail to commute, or
+    /// can one enable/disable the other? Conservative towards `true`
+    /// (extra dependence only costs pruning, never soundness).
+    fn dependent(self, other: Op) -> bool {
+        use Op::*;
+        match (self, other) {
+            (
+                Atomic {
+                    addr: a, rw: ra, ..
+                },
+                Atomic {
+                    addr: b, rw: rb, ..
+                },
+            ) => a == b && (ra == Rw::Write || rb == Rw::Write),
+            (CellEnter { addr: a, rw: ra }, CellEnter { addr: b, rw: rb }) => {
+                a == b && (ra == Rw::Write || rb == Rw::Write)
+            }
+            // Exit changes the window state an enter races against.
+            (CellEnter { addr: a, .. }, CellExit { addr: b })
+            | (CellExit { addr: a }, CellEnter { addr: b, .. }) => a == b,
+            (Lock { addr: a }, Lock { addr: b })
+            | (Lock { addr: a }, Unlock { addr: b })
+            | (Unlock { addr: a }, Lock { addr: b }) => a == b,
+            // A wait releases its mutex and joins the cv queue: dependent
+            // with locks of that mutex and anything on the same cv.
+            (CondWait { cv: a, mutex: m }, Lock { addr: b })
+            | (Lock { addr: b }, CondWait { cv: a, mutex: m }) => m == b || a == b,
+            (CondWait { cv: a, .. }, CondWait { cv: b, .. })
+            | (CondWait { cv: a, .. }, Notify { cv: b, .. })
+            | (Notify { cv: a, .. }, CondWait { cv: b, .. })
+            | (Notify { cv: a, .. }, Notify { cv: b, .. }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Why an execution was declared failing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Two threads held overlapping access windows on one cell, at least
+    /// one exclusive.
+    DataRace {
+        /// Thread already inside a window.
+        holder: usize,
+        /// Thread entering the conflicting window.
+        entrant: usize,
+    },
+    /// No runnable thread and not all threads finished (covers lost
+    /// wakeups: model waits have no timeout backstop).
+    Deadlock,
+    /// A model thread panicked (harness assertion failure).
+    Panic(String),
+    /// [`Config::max_steps`] exceeded — livelock suspicion.
+    StepBudget,
+}
+
+/// A failing schedule: what went wrong, where, and how to re-run it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The failure class.
+    pub kind: FailureKind,
+    /// Chosen thread id per decision, in order — feed to [`replay`].
+    pub schedule: Vec<usize>,
+    /// Human-readable trace of the failing execution.
+    pub trace: String,
+}
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Stop after this many completed schedules (`truncated` set if hit).
+    pub max_schedules: u64,
+    /// Per-execution scheduling-step budget (livelock backstop).
+    pub max_steps: usize,
+    /// `Some(k)`: only explore schedules with at most `k` preemptive
+    /// switches. `None`: full DFS (exhaustive up to sleep-set pruning).
+    pub preemption_bound: Option<usize>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: 100_000,
+            max_steps: 20_000,
+            preemption_bound: None,
+        }
+    }
+}
+
+impl Config {
+    /// Default config with a schedule budget.
+    pub fn budget(max_schedules: u64) -> Self {
+        Config {
+            max_schedules,
+            ..Config::default()
+        }
+    }
+}
+
+/// Result of an [`explore`] run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Completed schedules (pruned/redundant executions not counted).
+    pub schedules: u64,
+    /// Executions abandoned by sleep-set pruning (already-covered states).
+    pub pruned: u64,
+    /// `true` if the schedule budget stopped the search before the state
+    /// space was exhausted.
+    pub truncated: bool,
+    /// `true` if [`Config::preemption_bound`] ever restricted a decision
+    /// (the search was bounded, not exhaustive).
+    pub bound_constrained: bool,
+    /// The first failing schedule found, if any.
+    pub failure: Option<Failure>,
+}
+
+// ---------------------------------------------------------------------------
+// Execution state shared between the controller and model threads.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// OS thread spawned, has not reached its `Start` point yet.
+    Starting,
+    /// Parked at a scheduling point with a pending op.
+    AtPoint,
+    /// Granted: executing its op and the local code after it.
+    Running,
+    /// In a condvar queue (pending is `None` until notified).
+    Waiting,
+    /// Done (closure returned or unwound).
+    Finished,
+}
+
+struct ThreadSt {
+    status: Status,
+    pending: Option<Op>,
+}
+
+#[derive(Default)]
+struct CellSt {
+    readers: Vec<usize>,
+    writer: Option<usize>,
+}
+
+struct Inner {
+    threads: Vec<ThreadSt>,
+    /// Tid currently granted the right to run, if any.
+    granted: Option<usize>,
+    /// Set to unwind every model thread out of the execution.
+    aborting: bool,
+    /// Mutex address -> holder tid.
+    mutexes: HashMap<usize, Option<usize>>,
+    /// Condvar address -> FIFO waiter queue.
+    condvars: HashMap<usize, Vec<usize>>,
+    /// Cell address -> open access windows.
+    cells: HashMap<usize, CellSt>,
+    /// First failure observed (threads report races/panics here).
+    failure: Option<FailureKind>,
+    /// `(tid, op)` per performed step, for trace rendering.
+    trace: Vec<(usize, Op)>,
+    /// OS handles of every spawned model thread (joined at teardown).
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Exec {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Payload used to unwind model threads during teardown; filtered out by
+/// the quiet panic hook.
+struct ModelAbort;
+
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ModelAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Exec {
+    /// Enters a scheduling point: parks until granted, then commits the
+    /// op's state effects and returns so the caller performs the real
+    /// operation while solely running.
+    pub(crate) fn transition(self: &Arc<Self>, me: usize, op: Op) {
+        // Shim ops invoked from destructors while a panic unwinds the
+        // thread (guards dropped during teardown) must not re-enter the
+        // scheduler or panic again: commit silently and move on.
+        if std::thread::panicking() {
+            let mut g = self.inner.lock().unwrap();
+            Self::commit_silent(&mut g, me, op);
+            self.cv.notify_all();
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        g.threads[me].pending = Some(op);
+        g.threads[me].status = Status::AtPoint;
+        g.granted = None;
+        self.cv.notify_all();
+        loop {
+            if g.aborting {
+                drop(g);
+                std::panic::panic_any(ModelAbort);
+            }
+            if g.granted == Some(me) {
+                break;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+        g.threads[me].status = Status::Running;
+        g.threads[me].pending = None;
+        g.trace.push((me, op));
+        match op {
+            Op::Lock { addr } => {
+                let slot = g.mutexes.entry(addr).or_default();
+                debug_assert!(slot.is_none(), "granted a held mutex");
+                *slot = Some(me);
+            }
+            Op::Unlock { addr } => {
+                g.mutexes.insert(addr, None);
+            }
+            Op::CellEnter { addr, rw } => {
+                let cell = g.cells.entry(addr).or_default();
+                let conflict = match rw {
+                    Rw::Write => cell.writer.or_else(|| cell.readers.first().copied()),
+                    Rw::Read => cell.writer,
+                };
+                if let Some(holder) = conflict {
+                    if g.failure.is_none() {
+                        g.failure = Some(FailureKind::DataRace {
+                            holder,
+                            entrant: me,
+                        });
+                    }
+                    g.aborting = true;
+                    self.cv.notify_all();
+                    drop(g);
+                    std::panic::panic_any(ModelAbort);
+                }
+                match rw {
+                    Rw::Write => cell.writer = Some(me),
+                    Rw::Read => cell.readers.push(me),
+                }
+            }
+            Op::CellExit { addr } => Self::close_window(&mut g, me, addr),
+            Op::CondWait { cv, mutex } => {
+                // Release the mutex and join the queue; the grant loop
+                // below then waits for a notify to hand us the re-lock op.
+                g.mutexes.insert(mutex, None);
+                g.condvars.entry(cv).or_default().push(me);
+                g.threads[me].status = Status::Waiting;
+                g.granted = None;
+                self.cv.notify_all();
+                loop {
+                    if g.aborting {
+                        drop(g);
+                        std::panic::panic_any(ModelAbort);
+                    }
+                    // A notify moved us out of the queue and re-armed our
+                    // pending op as Lock{mutex}; wait to be granted it.
+                    if g.granted == Some(me) && g.threads[me].status == Status::AtPoint {
+                        break;
+                    }
+                    g = self.cv.wait(g).unwrap();
+                }
+                g.threads[me].status = Status::Running;
+                g.threads[me].pending = None;
+                g.trace.push((me, Op::Lock { addr: mutex }));
+                let slot = g.mutexes.entry(mutex).or_default();
+                debug_assert!(slot.is_none(), "granted a held mutex after wait");
+                *slot = Some(me);
+            }
+            Op::Notify { cv, all } => {
+                let queue = g.condvars.entry(cv).or_default();
+                let woken: Vec<usize> = if all {
+                    std::mem::take(queue)
+                } else {
+                    // FIFO wake order keeps replays deterministic.
+                    if queue.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![queue.remove(0)]
+                    }
+                };
+                for w in woken {
+                    // The waiter's CondWait op recorded which mutex to
+                    // re-acquire; reconstruct from its parked frame.
+                    let relock = match g
+                        .trace
+                        .iter()
+                        .rev()
+                        .find(|(t, o)| *t == w && matches!(o, Op::CondWait { .. }))
+                    {
+                        Some((_, Op::CondWait { mutex, .. })) => *mutex,
+                        _ => unreachable!("woken thread has no CondWait in trace"),
+                    };
+                    g.threads[w].status = Status::AtPoint;
+                    g.threads[w].pending = Some(Op::Lock { addr: relock });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Commit for ops arriving from unwinding destructors: release what
+    /// must be released so teardown bookkeeping stays consistent, without
+    /// scheduling.
+    fn commit_silent(g: &mut Inner, me: usize, op: Op) {
+        match op {
+            Op::Unlock { addr } => {
+                g.mutexes.insert(addr, None);
+            }
+            Op::CellExit { addr } => Self::close_window(g, me, addr),
+            _ => {}
+        }
+    }
+
+    fn close_window(g: &mut Inner, me: usize, addr: usize) {
+        if let Some(cell) = g.cells.get_mut(&addr) {
+            if cell.writer == Some(me) {
+                cell.writer = None;
+            }
+            cell.readers.retain(|&t| t != me);
+        }
+    }
+
+    /// Registers a new model thread; returns its tid.
+    fn register_thread(self: &Arc<Self>) -> usize {
+        let mut g = self.inner.lock().unwrap();
+        assert!(
+            g.threads.len() < MAX_THREADS,
+            "model thread limit ({MAX_THREADS}) exceeded"
+        );
+        g.threads.push(ThreadSt {
+            status: Status::Starting,
+            pending: None,
+        });
+        g.threads.len() - 1
+    }
+
+    fn finish_thread(self: &Arc<Self>, me: usize, panic_msg: Option<String>) {
+        let mut g = self.inner.lock().unwrap();
+        g.threads[me].status = Status::Finished;
+        if g.granted == Some(me) {
+            g.granted = None;
+        }
+        if let Some(msg) = panic_msg {
+            if g.failure.is_none() {
+                g.failure = Some(FailureKind::Panic(msg));
+            }
+            g.aborting = true;
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Spawns a model thread running `f`; the `op` is `None` for the root
+/// thread (no Spawn scheduling point exists for it).
+pub(crate) fn spawn_model_thread<T: Send + 'static>(
+    exec: &Arc<Exec>,
+    f: impl FnOnce() -> T + Send + 'static,
+    slot: Arc<Mutex<Option<T>>>,
+) -> usize {
+    let tid = exec.register_thread();
+    let exec2 = Arc::clone(exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("pheig-model-{tid}"))
+        .spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec2), tid)));
+            exec2.transition(tid, Op::Start);
+            let result = catch_unwind(AssertUnwindSafe(f));
+            let panic_msg = match &result {
+                Ok(_) => None,
+                Err(payload) if payload.downcast_ref::<ModelAbort>().is_some() => None,
+                Err(payload) => Some(panic_message(payload)),
+            };
+            if let Ok(value) = result {
+                *slot.lock().unwrap() = Some(value);
+            }
+            exec2.finish_thread(tid, panic_msg);
+            CURRENT.with(|c| *c.borrow_mut() = None);
+        })
+        .expect("spawn model thread");
+    exec.inner.lock().unwrap().os_handles.push(handle);
+    tid
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The current model-thread context; panics when shim primitives are used
+/// outside [`explore`].
+pub(crate) fn current() -> (Arc<Exec>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("pheig-verify shim primitive used outside model::explore")
+    })
+}
+
+/// `true` while the calling thread is a model thread (used by shim code
+/// that must degrade gracefully in destructors).
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Scheduling-point helper for shim primitives.
+pub(crate) fn point(op: Op) {
+    let (exec, me) = current();
+    exec.transition(me, op);
+}
+
+// ---------------------------------------------------------------------------
+// Controller: one execution.
+// ---------------------------------------------------------------------------
+
+/// One decision node of the last execution, kept for backtracking.
+#[derive(Debug, Clone)]
+struct Frame {
+    /// Enabled, non-sleeping candidates at this node (restriction applied).
+    candidates: Vec<usize>,
+    /// The child taken on the most recent pass through this node.
+    chosen: usize,
+    /// Children whose subtrees are fully explored (includes `chosen`).
+    explored: Vec<usize>,
+}
+
+enum Outcome {
+    /// Ran to completion; frames describe every decision.
+    Completed(Vec<Frame>),
+    /// Abandoned: sleep sets proved the remaining subtree redundant.
+    Pruned,
+    /// A failure was observed.
+    Failed(FailureKind, Vec<usize>, String),
+}
+
+struct Controller<'a> {
+    config: &'a Config,
+    /// Forced decisions (the backtracking prefix).
+    prefix: &'a [usize],
+    /// Stack frames matching `prefix` (for sleep-set reconstruction).
+    prefix_frames: &'a [Frame],
+    bound_constrained: bool,
+}
+
+impl Controller<'_> {
+    fn run(&mut self, f: &Arc<dyn Fn() + Send + Sync>) -> Outcome {
+        let exec = Arc::new(Exec {
+            inner: Mutex::new(Inner {
+                threads: Vec::new(),
+                granted: None,
+                aborting: false,
+                mutexes: HashMap::new(),
+                condvars: HashMap::new(),
+                cells: HashMap::new(),
+                failure: None,
+                trace: Vec::new(),
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        });
+        let f2 = Arc::clone(f);
+        let root_slot = Arc::new(Mutex::new(None));
+        spawn_model_thread(&exec, move || f2(), root_slot);
+
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut sleep: Vec<usize> = Vec::new();
+        let mut prev_running: Option<usize> = None;
+        let mut preemptions = 0usize;
+        let mut steps = 0usize;
+        let outcome = loop {
+            let mut g = exec.inner.lock().unwrap();
+            // Quiescence: no outstanding grant (the granted thread clears
+            // `granted` when it parks at its next point) and nobody
+            // running or still starting up.
+            while g.failure.is_none()
+                && (g.granted.is_some()
+                    || g.threads
+                        .iter()
+                        .any(|t| matches!(t.status, Status::Running | Status::Starting)))
+            {
+                g = exec.cv.wait(g).unwrap();
+            }
+            if let Some(kind) = g.failure.clone() {
+                let schedule: Vec<usize> = frames.iter().map(|fr| fr.chosen).collect();
+                let trace = render_trace(&g, &kind);
+                drop(g);
+                break Outcome::Failed(kind, schedule, trace);
+            }
+            if g.threads.iter().all(|t| t.status == Status::Finished) {
+                drop(g);
+                break Outcome::Completed(frames);
+            }
+            if steps >= self.config.max_steps {
+                let schedule: Vec<usize> = frames.iter().map(|fr| fr.chosen).collect();
+                let trace = render_trace(&g, &FailureKind::StepBudget);
+                teardown_locked(&exec, g);
+                break Outcome::Failed(FailureKind::StepBudget, schedule, trace);
+            }
+            let enabled = enabled_threads(&g);
+            if enabled.is_empty() {
+                let schedule: Vec<usize> = frames.iter().map(|fr| fr.chosen).collect();
+                let trace = render_trace(&g, &FailureKind::Deadlock);
+                teardown_locked(&exec, g);
+                break Outcome::Failed(FailureKind::Deadlock, schedule, trace);
+            }
+            // Candidate order: keep the running thread first (fewest
+            // context switches explored first), then tid order.
+            let mut candidates: Vec<usize> = Vec::with_capacity(enabled.len());
+            if let Some(p) = prev_running.filter(|p| enabled.contains(p)) {
+                candidates.push(p);
+            }
+            candidates.extend(enabled.iter().copied().filter(|&t| Some(t) != prev_running));
+            // Preemption bound: once exhausted, only the running thread
+            // may continue while it stays enabled.
+            if let Some(bound) = self.config.preemption_bound {
+                if preemptions >= bound {
+                    if let Some(p) = prev_running.filter(|p| enabled.contains(p)) {
+                        if candidates.len() > 1 {
+                            self.bound_constrained = true;
+                        }
+                        candidates = vec![p];
+                    }
+                }
+            }
+            // Sleep-set filter.
+            candidates.retain(|t| !sleep.contains(t));
+            let pos = frames.len();
+            let chosen = if pos < self.prefix.len() {
+                let forced = self.prefix[pos];
+                assert!(
+                    candidates.contains(&forced),
+                    "replay diverged: harness is not deterministic \
+                     (forced t{forced}, candidates {candidates:?} at step {pos})"
+                );
+                // Children already fully explored from this node sleep for
+                // the current subtree.
+                for done in &self.prefix_frames[pos].explored {
+                    if *done != forced && !sleep.contains(done) && candidates.contains(done) {
+                        sleep.push(*done);
+                    }
+                }
+                forced
+            } else {
+                if candidates.is_empty() {
+                    teardown_locked(&exec, g);
+                    break Outcome::Pruned;
+                }
+                candidates[0]
+            };
+            if let Some(p) = prev_running {
+                if p != chosen && enabled.contains(&p) {
+                    preemptions += 1;
+                }
+            }
+            let chosen_op = g.threads[chosen].pending.expect("enabled thread has op");
+            sleep.retain(|&t| {
+                let t_op = g.threads[t].pending.expect("sleeping thread has op");
+                !t_op.dependent(chosen_op)
+            });
+            frames.push(Frame {
+                candidates: candidates.clone(),
+                chosen,
+                explored: vec![chosen],
+            });
+            prev_running = Some(chosen);
+            steps += 1;
+            g.granted = Some(chosen);
+            exec.cv.notify_all();
+            drop(g);
+        };
+        // Join every OS thread of this execution before returning.
+        let handles = std::mem::take(&mut exec.inner.lock().unwrap().os_handles);
+        for h in handles {
+            let _ = h.join();
+        }
+        outcome
+    }
+}
+
+fn enabled_threads(g: &Inner) -> Vec<usize> {
+    let mut enabled = Vec::new();
+    for (tid, th) in g.threads.iter().enumerate() {
+        if th.status != Status::AtPoint {
+            continue;
+        }
+        let ok = match th.pending {
+            Some(Op::Lock { addr }) => g.mutexes.get(&addr).copied().flatten().is_none(),
+            Some(Op::Join { target }) => g.threads[target].status == Status::Finished,
+            Some(_) => true,
+            None => false,
+        };
+        if ok {
+            enabled.push(tid);
+        }
+    }
+    enabled
+}
+
+fn teardown_locked(exec: &Arc<Exec>, mut g: std::sync::MutexGuard<'_, Inner>) {
+    g.aborting = true;
+    g.granted = None;
+    exec.cv.notify_all();
+    drop(g);
+}
+
+fn render_trace(g: &Inner, kind: &FailureKind) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "failure: {kind:?}");
+    let _ = writeln!(out, "threads:");
+    for (tid, th) in g.threads.iter().enumerate() {
+        let _ = writeln!(out, "  t{tid}: {:?} pending {:?}", th.status, th.pending);
+    }
+    let _ = writeln!(out, "trace ({} steps):", g.trace.len());
+    for (i, (tid, op)) in g.trace.iter().enumerate() {
+        let _ = writeln!(out, "  {i:4}  t{tid}  {op:?}");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// DFS driver.
+// ---------------------------------------------------------------------------
+
+/// Explores interleavings of `f` until the state space or the schedule
+/// budget is exhausted, or a failure is found.
+pub fn explore(config: Config, f: impl Fn() + Send + Sync + 'static) -> Report {
+    install_quiet_hook();
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut report = Report {
+        schedules: 0,
+        pruned: 0,
+        truncated: false,
+        bound_constrained: false,
+        failure: None,
+    };
+    // The persistent DFS stack: frames of the latest execution, with
+    // `explored` accumulated across executions for shared prefixes.
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut prefix: Vec<usize> = Vec::new();
+    loop {
+        let mut controller = Controller {
+            config: &config,
+            prefix: &prefix,
+            prefix_frames: &stack,
+            bound_constrained: false,
+        };
+        let outcome = controller.run(&f);
+        report.bound_constrained |= controller.bound_constrained;
+        if std::env::var_os("PHEIG_MODEL_DEBUG").is_some() {
+            let tag = match &outcome {
+                Outcome::Completed(fr) => format!("completed({} frames)", fr.len()),
+                Outcome::Pruned => "pruned".into(),
+                Outcome::Failed(k, ..) => format!("failed({k:?})"),
+            };
+            eprintln!(
+                "explore iter: {tag} stack={} prefix={} schedules={}",
+                stack.len(),
+                prefix.len(),
+                report.schedules
+            );
+        }
+        match outcome {
+            Outcome::Failed(kind, schedule, trace) => {
+                report.failure = Some(Failure {
+                    kind,
+                    schedule,
+                    trace,
+                });
+                return report;
+            }
+            Outcome::Completed(frames) => {
+                report.schedules += 1;
+                merge_frames(&mut stack, frames, prefix.len());
+            }
+            Outcome::Pruned => {
+                report.pruned += 1;
+                // The stack retains the prefix frames; deeper frames from
+                // the abandoned run don't exist. Backtrack from here.
+                stack.truncate(prefix.len());
+            }
+        }
+        if report.schedules >= config.max_schedules {
+            report.truncated = true;
+            return report;
+        }
+        // Backtrack to the deepest frame with an unexplored candidate.
+        loop {
+            match stack.last_mut() {
+                None => return report,
+                Some(frame) => {
+                    match frame
+                        .candidates
+                        .iter()
+                        .find(|c| !frame.explored.contains(c))
+                        .copied()
+                    {
+                        Some(next) => {
+                            frame.explored.push(next);
+                            frame.chosen = next;
+                            prefix = stack.iter().map(|fr| fr.chosen).collect();
+                            break;
+                        }
+                        None => {
+                            stack.pop();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Merges a completed execution's frames into the DFS stack, preserving
+/// the `explored` bookkeeping of the shared prefix.
+fn merge_frames(stack: &mut Vec<Frame>, frames: Vec<Frame>, prefix_len: usize) {
+    stack.truncate(prefix_len);
+    for (i, frame) in frames.into_iter().enumerate() {
+        if i < prefix_len {
+            // Prefix frame already present, with accumulated `explored`.
+            debug_assert_eq!(stack[i].chosen, frame.chosen, "prefix frame mismatch");
+        } else {
+            stack.push(frame);
+        }
+    }
+}
+
+/// Re-runs `f` under one specific schedule (e.g. a [`Failure::schedule`])
+/// and returns that single execution's report.
+pub fn replay(schedule: &[usize], f: impl Fn() + Send + Sync + 'static) -> Report {
+    install_quiet_hook();
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let config = Config::default();
+    let prefix_frames: Vec<Frame> = schedule
+        .iter()
+        .map(|&t| Frame {
+            candidates: vec![t],
+            chosen: t,
+            explored: vec![t],
+        })
+        .collect();
+    let mut controller = Controller {
+        config: &config,
+        prefix: schedule,
+        prefix_frames: &prefix_frames,
+        bound_constrained: false,
+    };
+    let outcome = controller.run(&f);
+    let mut report = Report {
+        schedules: 0,
+        pruned: 0,
+        truncated: false,
+        bound_constrained: false,
+        failure: None,
+    };
+    match outcome {
+        Outcome::Completed(_) => report.schedules = 1,
+        Outcome::Pruned => report.pruned = 1,
+        Outcome::Failed(kind, schedule, trace) => {
+            report.failure = Some(Failure {
+                kind,
+                schedule,
+                trace,
+            });
+        }
+    }
+    report
+}
+
+/// [`explore`], panicking with the rendered trace if a failure is found.
+/// Returns the report so harness tests can assert schedule counts.
+pub fn check(name: &str, config: Config, f: impl Fn() + Send + Sync + 'static) -> Report {
+    let report = explore(config, f);
+    if let Some(failure) = &report.failure {
+        panic!(
+            "model check '{name}' failed after {} schedules\n\
+             replayable schedule: {:?}\n{}",
+            report.schedules, failure.schedule, failure.trace
+        );
+    }
+    report
+}

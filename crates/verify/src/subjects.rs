@@ -1,0 +1,17 @@
+//! The shared lock-free sources, re-compiled under `cfg(pheig_model)`.
+//!
+//! These `#[path]` includes pull in the *same files* the production
+//! crates compile (`pheig-core`'s deque/injector/gate, `pheig-
+//! hamiltonian`'s scratch checkout). Because this crate's `build.rs`
+//! sets `--cfg pheig_model`, their cfg-switched `use` lines resolve to
+//! the instrumented shim in [`crate::sync`] instead of `std::sync::atomic`
+//! / `parking_lot` — identical logic, every access a scheduling point.
+
+#[path = "../../core/src/exec/gate.rs"]
+pub mod gate;
+
+#[path = "../../core/src/exec/lockfree.rs"]
+pub mod lockfree;
+
+#[path = "../../hamiltonian/src/scratch/cell.rs"]
+pub mod scratch;

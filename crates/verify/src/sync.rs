@@ -1,0 +1,380 @@
+//! Instrumented stand-ins for `std::sync::atomic`, `UnsafeCell`,
+//! `parking_lot::{Mutex, Condvar}`, and `std::thread` — the *shim layer*
+//! the shared lock-free sources compile against under `cfg(pheig_model)`.
+//!
+//! Every operation is a scheduling point reported to the active
+//! [`crate::model`] execution, then performed for real while the thread is
+//! the only one running. Values therefore behave sequentially
+//! consistently; the `Ordering` arguments are accepted (signatures mirror
+//! `std`) but the model executes everything `SeqCst` — see the module docs
+//! of [`crate::model`] for what that does and does not verify.
+
+use crate::model::{self, Op, Rw};
+
+/// Shim mirror of `std::sync::atomic`.
+pub mod atomic {
+    use super::*;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! shim_atomic {
+        ($name:ident, $std:ident, $ty:ty) => {
+            /// Model-checked mirror of the std atomic of the same name:
+            /// every access is a scheduling point, then executes `SeqCst`.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Mirrors the std constructor (usable in statics).
+                pub const fn new(value: $ty) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$std::new(value),
+                    }
+                }
+
+                fn point(&self, rw: Rw, name: &'static str) {
+                    model::point(Op::Atomic {
+                        addr: self as *const _ as usize,
+                        rw,
+                        name,
+                    });
+                }
+
+                /// Mirrors the std `load`.
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    self.point(Rw::Read, concat!(stringify!($name), "::load"));
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                /// Mirrors the std `store`.
+                pub fn store(&self, value: $ty, _order: Ordering) {
+                    self.point(Rw::Write, concat!(stringify!($name), "::store"));
+                    self.inner.store(value, Ordering::SeqCst)
+                }
+
+                /// Mirrors the std `swap`.
+                pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.point(Rw::Write, concat!(stringify!($name), "::swap"));
+                    self.inner.swap(value, Ordering::SeqCst)
+                }
+
+                /// Mirrors the std `compare_exchange`.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.point(Rw::Write, concat!(stringify!($name), "::compare_exchange"));
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Mirrors the std `compare_exchange_weak` (the model
+                /// never fails spuriously, a legal implementation).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Mirrors the std `get_mut` (no scheduling point:
+                /// `&mut self` proves exclusivity).
+                pub fn get_mut(&mut self) -> &mut $ty {
+                    self.inner.get_mut()
+                }
+
+                /// Mirrors the std `into_inner`.
+                pub fn into_inner(self) -> $ty {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! shim_atomic_arith {
+        ($name:ident, $ty:ty) => {
+            impl $name {
+                /// Mirrors the std `fetch_add`.
+                pub fn fetch_add(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.point(Rw::Write, concat!(stringify!($name), "::fetch_add"));
+                    self.inner.fetch_add(value, Ordering::SeqCst)
+                }
+
+                /// Mirrors the std `fetch_sub`.
+                pub fn fetch_sub(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.point(Rw::Write, concat!(stringify!($name), "::fetch_sub"));
+                    self.inner.fetch_sub(value, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    shim_atomic!(AtomicBool, AtomicBool, bool);
+    shim_atomic!(AtomicUsize, AtomicUsize, usize);
+    shim_atomic!(AtomicU64, AtomicU64, u64);
+    shim_atomic!(AtomicI64, AtomicI64, i64);
+    shim_atomic_arith!(AtomicUsize, usize);
+    shim_atomic_arith!(AtomicU64, u64);
+    shim_atomic_arith!(AtomicI64, i64);
+
+    /// Mirrors `std::sync::atomic::fence`: a pure scheduling point (the
+    /// SC model needs no real fence; threads are serialized).
+    pub fn fence(_order: Ordering) {
+        model::point(Op::Fence);
+    }
+}
+
+/// Shim cell types with *access windows* the checker races against.
+pub mod cell {
+    use super::*;
+
+    /// A shadowed `UnsafeCell`: access goes through [`UnsafeCell::with`] /
+    /// [`UnsafeCell::with_mut`] windows, and the model reports a data race
+    /// whenever two threads hold conflicting windows concurrently —
+    /// regardless of what the closures do. The production counterpart
+    /// (compiled without `cfg(pheig_model)`) is a zero-cost wrapper whose
+    /// `with`/`with_mut` inline to a plain `UnsafeCell::get`.
+    #[derive(Debug, Default)]
+    pub struct UnsafeCell<T> {
+        data: std::cell::UnsafeCell<T>,
+    }
+
+    // SAFETY: model threads are serialized — only the granted thread runs
+    // between scheduling points, so closures over the cell's pointer never
+    // execute truly concurrently; conflicting *logical* windows are
+    // detected and abort the execution before a second closure runs.
+    unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+    struct ExitGuard(usize);
+
+    impl Drop for ExitGuard {
+        fn drop(&mut self) {
+            model::point(Op::CellExit { addr: self.0 });
+        }
+    }
+
+    impl<T> UnsafeCell<T> {
+        /// Mirrors the std constructor.
+        pub const fn new(value: T) -> Self {
+            Self {
+                data: std::cell::UnsafeCell::new(value),
+            }
+        }
+
+        /// Opens a shared access window for the duration of `f`.
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            let addr = self as *const _ as usize;
+            model::point(Op::CellEnter { addr, rw: Rw::Read });
+            let _exit = ExitGuard(addr);
+            f(self.data.get())
+        }
+
+        /// Opens an exclusive access window for the duration of `f`.
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            let addr = self as *const _ as usize;
+            model::point(Op::CellEnter {
+                addr,
+                rw: Rw::Write,
+            });
+            let _exit = ExitGuard(addr);
+            f(self.data.get())
+        }
+
+        /// Mirrors the std `into_inner`.
+        pub fn into_inner(self) -> T {
+            self.data.into_inner()
+        }
+
+        /// Mirrors the std `get_mut`.
+        pub fn get_mut(&mut self) -> &mut T {
+            self.data.get_mut()
+        }
+    }
+}
+
+/// Model-checked mirror of `parking_lot::Mutex`: `lock` blocks the model
+/// thread (scheduler-visible, deadlock-detectable) instead of the OS
+/// thread.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: the model grants `Lock` only when the mutex is free and tracks
+// the holder, so between `lock()` and guard drop exactly one thread can
+// reach the data — and model threads are serialized besides.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+// SAFETY: moving the mutex moves the owned data; no thread affinity.
+unsafe impl<T: Send> Send for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Mirrors `parking_lot::Mutex::new`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Mirrors `parking_lot::Mutex::lock` (no poisoning, returns a guard).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        model::point(Op::Lock {
+            addr: self as *const _ as usize,
+        });
+        MutexGuard { mutex: self }
+    }
+
+    /// Mirrors `parking_lot::Mutex::get_mut`.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// Mirrors `parking_lot::Mutex::into_inner`.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+/// RAII guard of the shim [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the model granted this thread the lock; no other thread
+        // can obtain a guard until this one drops (and threads are
+        // serialized anyway).
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive model-tracked hold.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        model::point(Op::Unlock {
+            addr: self.mutex as *const _ as usize,
+        });
+    }
+}
+
+/// Model-checked mirror of `parking_lot::Condvar`. Waits are **untimed**
+/// in the model even through [`Condvar::wait_for`]: a lost wakeup that
+/// production code would paper over with its timeout backstop shows up
+/// here as a deadlock.
+#[derive(Debug, Default)]
+pub struct Condvar;
+
+impl Condvar {
+    /// Mirrors `parking_lot::Condvar::new`.
+    pub const fn new() -> Self {
+        Condvar
+    }
+
+    /// Mirrors `parking_lot::Condvar::wait`.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        model::point(Op::CondWait {
+            cv: self as *const _ as usize,
+            mutex: guard.mutex as *const _ as usize,
+        });
+    }
+
+    /// Mirrors `parking_lot::Condvar::wait_for`, minus the timeout: the
+    /// model always reports the wait as notified (never timed out), so
+    /// protocols must be correct without their timeout backstop.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        _timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        self.wait(guard);
+        WaitTimeoutResult(false)
+    }
+
+    /// Mirrors `parking_lot::Condvar::notify_one`.
+    pub fn notify_one(&self) {
+        model::point(Op::Notify {
+            cv: self as *const _ as usize,
+            all: false,
+        });
+    }
+
+    /// Mirrors `parking_lot::Condvar::notify_all`.
+    pub fn notify_all(&self) {
+        model::point(Op::Notify {
+            cv: self as *const _ as usize,
+            all: true,
+        });
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`] (mirrors parking_lot's type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Always `false` in the model (waits are untimed).
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Model-checked mirror of `std::thread` (spawn/join/yield only).
+pub mod thread {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        slot: Arc<std::sync::Mutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (model-visibly) until the thread finishes and returns
+        /// its value. Unlike `std`, panics in the child abort the whole
+        /// model execution before `join` can observe them, so the return
+        /// is the value itself rather than a `Result`.
+        pub fn join(self) -> T {
+            model::point(Op::Join { target: self.tid });
+            self.slot
+                .lock()
+                .unwrap()
+                .take()
+                .expect("joined model thread left no value")
+        }
+    }
+
+    /// Spawns a model thread participating in the schedule exploration.
+    pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        model::point(Op::Spawn);
+        let (exec, _) = model::current();
+        let slot = Arc::new(std::sync::Mutex::new(None));
+        let tid = model::spawn_model_thread(&exec, f, Arc::clone(&slot));
+        JoinHandle { tid, slot }
+    }
+
+    /// A pure scheduling point (models `std::thread::yield_now`).
+    pub fn yield_now() {
+        if model::in_model() {
+            model::point(Op::Yield);
+        }
+    }
+}

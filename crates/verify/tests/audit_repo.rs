@@ -1,0 +1,41 @@
+//! Runs the unsafe audit over the actual repository, so `cargo test`
+//! enforces the same rules as `cargo run -p pheig-verify --bin audit`.
+
+use std::path::Path;
+
+use pheig_verify::audit;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/verify sits two levels under the repo root")
+}
+
+#[test]
+fn workspace_unsafe_surface_is_clean() {
+    let report = audit::audit(repo_root()).expect("repository tree must be readable");
+    assert!(
+        report.is_clean(),
+        "unsafe audit violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The audit actually saw the workspace (guards against a walker
+    // regression silently scanning nothing).
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    assert!(report.total_sites() > 0, "the workspace does have unsafe");
+}
+
+#[test]
+fn deny_roots_exist() {
+    // The allowlisted crate roots are real files — a crate rename must
+    // update `audit::DENY_ROOTS` in the same change.
+    for lib in audit::DENY_ROOTS {
+        assert!(repo_root().join(lib).is_file(), "{lib} missing");
+    }
+}

@@ -1,0 +1,73 @@
+//! Std-atomics stress runs of the model-checked harnesses.
+//!
+//! `crates/verify/src/harnesses.rs` is written against cfg-switched
+//! imports so the *same* scenarios run in two worlds: exhaustively
+//! interleaved under the `pheig-verify` model checker, and here — on real
+//! OS threads and real atomics — as a repetition stress test. The model
+//! run proves the protocols correct on every schedule of the small
+//! instance; this run checks the shim faithfully mirrors `std` (a
+//! divergence would show up as an assertion here that the model said was
+//! unreachable) and exercises the weak-memory orderings the SC-only model
+//! does not explore.
+//!
+//! `seeded_broken_checkout` is deliberately absent: it contains a real
+//! data race (the negative control the model must catch) and would be
+//! undefined behaviour on real threads.
+
+// The harness sources also define model-only helpers; the stress build
+// compiles the subset reachable from the functions below.
+#[allow(dead_code)]
+#[path = "../crates/verify/src/harnesses.rs"]
+mod harnesses;
+
+/// Repetitions per harness. Races on real hardware are probabilistic, so
+/// this is a smoke-level complement to the exhaustive model run, sized to
+/// keep tier-1 wall-clock low even on a single-CPU host. Under Miri the
+/// interpreter explores weak-memory behaviours per run but executes
+/// ~1000x slower, so a handful of repetitions is the right trade.
+#[cfg(not(miri))]
+const REPS: usize = 300;
+#[cfg(miri)]
+const REPS: usize = 3;
+
+#[test]
+fn chase_lev_steal_take_stress() {
+    for _ in 0..REPS {
+        harnesses::chase_lev_steal_take();
+    }
+}
+
+#[test]
+fn chase_lev_last_element_stress() {
+    for _ in 0..REPS {
+        harnesses::chase_lev_last_element();
+    }
+}
+
+#[test]
+fn injector_full_empty_edges_stress() {
+    for _ in 0..REPS {
+        harnesses::injector_full_empty_edges();
+    }
+}
+
+#[test]
+fn cohort_latch_park_and_help_stress() {
+    for _ in 0..REPS {
+        harnesses::cohort_latch_park_and_help();
+    }
+}
+
+#[test]
+fn cohort_record_lifecycle_stress() {
+    for _ in 0..REPS {
+        harnesses::cohort_record_lifecycle();
+    }
+}
+
+#[test]
+fn scratch_checkout_contention_stress() {
+    for _ in 0..REPS {
+        harnesses::scratch_checkout_contention();
+    }
+}
