@@ -38,6 +38,14 @@ pub struct ArnoldiFactorization {
     pub basis: Vec<Vec<C64>>,
     /// The upper-Hessenberg projection (leading `(steps+1) x steps` block).
     pub h: Matrix<C64>,
+    /// Locked-set projection coefficients (`locked.len() x steps` leading
+    /// block): column `j` holds the components of `Op v_j` removed by
+    /// deflation, summed over the CGS2 passes. Together with `h` they make
+    /// the build an exact decomposition,
+    /// `Op V_m = V_m H_m + beta v_m e_m^T + L HL_m`,
+    /// so consumers can reconstruct operator images of Ritz vectors
+    /// without re-applying the operator.
+    pub hl: Matrix<C64>,
     /// Achieved factorization length (may be shorter than requested on
     /// happy breakdown).
     pub steps: usize,
@@ -54,6 +62,11 @@ pub struct ArnoldiFactorization {
     wi: Vec<f64>,
     /// Batched projection coefficients.
     coeff: Vec<C64>,
+    /// Incremental-build cursor (step index), valid between
+    /// [`Self::begin_build`] and the final [`Self::absorb`].
+    build_j: usize,
+    /// Incremental-build step cap.
+    build_max: usize,
 }
 
 impl Default for ArnoldiFactorization {
@@ -69,6 +82,7 @@ impl ArnoldiFactorization {
         ArnoldiFactorization {
             basis: Vec::new(),
             h: Matrix::zeros(1, 0),
+            hl: Matrix::zeros(1, 0),
             steps: 0,
             breakdown: false,
             pool: Vec::new(),
@@ -77,6 +91,8 @@ impl ArnoldiFactorization {
             wr: Vec::new(),
             wi: Vec::new(),
             coeff: Vec::new(),
+            build_j: 0,
+            build_max: 0,
         }
     }
 
@@ -148,6 +164,157 @@ impl ArnoldiFactorization {
         }
         normalize(out);
     }
+
+    /// Starts an incremental (caller-driven) rebuild of the factorization.
+    ///
+    /// Performs everything [`arnoldi_into`] does up to the first operator
+    /// application: storage setup, deflation of `start` against `locked`,
+    /// and normalization of `v_0`. Returns `false` when no operator
+    /// applications are needed (degenerate start inside the locked span,
+    /// or `max_steps == 0`) — the factorization is then already final.
+    /// Otherwise the caller alternates [`Self::io_mut`] (apply the
+    /// operator into the returned target) and [`Self::absorb`] until
+    /// `absorb` returns `false`.
+    ///
+    /// This split exists so a *block* driver can interleave the operator
+    /// applications of several independent factorizations into one batched
+    /// multi-shift apply; the math per factorization is identical to
+    /// [`arnoldi_into`] (which is itself written on top of this API).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start.len() != n` or any locked vector has length `!= n`.
+    pub fn begin_build(
+        &mut self,
+        n: usize,
+        start: &[C64],
+        locked: &[Vec<C64>],
+        max_steps: usize,
+    ) -> bool {
+        assert_eq!(start.len(), n, "start vector length mismatch");
+        for q in locked {
+            assert_eq!(q.len(), n, "locked vector length mismatch");
+        }
+        if self.h.rows() != max_steps + 1 || self.h.cols() != max_steps {
+            self.h = Matrix::zeros(max_steps + 1, max_steps);
+        } else {
+            self.h.fill(C64::zero());
+        }
+        if self.hl.rows() != locked.len().max(1) || self.hl.cols() != max_steps {
+            self.hl = Matrix::zeros(locked.len().max(1), max_steps);
+        } else {
+            self.hl.fill(C64::zero());
+        }
+        // Plane scratch and the split mirrors (reused storage; grows only
+        // to the high-water mark, then allocation-free across rebuilds).
+        self.wr.clear();
+        self.wr.resize(n, 0.0);
+        self.wi.clear();
+        self.wi.resize(n, 0.0);
+        self.coeff.clear();
+        self.coeff
+            .resize(locked.len().max(max_steps + 1), C64::zero());
+        self.locked_split.reset(n);
+        for q in locked {
+            self.locked_split.push_interleaved(q);
+        }
+        self.split.reset(n);
+        self.ensure_slot(0, n);
+        // v0 = start with the locked span batch-projected out; the second
+        // pass is the CGS2 insurance for a start nearly inside that span.
+        kernels::split(start, &mut self.wr, &mut self.wi);
+        self.locked_split
+            .project_out(&mut self.wr, &mut self.wi, &mut self.coeff);
+        self.locked_split
+            .project_out(&mut self.wr, &mut self.wi, &mut self.coeff);
+        let n0 = kernels::nrm2(&self.wr, &self.wi);
+        if n0 == 0.0 {
+            kernels::merge(&self.wr, &self.wi, &mut self.basis[0]);
+            self.steps = 0;
+            self.breakdown = true;
+            self.retire_beyond(1);
+            return false;
+        }
+        kernels::scal_real(1.0 / n0, &mut self.wr, &mut self.wi);
+        kernels::merge(&self.wr, &self.wi, &mut self.basis[0]);
+        self.split.push_split(&self.wr, &self.wi);
+        self.steps = 0;
+        self.breakdown = false;
+        self.build_j = 0;
+        self.build_max = max_steps;
+        if max_steps == 0 {
+            self.retire_beyond(1);
+            return false;
+        }
+        true
+    }
+
+    /// The operator boundary of the current incremental step: the source
+    /// basis vector `v_j` and the target slot for `w = Op v_j`. Call only
+    /// between a `true` return from [`Self::begin_build`]/[`Self::absorb`]
+    /// and the matching [`Self::absorb`].
+    pub fn io_mut(&mut self) -> (&[C64], &mut [C64]) {
+        let n = self.basis[0].len();
+        let j = self.build_j;
+        self.ensure_slot(j + 1, n);
+        let (head, tail) = self.basis.split_at_mut(j + 1);
+        (head[j].as_slice(), tail[0].as_mut_slice())
+    }
+
+    /// Orthogonalizes the operator output written via [`Self::io_mut`]
+    /// into the next basis vector (deflation + blocked CGS2), advancing
+    /// the factorization by one step. Returns `false` when the build is
+    /// finished (happy breakdown or the step cap was reached); the
+    /// factorization is then final.
+    pub fn absorb(&mut self) -> bool {
+        let j = self.build_j;
+        kernels::split(&self.basis[j + 1], &mut self.wr, &mut self.wi);
+        // Deflation: keep the recursion inside the complement of `locked`.
+        self.locked_split
+            .project_out(&mut self.wr, &mut self.wi, &mut self.coeff);
+        for q in 0..self.locked_split.rows() {
+            self.hl[(q, j)] += self.coeff[q];
+        }
+        let before = kernels::nrm2(&self.wr, &self.wi);
+        // Blocked CGS2: one batched classical Gram-Schmidt projection
+        // against the whole basis, then an unconditional second pass
+        // (re-projecting the locked set as well). Each pass streams the
+        // working vector once per block of four basis rows.
+        for pass in 0..2 {
+            if pass == 1 {
+                self.locked_split
+                    .project_out(&mut self.wr, &mut self.wi, &mut self.coeff);
+                for q in 0..self.locked_split.rows() {
+                    self.hl[(q, j)] += self.coeff[q];
+                }
+            }
+            self.split
+                .project_out(&mut self.wr, &mut self.wi, &mut self.coeff);
+            for i in 0..=j {
+                self.h[(i, j)] += self.coeff[i];
+            }
+        }
+        let beta = kernels::nrm2(&self.wr, &self.wi);
+        self.steps = j + 1;
+        self.h[(j + 1, j)] = C64::from_real(beta);
+        if beta <= 1e-14 * before.max(1.0) {
+            self.breakdown = true;
+            // On breakdown the last slot holds the (stale) raw matvec
+            // output, not a basis vector: retire it so `basis` ends at
+            // the meaningful set.
+            self.retire_beyond(self.steps.max(1));
+            return false;
+        }
+        kernels::scal_real(1.0 / beta, &mut self.wr, &mut self.wi);
+        kernels::merge(&self.wr, &self.wi, &mut self.basis[j + 1]);
+        self.split.push_split(&self.wr, &self.wi);
+        if j + 1 == self.build_max {
+            self.retire_beyond(self.steps + 1);
+            return false;
+        }
+        self.build_j = j + 1;
+        true
+    }
 }
 
 /// Builds an Arnoldi factorization of `op` from `start`, deflating the
@@ -189,93 +356,17 @@ pub fn arnoldi_into(
     max_steps: usize,
     fact: &mut ArnoldiFactorization,
 ) {
-    let n = op.dim();
-    assert_eq!(start.len(), n, "start vector length mismatch");
-    for q in locked {
-        assert_eq!(q.len(), n, "locked vector length mismatch");
-    }
-    if fact.h.rows() != max_steps + 1 || fact.h.cols() != max_steps {
-        fact.h = Matrix::zeros(max_steps + 1, max_steps);
-    } else {
-        fact.h.fill(C64::zero());
-    }
-    // Plane scratch and the split mirrors (reused storage; grows only to
-    // the high-water mark, then allocation-free across rebuilds).
-    fact.wr.clear();
-    fact.wr.resize(n, 0.0);
-    fact.wi.clear();
-    fact.wi.resize(n, 0.0);
-    fact.coeff.clear();
-    fact.coeff
-        .resize(locked.len().max(max_steps + 1), C64::zero());
-    fact.locked_split.reset(n);
-    for q in locked {
-        fact.locked_split.push_interleaved(q);
-    }
-    fact.split.reset(n);
-    fact.ensure_slot(0, n);
-    // v0 = start with the locked span batch-projected out; the second pass
-    // is the CGS2 insurance for a start nearly inside that span.
-    kernels::split(start, &mut fact.wr, &mut fact.wi);
-    fact.locked_split
-        .project_out(&mut fact.wr, &mut fact.wi, &mut fact.coeff);
-    fact.locked_split
-        .project_out(&mut fact.wr, &mut fact.wi, &mut fact.coeff);
-    let n0 = kernels::nrm2(&fact.wr, &fact.wi);
-    if n0 == 0.0 {
-        kernels::merge(&fact.wr, &fact.wi, &mut fact.basis[0]);
-        fact.steps = 0;
-        fact.breakdown = true;
-        fact.retire_beyond(1);
+    if !fact.begin_build(op.dim(), start, locked, max_steps) {
         return;
     }
-    kernels::scal_real(1.0 / n0, &mut fact.wr, &mut fact.wi);
-    kernels::merge(&fact.wr, &fact.wi, &mut fact.basis[0]);
-    fact.split.push_split(&fact.wr, &fact.wi);
-    let mut steps = 0;
-    let mut breakdown = false;
-    for j in 0..max_steps {
+    loop {
         // The next basis slot doubles as the matvec target `w`.
-        fact.ensure_slot(j + 1, n);
-        let (head, tail) = fact.basis.split_at_mut(j + 1);
-        let w = tail[0].as_mut_slice();
-        op.apply_into(&head[j], w);
-        kernels::split(w, &mut fact.wr, &mut fact.wi);
-        // Deflation: keep the recursion inside the complement of `locked`.
-        fact.locked_split
-            .project_out(&mut fact.wr, &mut fact.wi, &mut fact.coeff);
-        let before = kernels::nrm2(&fact.wr, &fact.wi);
-        // Blocked CGS2: one batched classical Gram-Schmidt projection
-        // against the whole basis, then an unconditional second pass
-        // (re-projecting the locked set as well). Each pass streams the
-        // working vector once per block of four basis rows.
-        for pass in 0..2 {
-            if pass == 1 {
-                fact.locked_split
-                    .project_out(&mut fact.wr, &mut fact.wi, &mut fact.coeff);
-            }
-            fact.split
-                .project_out(&mut fact.wr, &mut fact.wi, &mut fact.coeff);
-            for i in 0..=j {
-                fact.h[(i, j)] += fact.coeff[i];
-            }
-        }
-        let beta = kernels::nrm2(&fact.wr, &fact.wi);
-        steps = j + 1;
-        fact.h[(j + 1, j)] = C64::from_real(beta);
-        if beta <= 1e-14 * before.max(1.0) {
-            breakdown = true;
+        let (v, w) = fact.io_mut();
+        op.apply_into(v, w);
+        if !fact.absorb() {
             break;
         }
-        kernels::scal_real(1.0 / beta, &mut fact.wr, &mut fact.wi);
-        kernels::merge(&fact.wr, &fact.wi, w);
-        fact.split.push_split(&fact.wr, &fact.wi);
     }
-    fact.steps = steps;
-    fact.breakdown = breakdown;
-    // On breakdown the last slot holds the (stale) raw matvec output, not
-    // a basis vector: retire it so `basis` ends at the meaningful set.
-    fact.retire_beyond(if breakdown { steps.max(1) } else { steps + 1 });
 }
 
 #[cfg(test)]

@@ -21,15 +21,19 @@
 //! * [`options`] — tuning knobs (subspace size `d = 60`, eigenvalues per
 //!   shift `n_theta = 5`, tolerances), matching the paper's choices.
 
+pub mod block;
 pub mod error;
 pub mod krylov;
 pub mod options;
+pub mod recycle;
 pub mod ritz;
 pub mod single_shift;
 
+pub use block::{block_shift_sweep, BlockLaneSpec, BlockShiftOp};
 pub use error::ArnoldiError;
 pub use options::SingleShiftOptions;
+pub use recycle::{RecyclePool, RecycledPair};
 pub use single_shift::{
-    single_shift_iteration, single_shift_iteration_with, ArnoldiWorkspace, ConvergedEigenpair,
-    SingleShiftOutcome,
+    build_shift_invert_op, single_shift_iteration, single_shift_iteration_recycled_with,
+    single_shift_iteration_with, ArnoldiWorkspace, ConvergedEigenpair, SingleShiftOutcome,
 };

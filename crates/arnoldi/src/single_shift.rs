@@ -4,6 +4,7 @@
 use crate::error::ArnoldiError;
 use crate::krylov::{arnoldi_into, ArnoldiFactorization};
 use crate::options::SingleShiftOptions;
+use crate::recycle::RecycledPair;
 use crate::ritz::ritz_pairs;
 use pheig_hamiltonian::{CLinearOp, ShiftInvertOp};
 use pheig_linalg::vector::{axpy, dot, normalize};
@@ -64,6 +65,17 @@ pub struct SingleShiftOutcome {
     pub matvecs: usize,
     /// Explicit restarts performed.
     pub restarts: usize,
+    /// Recycled warm-start candidates validated (0 for a cold start).
+    pub warm_candidates: usize,
+    /// Warm candidates that pre-locked a distinct eigenvalue.
+    pub warm_pre_locked: usize,
+    /// Dimension of the locked subspace the Rayleigh-Ritz refinement ran
+    /// on. The refinement applies no operator (images are cached or
+    /// reconstructed from the build identity), but its projected
+    /// eigenproblem and reconstructions still cost wall time proportional
+    /// to this dimension — schedulers charge for it via
+    /// [`cost accounting`](SingleShiftOutcome::matvecs)-style units.
+    pub refine_dim: usize,
 }
 
 /// Runs the single-shift iteration on an explicit shift-inverted operator.
@@ -113,95 +125,394 @@ pub fn single_shift_on_op_with(
     opts: &SingleShiftOptions,
     ws: &mut ArnoldiWorkspace,
 ) -> Result<SingleShiftOutcome, ArnoldiError> {
-    let n = op.dim();
-    let tol_abs = (opts.tol * scale.max(f64::MIN_POSITIVE)).max(1e-300);
-    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
-    let mut locked_vecs: Vec<Vec<C64>> = Vec::new();
-    let mut locked_lambdas: Vec<C64> = Vec::new();
-    let mut near_estimates: Vec<f64> = Vec::new();
-    let mut matvecs = 0usize;
-    let mut restarts = 0usize;
-    let mut stall = 0usize;
+    let mut core = ShiftCore::new(op.dim(), theta, rho0, scale, opts, ws);
+    let mut apply = |x: &[C64], y: &mut [C64]| op.apply_into(x, y);
+    core.run_to_completion(&mut apply, map)
+}
+
+/// The single-shift iteration decomposed into resumable stages.
+///
+/// One `ShiftCore` owns all the per-shift state (locked eigenpairs, RNG,
+/// restart bookkeeping, statistics) while borrowing its heavy scratch from
+/// an [`ArnoldiWorkspace`]. The *operator applications* are externalized:
+/// every stage either takes an `apply` closure or exposes the
+/// [`Self::io_mut`]/[`Self::absorb_step`] boundary of the incremental
+/// Arnoldi build. This lets a block driver interleave the Krylov steps of
+/// several independent shifts into one batched multi-shift apply while the
+/// per-shift math stays byte-for-byte the serial algorithm.
+///
+/// The stages:
+///
+/// 1. [`Self::warm_init`] (optional) validates recycled eigenvector
+///    candidates at one matvec each and pre-locks the survivors;
+/// 2. while [`Self::building`]: [`Self::begin_round`], the
+///    `io_mut`/`apply`/`absorb_step` loop, then [`Self::finish_round`];
+/// 3. [`Self::finish`] runs the Rayleigh–Ritz refinement and the radius
+///    certificate.
+///
+/// A cold start (no `warm_init`) reproduces the original algorithm
+/// exactly — same RNG draws, same arithmetic, same results (pinned by
+/// `deterministic_given_seed`).
+pub(crate) struct ShiftCore<'a> {
+    ws: &'a mut ArnoldiWorkspace,
+    opts: &'a SingleShiftOptions,
+    n: usize,
+    theta: C64,
+    rho0: f64,
+    scale: f64,
+    tol_abs: f64,
     // Collect a couple extra converged eigenvalues beyond n_theta so the
     // radius certificate has a "next eigenvalue" distance to lean on.
-    let collect_target = opts.n_eigs + 1;
-    let ArnoldiWorkspace {
-        fact,
-        start,
-        comb,
-        lifted,
-    } = ws;
-    start.clear();
-    start.resize(n, C64::zero());
-    comb.clear();
-    comb.resize(n, C64::zero());
-    lifted.clear();
-    lifted.resize(n, C64::zero());
+    collect_target: usize,
+    rng: StdRng,
+    locked_vecs: Vec<Vec<C64>>,
+    /// Cached `Op q` for each locked vector, aligned with `locked_vecs`.
+    /// Warm validation already pays one operator application per candidate,
+    /// and round-locked Ritz vectors get their image from the build
+    /// identity `Op V = V H + beta v_m e_m^T + L HL`; in both cases the
+    /// deflation copy is a linear combination of vectors with known
+    /// images, so the Rayleigh-Ritz refinement never re-applies the
+    /// operator. `None` marks the (defensive) fallback when a needed
+    /// image is missing — refinement then recomputes that one.
+    locked_opq: Vec<Option<Vec<C64>>>,
+    locked_lambdas: Vec<C64>,
+    near_estimates: Vec<f64>,
+    /// Distances of warm candidates that validated as "converging" but not
+    /// converged — they cap the certificate like `near_estimates` do.
+    warm_near: Vec<f64>,
+    /// Conservative cap from the final round's *unconverged* Ritz pairs:
+    /// `min(dist - err)` over every pair that failed to lock, however
+    /// rough. A short post-warm probe can surface an unfound eigenvalue
+    /// as a high-residual estimate that `near_estimates` (which demands
+    /// `err <= 1e5 * tol`) never records — without this cap the warm
+    /// extended bracket would certify straight across it.
+    ext_cap: f64,
+    matvecs: usize,
+    restarts: usize,
+    stall: usize,
     // Explicit restart vector: the first start of a shift is random (the
     // paper's source of run-to-run variation); subsequent restarts reuse a
     // combination of the best unconverged Ritz vectors so progress
     // accumulates even when a single pass of `max_subspace` steps cannot
     // converge anything (dense spectra at large n).
-    let mut have_next_start = false;
+    have_next_start: bool,
+    /// `true` while the current round is a short post-warm probe.
+    probing: bool,
+    /// Remaining probe rounds. Set only when warm pre-locking alone reaches
+    /// `collect_target`: the certificate then rests on *validated* pairs,
+    /// and short deflated probe rounds confirm no nearer eigenvalue was
+    /// missed — the same convergence-ordering assumption level the cold
+    /// path's full rounds provide.
+    probe_budget: usize,
+    warm_candidates: usize,
+    warm_pre_locked: usize,
+}
 
-    while restarts < opts.max_restarts && locked_lambdas.len() < collect_target {
-        if !have_next_start {
-            for s in start.iter_mut() {
-                *s = C64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
+impl<'a> ShiftCore<'a> {
+    pub(crate) fn new(
+        n: usize,
+        theta: C64,
+        rho0: f64,
+        scale: f64,
+        opts: &'a SingleShiftOptions,
+        ws: &'a mut ArnoldiWorkspace,
+    ) -> Self {
+        let tol_abs = (opts.tol * scale.max(f64::MIN_POSITIVE)).max(1e-300);
+        let rng = StdRng::seed_from_u64(opts.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let collect_target = opts.n_eigs + 1;
+        ws.start.clear();
+        ws.start.resize(n, C64::zero());
+        ws.comb.clear();
+        ws.comb.resize(n, C64::zero());
+        ws.lifted.clear();
+        ws.lifted.resize(n, C64::zero());
+        ShiftCore {
+            ws,
+            opts,
+            n,
+            theta,
+            rho0,
+            scale,
+            tol_abs,
+            collect_target,
+            rng,
+            locked_vecs: Vec::new(),
+            locked_opq: Vec::new(),
+            locked_lambdas: Vec::new(),
+            near_estimates: Vec::new(),
+            warm_near: Vec::new(),
+            ext_cap: f64::INFINITY,
+            matvecs: 0,
+            restarts: 0,
+            stall: 0,
+            have_next_start: false,
+            probing: false,
+            probe_budget: 0,
+            warm_candidates: 0,
+            warm_pre_locked: 0,
+        }
+    }
+
+    /// Validates recycled warm-start candidates, nearest first, at one
+    /// operator application each: `w = Op v`, `mu = <v, w>`, mapped error
+    /// `||w - mu v|| / |mu|^2` — the exact semantics of
+    /// [`crate::ritz::RitzPair::mapped_error_estimate`]. Converged
+    /// survivors are pre-locked into the deflation set; "converging" ones
+    /// cap the radius certificate via `warm_near`.
+    pub(crate) fn warm_init(
+        &mut self,
+        warm: &[RecycledPair],
+        apply: &mut dyn FnMut(&[C64], &mut [C64]),
+        map: &dyn Fn(C64) -> C64,
+    ) {
+        let cap = self.collect_target + 2;
+        for pair in warm.iter().take(cap) {
+            assert_eq!(pair.vector.len(), self.n, "recycled vector length mismatch");
+            self.warm_candidates += 1;
+            let ArnoldiWorkspace { comb, lifted, .. } = &mut *self.ws;
+            comb.copy_from_slice(&pair.vector);
+            // Validate the candidate *raw*: eigenvectors of a non-normal
+            // operator are not mutually orthogonal, so projecting out the
+            // already-locked directions first would destroy the very
+            // eigenvector property being tested. Only the deflation copy
+            // (below) is orthogonalized — the locked *span* is what must
+            // stay orthonormal, and the Rayleigh–Ritz refinement recovers
+            // true eigenpairs from the span.
+            if normalize(comb) < 1e-8 {
+                continue;
+            }
+            self.matvecs += 1;
+            apply(comb, lifted);
+            let mu = dot(comb, lifted);
+            let m2 = mu.abs_sq().max(f64::MIN_POSITIVE);
+            let mut r2 = 0.0f64;
+            for i in 0..self.n {
+                r2 += (lifted[i] - mu * comb[i]).abs_sq();
+            }
+            let err = r2.sqrt() / m2;
+            let lambda = map(mu);
+            let dist = (lambda - self.theta).abs();
+            if err <= self.tol_abs {
+                let duplicate = self
+                    .locked_lambdas
+                    .iter()
+                    .any(|&l| (l - lambda).abs() <= 100.0 * self.tol_abs + 1e-10 * dist);
+                // Mirror the Gram-Schmidt coefficients onto the cached
+                // operator image: Op(v - sum c_q q) = w - sum c_q (Op q),
+                // so the deflation copy's image costs no new application.
+                let mut w = lifted.clone();
+                let mut image_exact = true;
+                for (q, qw) in self.locked_vecs.iter().zip(&self.locked_opq) {
+                    let c = dot(q, comb);
+                    axpy(-c, q, comb);
+                    match qw {
+                        Some(qw) => axpy(-c, qw, &mut w),
+                        None => image_exact = false,
+                    }
+                }
+                let nrm = normalize(comb);
+                if nrm < 1e-8 {
+                    continue; // direction already inside the locked span
+                }
+                let inv = C64::from_real(1.0 / nrm);
+                for x in w.iter_mut() {
+                    *x *= inv;
+                }
+                self.locked_vecs.push(comb.clone());
+                self.locked_opq.push(image_exact.then_some(w));
+                if !duplicate {
+                    self.locked_lambdas.push(lambda);
+                    self.warm_pre_locked += 1;
+                }
+            } else if err <= 1e5 * self.tol_abs {
+                self.warm_near.push(dist);
             }
         }
-        have_next_start = false;
-        arnoldi_into(op, start, &locked_vecs, opts.max_subspace.min(n), fact);
-        matvecs += fact.steps;
-        restarts += 1;
-        if fact.steps == 0 {
-            // Fully deflated: the reachable spectrum is exhausted.
-            break;
+        if self.warm_pre_locked > 0 && self.locked_lambdas.len() >= self.collect_target {
+            self.probe_budget = 3;
         }
-        let pairs = ritz_pairs(fact)?;
+    }
+
+    /// `true` while more Arnoldi rounds are warranted: the collect target
+    /// is unmet, or post-warm probe rounds remain.
+    pub(crate) fn building(&self) -> bool {
+        self.restarts < self.opts.max_restarts
+            && (self.locked_lambdas.len() < self.collect_target || self.probe_budget > 0)
+    }
+
+    /// Prepares the start vector and opens the incremental Arnoldi build
+    /// for one round. Returns `false` when the round is degenerate (start
+    /// fully inside the locked span) — skip straight to
+    /// [`Self::finish_round`], which will report exhaustion.
+    pub(crate) fn begin_round(&mut self) -> bool {
+        let steps = if self.locked_lambdas.len() >= self.collect_target {
+            // Post-warm probe: a short deflated pass is enough to surface
+            // any missed nearby direction; a full subspace would re-spend
+            // the matvecs recycling just saved.
+            self.probing = true;
+            (2 * self.opts.n_eigs + 4).min(self.opts.max_subspace)
+        } else {
+            self.probing = false;
+            if self.warm_pre_locked > 0 && self.restarts == 0 {
+                // Partially-warm first round: with most targets already
+                // deflated, shift-invert Arnoldi converges the few missing
+                // nearest eigenvalues in a short build — size it to the
+                // probe length plus a margin per missing pair. Later rounds
+                // (if this one falls short) fall back to the full subspace.
+                let missing = self.collect_target - self.locked_lambdas.len();
+                (2 * self.opts.n_eigs + 4 + 4 * missing).min(self.opts.max_subspace)
+            } else {
+                self.opts.max_subspace
+            }
+        }
+        .min(self.n);
+        if !self.have_next_start {
+            for s in self.ws.start.iter_mut() {
+                *s = C64::new(self.rng.gen::<f64>() - 0.5, self.rng.gen::<f64>() - 0.5);
+            }
+        }
+        self.have_next_start = false;
+        let ArnoldiWorkspace { fact, start, .. } = &mut *self.ws;
+        fact.begin_build(self.n, start, &self.locked_vecs, steps)
+    }
+
+    /// The operator boundary of the current Arnoldi step (see
+    /// [`ArnoldiFactorization::io_mut`]).
+    pub(crate) fn io_mut(&mut self) -> (&[C64], &mut [C64]) {
+        self.ws.fact.io_mut()
+    }
+
+    /// Absorbs the operator output of the current Arnoldi step; `false`
+    /// when the round's build is finished.
+    pub(crate) fn absorb_step(&mut self) -> bool {
+        self.ws.fact.absorb()
+    }
+
+    /// Closes one round: extracts Ritz pairs, locks converged ones,
+    /// records near-estimates, and builds the explicit-restart vector.
+    /// Returns `Ok(false)` when the shift should stop building (spectrum
+    /// exhausted or stalled).
+    pub(crate) fn finish_round(&mut self, map: &dyn Fn(C64) -> C64) -> Result<bool, ArnoldiError> {
+        self.matvecs += self.ws.fact.steps;
+        self.restarts += 1;
+        if self.ws.fact.steps == 0 {
+            // Fully deflated: the reachable spectrum is exhausted.
+            return Ok(false);
+        }
+        let pairs = ritz_pairs(&self.ws.fact)?;
+        // Locked count at build time: `hl` columns decompose against
+        // exactly this prefix of the deflation set (vectors locked below
+        // grow the set past it).
+        let nl_build = self.locked_vecs.len();
         let mut newly = 0usize;
-        near_estimates.clear();
+        self.near_estimates.clear();
+        self.ext_cap = f64::INFINITY;
         for pair in &pairs {
             let lambda = map(pair.mu);
-            let dist = (lambda - theta).abs();
+            let dist = (lambda - self.theta).abs();
             let err = pair.mapped_error_estimate();
-            if err <= tol_abs {
-                let duplicate = locked_lambdas
+            if err > self.tol_abs && err <= 0.5 * dist {
+                // An unconverged Ritz value that still localizes an
+                // eigenvalue (error below half its distance) is evidence
+                // of spectrum no closer than `dist - err`; the warm
+                // extended bracket must not certify past it. Pairs with
+                // `err > dist / 2` localize nothing — they scatter across
+                // the hull of the remaining spectrum — and capping on
+                // them would zero out every extension.
+                self.ext_cap = self.ext_cap.min(dist - err);
+            }
+            if err <= self.tol_abs {
+                let duplicate = self
+                    .locked_lambdas
                     .iter()
-                    .any(|&l| (l - lambda).abs() <= 100.0 * tol_abs + 1e-10 * dist);
-                // Lift and re-orthogonalize against the locked set; a
-                // vanishing projection means we re-found a locked direction.
-                let mut v = fact.lift(&pair.y);
-                for q in &locked_vecs {
+                    .any(|&l| (l - lambda).abs() <= 100.0 * self.tol_abs + 1e-10 * dist);
+                // Lift `V y` (tracking its norm) and reconstruct the
+                // operator image from the build identity
+                // `Op V = V H + beta v_m e_m^T + L HL` — the image then
+                // rides through the deflation update below, so the
+                // Rayleigh-Ritz refinement never re-applies the operator
+                // to this vector.
+                let fact = &self.ws.fact;
+                let m = fact.steps;
+                let mut v = vec![C64::zero(); self.n];
+                for (j, &yj) in pair.y.iter().enumerate() {
+                    axpy(yj, &fact.basis[j], &mut v);
+                }
+                let ny = normalize(&mut v);
+                if ny == 0.0 {
+                    continue;
+                }
+                let mut img = vec![C64::zero(); self.n];
+                for i in 0..m {
+                    let mut hy = C64::zero();
+                    for (j, &yj) in pair.y.iter().enumerate() {
+                        hy += fact.h[(i, j)] * yj;
+                    }
+                    axpy(hy, &fact.basis[i], &mut img);
+                }
+                if !fact.breakdown && fact.basis.len() > m {
+                    axpy(fact.h[(m, m - 1)] * pair.y[m - 1], &fact.basis[m], &mut img);
+                }
+                for (q, qv) in self.locked_vecs[..nl_build].iter().enumerate() {
+                    let mut hy = C64::zero();
+                    for (j, &yj) in pair.y.iter().enumerate() {
+                        hy += fact.hl[(q, j)] * yj;
+                    }
+                    axpy(hy, qv, &mut img);
+                }
+                let inv = C64::from_real(1.0 / ny);
+                for x in img.iter_mut() {
+                    *x *= inv;
+                }
+                // Re-orthogonalize against the locked set, mirroring the
+                // coefficients onto the image; a vanishing projection
+                // means we re-found a locked direction.
+                let mut image_exact = true;
+                for (q, qw) in self.locked_vecs.iter().zip(&self.locked_opq) {
                     let c = dot(q, &v);
                     axpy(-c, q, &mut v);
+                    match qw {
+                        Some(qw) => axpy(-c, qw, &mut img),
+                        None => image_exact = false,
+                    }
                 }
                 let nrm = normalize(&mut v);
                 if nrm < 1e-8 {
                     continue;
                 }
+                let inv = C64::from_real(1.0 / nrm);
+                for x in img.iter_mut() {
+                    *x *= inv;
+                }
                 // The vector moves into the deflation set (no clone): the
                 // refinement below recovers eigenvectors from that set.
-                locked_vecs.push(v);
+                self.locked_vecs.push(v);
+                self.locked_opq.push(image_exact.then_some(img));
                 if !duplicate {
-                    locked_lambdas.push(lambda);
+                    self.locked_lambdas.push(lambda);
                     newly += 1;
                 }
-            } else if err <= 1e5 * tol_abs {
+            } else if err <= 1e5 * self.tol_abs {
                 // "Converging" (paper's wording): a credible nearby
                 // eigenvalue estimate that has not met the tolerance yet.
-                near_estimates.push(dist);
+                self.near_estimates.push(dist);
             }
         }
         // Build the explicit-restart vector from the leading unconverged
         // Ritz directions (nearest to the shift first).
+        let ArnoldiWorkspace {
+            fact,
+            start,
+            comb,
+            lifted,
+        } = &mut *self.ws;
         comb.fill(C64::zero());
         let mut used = 0usize;
         for pair in &pairs {
-            if used >= opts.n_eigs {
+            if used >= self.opts.n_eigs {
                 break;
             }
-            if pair.mapped_error_estimate() <= tol_abs {
+            if pair.mapped_error_estimate() <= self.tol_abs {
                 continue; // already locked this round
             }
             fact.lift_into(&pair.y, lifted);
@@ -210,172 +521,279 @@ pub fn single_shift_on_op_with(
         }
         if used > 0 && normalize(comb) > 0.0 {
             start.copy_from_slice(comb);
-            have_next_start = true;
+            self.have_next_start = true;
+        }
+        if self.probing {
+            // A probe that finds something new earns another; a dry probe
+            // ends the hunt. Productive probes don't consume budget: each
+            // 14-step round that locks a pair widens the certified disk,
+            // which is far cheaper than the neighbor shift the scheduler
+            // would otherwise spawn (`max_restarts` still bounds the hunt).
+            self.probe_budget = if newly == 0 { 0 } else { self.probe_budget };
         }
         if newly == 0 {
-            stall += 1;
-            if stall >= 6 {
+            self.stall += 1;
+            if self.stall >= 6 {
+                return Ok(false);
+            }
+        } else {
+            self.stall = 0;
+        }
+        Ok(true)
+    }
+
+    /// Drives the build loop serially with `apply` and runs [`Self::finish`].
+    pub(crate) fn run_to_completion(
+        &mut self,
+        apply: &mut dyn FnMut(&[C64], &mut [C64]),
+        map: &dyn Fn(C64) -> C64,
+    ) -> Result<SingleShiftOutcome, ArnoldiError> {
+        while self.building() {
+            if self.begin_round() {
+                loop {
+                    let (v, w) = self.io_mut();
+                    apply(v, w);
+                    if !self.absorb_step() {
+                        break;
+                    }
+                }
+            }
+            if !self.finish_round(map)? {
                 break;
             }
-        } else {
-            stall = 0;
         }
+        self.finish(apply, map)
     }
 
-    if locked_vecs.is_empty() {
-        return Err(ArnoldiError::NoConvergence { restarts, matvecs });
-    }
-
-    // ---- Rayleigh-Ritz refinement on the locked subspace -------------------
-    // Each locked vector is an eigenvector of the *deflated* operator, i.e.
-    // the Q-orthogonal component of a true eigenvector. The span of Q is
-    // (approximately) invariant, so projecting the operator onto Q and
-    // solving the small eigenproblem recovers the true eigenpairs.
-    let mq = locked_vecs.len();
-    let opq: Vec<Vec<C64>> = locked_vecs
-        .iter()
-        .map(|q| {
-            matvecs += 1;
-            op.apply(q)
-        })
-        .collect();
-    let t = pheig_linalg::Matrix::from_fn(mq, mq, |i, j| dot(&locked_vecs[i], &opq[j]));
-    let (mus, yv) = pheig_linalg::eig::eig_with_vectors(&t)?;
-    let dedupe_tol = 100.0 * tol_abs;
-    let mut refined: Vec<ConvergedEigenpair> = Vec::new();
-    let mut doubtful_dists: Vec<f64> = Vec::new();
-    for (k, &mu) in mus.iter().enumerate() {
-        let lambda = map(mu);
-        // x = Q y_k (unit norm since Q is orthonormal and y_k is unit).
-        let mut x = vec![C64::zero(); n];
-        let mut z = vec![C64::zero(); n];
-        for j in 0..mq {
-            axpy(yv[(j, k)], &locked_vecs[j], &mut x);
-            axpy(yv[(j, k)], &opq[j], &mut z);
-        }
-        normalize(&mut x);
-        let mut r2 = 0.0f64;
-        for i in 0..n {
-            r2 += (z[i] - mu * x[i]).abs_sq();
-        }
-        let err = r2.sqrt() / mu.abs_sq().max(f64::MIN_POSITIVE);
-        if refined
-            .iter()
-            .any(|e| (e.lambda - lambda).abs() <= dedupe_tol)
-        {
-            continue;
-        }
-        if err <= 1e3 * tol_abs {
-            refined.push(ConvergedEigenpair {
-                lambda,
-                vector: x,
-                error_estimate: err,
+    /// Rayleigh–Ritz refinement on the locked subspace plus the radius
+    /// certificate (paper Sec. III bullet 3).
+    pub(crate) fn finish(
+        &mut self,
+        apply: &mut dyn FnMut(&[C64], &mut [C64]),
+        map: &dyn Fn(C64) -> C64,
+    ) -> Result<SingleShiftOutcome, ArnoldiError> {
+        let (theta, rho0, scale, tol_abs, n) =
+            (self.theta, self.rho0, self.scale, self.tol_abs, self.n);
+        if self.locked_vecs.is_empty() {
+            return Err(ArnoldiError::NoConvergence {
+                restarts: self.restarts,
+                matvecs: self.matvecs,
             });
-        } else if err <= 1e7 * tol_abs {
-            // The subspace picked up a non-invariant direction: do not
-            // return this value, and do not certify past its distance.
-            doubtful_dists.push((lambda - theta).abs());
         }
-        // Residuals beyond 1e7 * tol are numerical junk (e.g. spurious
-        // values of a refinement subspace polluted by a breakdown); they
-        // carry no location information and must not collapse the radius.
-    }
-    if refined.is_empty() {
-        return Err(ArnoldiError::NoConvergence { restarts, matvecs });
-    }
-
-    // ---- Radius certification (paper Sec. III bullet 3) -------------------
-    let dist = |e: &ConvergedEigenpair| (e.lambda - theta).abs();
-    refined.sort_by(|a, b| dist(a).partial_cmp(&dist(b)).unwrap());
-    // Distances within `gap_tol` of each other form one "shell" (mirror
-    // eigenvalues sit at *exactly* equal distance up to round-off); the
-    // certified radius must never cut through a shell.
-    let gap_tol = (100.0 * tol_abs).max(1e-9 * scale);
-    let mut m = opts.n_eigs.min(refined.len());
-    while m < refined.len() && dist(&refined[m]) - dist(&refined[m - 1]) <= gap_tol {
-        m += 1;
-    }
-    let d_m = dist(&refined[m - 1]);
-    // Nearest excluded estimate: the (m+1)-th converged eigenvalue, the
-    // closest still-converging Ritz estimate, or a doubtful refined value.
-    let mut d_next = f64::INFINITY;
-    if refined.len() > m {
-        d_next = d_next.min(dist(&refined[m]));
-    }
-    for &d in near_estimates.iter().chain(&doubtful_dists) {
-        d_next = d_next.min(d);
-    }
-    // Hamiltonian symmetry guard: every eigenvalue lambda of a real
-    // Hamiltonian has a mirror -conj(lambda) at *exactly* the same distance
-    // from theta = j omega. A shell whose mirror is missing cannot be
-    // certified (its partner may be an unconverged equidistant eigenvalue),
-    // so cap the radius below such shells.
-    let sym_tol = (1e3 * tol_abs).max(1e-10 * scale);
-    for e in &refined {
-        let lam = e.lambda;
-        // Mirrors of lambda at exactly the same distance from theta:
-        // -conj(lambda) for any theta on the imaginary axis, plus the rest
-        // of the quadruple (conj(lambda), -lambda) when theta = 0.
-        let mut mirrors = vec![-lam.conj()];
-        if theta.im.abs() <= sym_tol && theta.re.abs() <= sym_tol {
-            mirrors.push(lam.conj());
-            mirrors.push(-lam);
-        }
-        for mirror in mirrors {
-            if (mirror - lam).abs() <= sym_tol {
-                continue; // self-mirrored
-            }
-            let found = refined.iter().any(|f| (f.lambda - mirror).abs() <= sym_tol);
-            if !found {
-                d_next = d_next.min(dist(e));
+        // ---- Rayleigh-Ritz refinement on the locked subspace ---------------
+        // Each locked vector is an eigenvector of the *deflated* operator,
+        // i.e. the Q-orthogonal component of a true eigenvector. The span of
+        // Q is (approximately) invariant, so projecting the operator onto Q
+        // and solving the small eigenproblem recovers the true eigenpairs.
+        let mq = self.locked_vecs.len();
+        let mut opq: Vec<Vec<C64>> = Vec::with_capacity(mq);
+        for (q, cached) in self.locked_vecs.iter().zip(&self.locked_opq) {
+            match cached {
+                Some(w) => opq.push(w.clone()),
+                None => {
+                    let mut w = vec![C64::zero(); n];
+                    apply(q, &mut w);
+                    self.matvecs += 1;
+                    opq.push(w);
+                }
             }
         }
-    }
-    let radius = if d_next.is_finite() {
-        if d_next > d_m + gap_tol {
-            0.5 * (d_m + d_next)
-        } else {
-            // A non-returnable estimate sits at (or inside) the outermost
-            // returned shell: certify strictly below that whole shell.
-            d_next - gap_tol
+        let locked_vecs = &self.locked_vecs;
+        let t = pheig_linalg::Matrix::from_fn(mq, mq, |i, j| dot(&locked_vecs[i], &opq[j]));
+        let (mus, yv) = pheig_linalg::eig::eig_with_vectors(&t)?;
+        let dedupe_tol = 100.0 * tol_abs;
+        let mut refined: Vec<ConvergedEigenpair> = Vec::new();
+        let mut doubtful_dists: Vec<f64> = Vec::new();
+        for (k, &mu) in mus.iter().enumerate() {
+            let lambda = map(mu);
+            // x = Q y_k (unit norm since Q is orthonormal and y_k is unit).
+            let mut x = vec![C64::zero(); n];
+            let mut z = vec![C64::zero(); n];
+            for j in 0..mq {
+                axpy(yv[(j, k)], &locked_vecs[j], &mut x);
+                axpy(yv[(j, k)], &opq[j], &mut z);
+            }
+            normalize(&mut x);
+            let mut r2 = 0.0f64;
+            for i in 0..n {
+                r2 += (z[i] - mu * x[i]).abs_sq();
+            }
+            let err = r2.sqrt() / mu.abs_sq().max(f64::MIN_POSITIVE);
+            if refined
+                .iter()
+                .any(|e| (e.lambda - lambda).abs() <= dedupe_tol)
+            {
+                continue;
+            }
+            if err <= 1e3 * tol_abs {
+                refined.push(ConvergedEigenpair {
+                    lambda,
+                    vector: x,
+                    error_estimate: err,
+                });
+            } else if err <= 1e7 * tol_abs {
+                // The subspace picked up a non-invariant direction: do not
+                // return this value, and do not certify past its distance.
+                doubtful_dists.push((lambda - theta).abs());
+            }
+            // Residuals beyond 1e7 * tol are numerical junk (e.g. spurious
+            // values of a refinement subspace polluted by a breakdown); they
+            // carry no location information and must not collapse the radius.
         }
-    } else {
-        // Nothing else in sight: the disk extends to the found set and a
-        // bit beyond (covers the rho0 guess when everything converged).
-        d_m.max(rho0) * 1.000001
-    };
-    let radius = radius.max(0.0);
-    if radius <= 0.0 && std::env::var_os("PHEIG_DEBUG_RADIUS").is_some() {
-        eprintln!(
-            "radius collapse at theta={theta}: d_m={d_m:.3e} d_next={d_next:.3e} \
-             gap_tol={gap_tol:.3e} refined={} near={} doubtful={}",
-            refined.len(),
-            near_estimates.len(),
-            doubtful_dists.len()
-        );
-        let mut ds: Vec<f64> = refined.iter().map(dist).collect();
-        ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        eprintln!("  refined dists: {:?}", &ds[..ds.len().min(8)]);
-        let mut ne = near_estimates.clone();
-        ne.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        eprintln!("  near: {:?}", &ne[..ne.len().min(8)]);
-    }
+        if refined.is_empty() {
+            return Err(ArnoldiError::NoConvergence {
+                restarts: self.restarts,
+                matvecs: self.matvecs,
+            });
+        }
 
-    let all_converged: Vec<C64> = refined.iter().map(|e| e.lambda).collect();
-    // `refined` is already sorted by distance; keep the disk's interior by
-    // moving (not cloning) the surviving eigenpairs.
-    let in_disk: Vec<ConvergedEigenpair> = refined
-        .into_iter()
-        .filter(|e| (e.lambda - theta).abs() <= radius)
-        .collect();
-    Ok(SingleShiftOutcome {
-        theta,
-        radius,
-        in_disk,
-        all_converged,
-        matvecs,
-        restarts,
-    })
+        // ---- Radius certification (paper Sec. III bullet 3) ----------------
+        let dist = |e: &ConvergedEigenpair| (e.lambda - theta).abs();
+        refined.sort_by(|a, b| dist(a).partial_cmp(&dist(b)).unwrap());
+        // Distances within `gap_tol` of each other form one "shell" (mirror
+        // eigenvalues sit at *exactly* equal distance up to round-off); the
+        // certified radius must never cut through a shell.
+        let gap_tol = (100.0 * tol_abs).max(1e-9 * scale);
+        let mut m = self.opts.n_eigs.min(refined.len());
+        while m < refined.len() && dist(&refined[m]) - dist(&refined[m - 1]) <= gap_tol {
+            m += 1;
+        }
+        // Nearest excluded estimate beyond any choice of m: the closest
+        // still-converging Ritz estimate or a doubtful refined value.
+        let mut cap_next = f64::INFINITY;
+        for &d in self.near_estimates.iter().chain(&doubtful_dists) {
+            cap_next = cap_next.min(d);
+        }
+        // Warm candidates that validated as merely "converging" cap the
+        // certificate the same way — unless they sit on a refined shell
+        // (a re-validated duplicate must not collapse the radius).
+        for &d in &self.warm_near {
+            if refined.iter().any(|e| (dist(e) - d).abs() <= gap_tol) {
+                continue;
+            }
+            cap_next = cap_next.min(d);
+        }
+        let d_m = dist(&refined[m - 1]);
+        let mut d_next = cap_next;
+        if refined.len() > m {
+            d_next = d_next.min(dist(&refined[m]));
+        }
+        // Hamiltonian symmetry guard: every eigenvalue lambda of a real
+        // Hamiltonian has a mirror -conj(lambda) at *exactly* the same
+        // distance from theta = j omega. A shell whose mirror is missing
+        // cannot be certified (its partner may be an unconverged equidistant
+        // eigenvalue), so cap the radius below such shells.
+        let sym_tol = (1e3 * tol_abs).max(1e-10 * scale);
+        for e in &refined {
+            let lam = e.lambda;
+            // Mirrors of lambda at exactly the same distance from theta:
+            // -conj(lambda) for any theta on the imaginary axis, plus the
+            // rest of the quadruple (conj(lambda), -lambda) when theta = 0.
+            let mut mirrors = vec![-lam.conj()];
+            if theta.im.abs() <= sym_tol && theta.re.abs() <= sym_tol {
+                mirrors.push(lam.conj());
+                mirrors.push(-lam);
+            }
+            for mirror in mirrors {
+                if (mirror - lam).abs() <= sym_tol {
+                    continue; // self-mirrored
+                }
+                let found = refined.iter().any(|f| (f.lambda - mirror).abs() <= sym_tol);
+                if !found {
+                    cap_next = cap_next.min(dist(e));
+                }
+            }
+        }
+        d_next = d_next.min(cap_next);
+        let bracket = |d_m: f64, d_next: f64| -> f64 {
+            if d_next.is_finite() {
+                if d_next > d_m + gap_tol {
+                    0.5 * (d_m + d_next)
+                } else {
+                    // A non-returnable estimate sits at (or inside) the
+                    // outermost returned shell: certify strictly below that
+                    // whole shell.
+                    d_next - gap_tol
+                }
+            } else {
+                // Nothing else in sight: the disk extends to the found set
+                // and a bit beyond (covers the rho0 guess when everything
+                // converged).
+                d_m.max(rho0) * 1.000001
+            }
+        };
+        let mut radius = bracket(d_m, d_next);
+        if self.warm_pre_locked > 0 && refined.len() > m {
+            // Recycled pairs beyond the m-th shell are *true* eigenpairs:
+            // returning them and certifying past them extends the disk
+            // instead of capping it at the first donated shell. Soundness
+            // is kept by the post-warm probe rounds — any unfound direction
+            // between donated shells is the nearest deflated one, so it is
+            // either locked (joining `refined`), left as a near-estimate in
+            // `cap_next`, or visible only as a rough unconverged Ritz value
+            // recorded in `ext_cap`. The extension always brackets between
+            // a *found* shell below the cap and the cap itself: an
+            // unconverged estimate's `dist - err` margin uses the residual,
+            // which under-reports location error on a non-normal operator,
+            // so certifying flush against it (the degenerate
+            // `d_next - gap_tol` bracket branch) can cross the true
+            // eigenvalue. The midpoint keeps half the found-to-estimate gap
+            // as margin instead.
+            let cap_ext = cap_next.min(self.ext_cap);
+            let mut d_ext = 0.0f64;
+            for e in &refined {
+                let d = dist(e);
+                if d < cap_ext - gap_tol {
+                    d_ext = d_ext.max(d);
+                }
+            }
+            if std::env::var_os("PHEIG_DEBUG_EXT").is_some() {
+                eprintln!(
+                    "ext theta={:.4} d_m={d_m:.4} d_full={:.4} d_ext={d_ext:.4} cap_next={cap_next:.4} ext_cap={:.4} base={radius:.4} ext={:.4}",
+                    self.theta.im,
+                    dist(&refined[refined.len() - 1]),
+                    self.ext_cap,
+                    bracket(d_ext, cap_ext)
+                );
+            }
+            radius = radius.max(bracket(d_ext, cap_ext));
+        }
+        let radius = radius.max(0.0);
+        if radius <= 0.0 && std::env::var_os("PHEIG_DEBUG_RADIUS").is_some() {
+            eprintln!(
+                "radius collapse at theta={theta}: d_m={d_m:.3e} d_next={d_next:.3e} \
+                 gap_tol={gap_tol:.3e} refined={} near={} doubtful={}",
+                refined.len(),
+                self.near_estimates.len(),
+                doubtful_dists.len()
+            );
+            let mut ds: Vec<f64> = refined.iter().map(dist).collect();
+            ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            eprintln!("  refined dists: {:?}", &ds[..ds.len().min(8)]);
+            let mut ne = self.near_estimates.clone();
+            ne.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            eprintln!("  near: {:?}", &ne[..ne.len().min(8)]);
+        }
+
+        let all_converged: Vec<C64> = refined.iter().map(|e| e.lambda).collect();
+        // `refined` is already sorted by distance; keep the disk's interior
+        // by moving (not cloning) the surviving eigenpairs.
+        let in_disk: Vec<ConvergedEigenpair> = refined
+            .into_iter()
+            .filter(|e| (e.lambda - theta).abs() <= radius)
+            .collect();
+        Ok(SingleShiftOutcome {
+            theta,
+            radius,
+            in_disk,
+            all_converged,
+            matvecs: self.matvecs,
+            restarts: self.restarts,
+            warm_candidates: self.warm_candidates,
+            warm_pre_locked: self.warm_pre_locked,
+            refine_dim: mq,
+        })
+    }
 }
 
 /// Runs the single-shift iteration on a macromodel at shift
@@ -413,11 +831,22 @@ pub fn single_shift_iteration_with(
     opts: &SingleShiftOptions,
     ws: &mut ArnoldiWorkspace,
 ) -> Result<SingleShiftOutcome, ArnoldiError> {
+    single_shift_iteration_recycled_with(ss, omega, rho0, scale, opts, ws, &[])
+}
+
+/// Builds the shift-invert operator at `theta = j omega`, nudging the
+/// shift by a growing relative epsilon when it coincides with an
+/// eigenvalue (the paper's "shift on top of an eigenvalue" degeneracy).
+pub fn build_shift_invert_op(
+    ss: &StateSpace,
+    omega: f64,
+    scale: f64,
+) -> Result<ShiftInvertOp<'_>, ArnoldiError> {
     let mut theta = C64::from_imag(omega);
     let mut nudge = 1e-9 * scale.max(1.0);
-    let op = loop {
+    loop {
         match ShiftInvertOp::new(ss, theta) {
-            Ok(op) => break op,
+            Ok(op) => break Ok(op),
             Err(pheig_hamiltonian::HamiltonianError::ShiftSingular { .. }) => {
                 theta = C64::from_imag(omega + nudge);
                 nudge *= 16.0;
@@ -429,9 +858,38 @@ pub fn single_shift_iteration_with(
             }
             Err(e) => return Err(e.into()),
         }
-    };
+    }
+}
+
+/// [`single_shift_iteration_with`] with Krylov recycling: `warm` carries
+/// eigenpairs donated by already-completed nearby shifts (see
+/// [`crate::recycle::RecyclePool`]). Each candidate is validated at one
+/// operator application; converged survivors seed the deflation set, so
+/// the iteration starts from a thick, already-converged subspace instead
+/// of a random vector. An empty `warm` slice reproduces the cold
+/// iteration exactly.
+///
+/// # Errors
+///
+/// Same as [`single_shift_iteration`].
+pub fn single_shift_iteration_recycled_with(
+    ss: &StateSpace,
+    omega: f64,
+    rho0: f64,
+    scale: f64,
+    opts: &SingleShiftOptions,
+    ws: &mut ArnoldiWorkspace,
+    warm: &[RecycledPair],
+) -> Result<SingleShiftOutcome, ArnoldiError> {
+    let op = build_shift_invert_op(ss, omega, scale)?;
+    let theta = op.theta();
     let map = |mu: C64| op.to_hamiltonian_eigenvalue(mu);
-    single_shift_on_op_with(&op, &map, theta, rho0, scale, opts, ws)
+    let mut core = ShiftCore::new(op.dim(), theta, rho0, scale, opts, ws);
+    let mut apply = |x: &[C64], y: &mut [C64]| op.apply_into(x, y);
+    if !warm.is_empty() {
+        core.warm_init(warm, &mut apply, &map);
+    }
+    core.run_to_completion(&mut apply, &map)
 }
 
 /// Estimates the largest eigenvalue magnitude of an operator by restarted
@@ -606,6 +1064,69 @@ mod tests {
         assert_eq!(a.in_disk.len(), b.in_disk.len());
         for (x, y) in a.in_disk.iter().zip(&b.in_disk) {
             assert_eq!(x.lambda, y.lambda);
+        }
+    }
+
+    #[test]
+    fn recycled_warm_start_matches_cold_results() {
+        // Warm-starting from a completed neighbor's eigenpairs must not
+        // change what is found — only how much work finding it costs.
+        let model =
+            generate_case(&CaseSpec::new(16, 2).with_seed(13).with_target_crossings(2)).unwrap();
+        let ss = model.realize();
+        let scale = 12.0;
+        let opts = SingleShiftOptions::new().with_seed(5);
+        let mut ws = ArnoldiWorkspace::new();
+        let donor = single_shift_iteration_with(&ss, 2.0, 1.0, scale, &opts, &mut ws).unwrap();
+        let mut pool = crate::recycle::RecyclePool::new();
+        pool.record(2.0, &donor);
+        let cold = single_shift_iteration_with(&ss, 2.4, 1.0, scale, &opts, &mut ws).unwrap();
+        let warm = pool.gather(C64::from_imag(2.4), 2.0, 8);
+        assert!(!warm.is_empty(), "donor disk should donate candidates");
+        let recycled =
+            single_shift_iteration_recycled_with(&ss, 2.4, 1.0, scale, &opts, &mut ws, &warm)
+                .unwrap();
+        assert!(recycled.warm_candidates > 0);
+        assert!(
+            recycled.warm_pre_locked > 0,
+            "exact eigenvectors must pre-lock"
+        );
+        // On a model this small one cold round already converges the
+        // collect target, so recycling cannot save rounds — but it must
+        // never cost more than the per-candidate validation matvecs.
+        assert!(
+            recycled.matvecs <= cold.matvecs + recycled.warm_candidates,
+            "recycling overhead beyond validation cost: {} vs {} (+{} candidates)",
+            recycled.matvecs,
+            cold.matvecs,
+            recycled.warm_candidates
+        );
+        // Identical eigenvalue content inside the common certified disk.
+        let r = cold.radius.min(recycled.radius) * 0.999;
+        for e in cold.in_disk.iter() {
+            if (e.lambda - cold.theta).abs() >= r {
+                continue;
+            }
+            assert!(
+                recycled
+                    .in_disk
+                    .iter()
+                    .any(|f| (f.lambda - e.lambda).abs() < 1e-6 * scale),
+                "cold eigenvalue {} missing from recycled run",
+                e.lambda
+            );
+        }
+        for e in recycled.in_disk.iter() {
+            if (e.lambda - recycled.theta).abs() >= r {
+                continue;
+            }
+            assert!(
+                cold.in_disk
+                    .iter()
+                    .any(|f| (f.lambda - e.lambda).abs() < 1e-6 * scale),
+                "recycled eigenvalue {} missing from cold run",
+                e.lambda
+            );
         }
     }
 

@@ -13,6 +13,14 @@
 //! speedup). All v1 fields are unchanged, so downstream diffs remain
 //! readable.
 //!
+//! Schema v3: `solver_sweep` rows add the Krylov-recycling telemetry
+//! (`warm_started_shifts`, `recycle_hit_rate`, `matvecs_per_shift`) and
+//! pipeline rows add per-stage recycle counters (characterization sweep
+//! and enforcement re-sweeps separately). Setting `PHEIG_NO_RECYCLE=1`
+//! benches the cold path — rows then carry `"recycling": false` so cold
+//! and warm trajectories are never diffed against each other. All v2
+//! fields are unchanged.
+//!
 //! A counting global allocator measures steady-state heap allocations per
 //! operator application — the quantity the allocation-free hot-path
 //! contract pins to zero.
@@ -36,7 +44,7 @@
 
 use pheig_core::exec::{self, Executor};
 use pheig_core::pipeline::{run_batch, Pipeline, PipelineOptions};
-use pheig_core::solver::{find_imaginary_eigenvalues, SolverOptions};
+use pheig_core::solver::{find_imaginary_eigenvalues, RecycleCounters, SolverOptions};
 use pheig_hamiltonian::{CLinearOp, HamiltonianOp, ShiftInvertOp};
 use pheig_linalg::C64;
 use pheig_model::generator::{generate_case, CaseSpec};
@@ -101,6 +109,14 @@ struct SolverRow {
     /// has CPUs: the wall time is then advisory (it measures
     /// oversubscription, not parallel speedup).
     cpus_limited: bool,
+    /// `false` when `PHEIG_NO_RECYCLE` forced the cold path.
+    recycling: bool,
+    /// Shifts that started with at least one recycled warm candidate.
+    warm_started_shifts: usize,
+    /// Fraction of validated recycled candidates that locked immediately.
+    recycle_hit_rate: f64,
+    /// `total_matvecs / shifts` — the per-shift cost recycling targets.
+    matvecs_per_shift: f64,
 }
 
 /// Host provenance recorded in every report (schema v2) so the perf
@@ -241,23 +257,32 @@ fn bench_hamiltonian(sizes: &[usize], p: usize) -> Vec<ApplyRow> {
 
 fn bench_solver(host_cpus: usize) -> Vec<SolverRow> {
     let (n, p) = (96, 3);
+    // Kill switch for the warm path: `PHEIG_NO_RECYCLE=1` benches the cold
+    // sweep (same knob `SolverOptions::with_recycling(false)` exposes).
+    let recycling = std::env::var_os("PHEIG_NO_RECYCLE").is_none();
     let ss = generate_case(&CaseSpec::new(n, p).with_seed(7).with_target_crossings(4))
         .unwrap()
         .realize();
     [1usize, 4]
         .iter()
         .map(|&threads| {
-            let opts = SolverOptions::default().with_threads(threads);
+            let opts = SolverOptions::default()
+                .with_threads(threads)
+                .with_recycling(recycling);
             let t0 = Instant::now();
             let out = find_imaginary_eigenvalues(&ss, &opts).unwrap();
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
             let cpus_limited = threads > host_cpus;
+            let shifts = out.shift_log.len();
             eprintln!(
                 "solver_sweep n={n} p={p} T={threads}: {wall_ms:.1} ms, \
-                 {} matvecs, {} shifts, {} crossings{}",
+                 {} matvecs, {} shifts, {} crossings, {} warm-started \
+                 (hit rate {:.2}){}",
                 out.stats.total_matvecs,
-                out.shift_log.len(),
+                shifts,
                 out.frequencies.len(),
+                out.stats.warm_started_shifts,
+                out.stats.recycle_hit_rate(),
                 if cpus_limited {
                     " (advisory: more threads than CPUs)"
                 } else {
@@ -270,9 +295,13 @@ fn bench_solver(host_cpus: usize) -> Vec<SolverRow> {
                 threads,
                 wall_ms,
                 total_matvecs: out.stats.total_matvecs,
-                shifts: out.shift_log.len(),
+                shifts,
                 crossings: out.frequencies.len(),
                 cpus_limited,
+                recycling,
+                warm_started_shifts: out.stats.warm_started_shifts,
+                recycle_hit_rate: out.stats.recycle_hit_rate(),
+                matvecs_per_shift: out.stats.total_matvecs as f64 / shifts.max(1) as f64,
             }
         })
         .collect()
@@ -302,6 +331,20 @@ struct PipelineRow {
     bands_after: usize,
     speedup_vs_t1: f64,
     virtual_speedup_vs_t1: f64,
+    /// Characterization-stage recycling telemetry, summed over the jobs.
+    sweep_recycle: RecycleCounters,
+    /// Enforcement-stage recycling telemetry (re-characterization sweeps),
+    /// summed over the jobs.
+    enforce_recycle: RecycleCounters,
+}
+
+/// Sums two stage tallies (aggregation across batch jobs).
+fn merge(a: &mut RecycleCounters, b: &RecycleCounters) {
+    a.sweeps += b.sweeps;
+    a.matvecs += b.matvecs;
+    a.warm_started_shifts += b.warm_started_shifts;
+    a.recycle_candidates += b.recycle_candidates;
+    a.recycle_hits += b.recycle_hits;
 }
 
 /// Greedy replay of the batch cohort's pull discipline with `threads`
@@ -324,7 +367,10 @@ fn virtual_makespan(job_costs_ms: &[f64], threads: usize) -> f64 {
 /// non-passive deck end to end, then a small batch (all-passive plus the
 /// non-passive deck) on 1 and 4 workers of the persistent executor.
 fn bench_pipeline() -> Vec<PipelineRow> {
-    let opts = PipelineOptions::default();
+    let mut opts = PipelineOptions::default();
+    if std::env::var_os("PHEIG_NO_RECYCLE").is_some() {
+        opts.solver = opts.solver.with_recycling(false);
+    }
     let mut rows = Vec::new();
 
     // Single model with enforcement (the canonical non-passive demo case).
@@ -352,6 +398,12 @@ fn bench_pipeline() -> Vec<PipelineRow> {
         bands_after: report.residual_violations(),
         speedup_vs_t1: 1.0,
         virtual_speedup_vs_t1: 1.0,
+        sweep_recycle: report.sweep.recycle,
+        enforce_recycle: report
+            .enforcement
+            .as_ref()
+            .map(|e| e.recycle)
+            .unwrap_or_default(),
     };
     eprintln!(
         "pipeline {}: parse {:.1} ms, fit {:.1} ms, sweep {:.1} ms, enforce {:.1} ms \
@@ -396,6 +448,8 @@ fn bench_pipeline() -> Vec<PipelineRow> {
         let mut crossings_before = 0;
         let mut bands_after = 0;
         let mut job_costs: Vec<f64> = Vec::new();
+        let mut sweep_recycle = RecycleCounters::default();
+        let mut enforce_recycle = RecycleCounters::default();
         for result in &results {
             let report = &result.as_ref().expect("checked above").report;
             fit_ms += report.fit.wall.as_secs_f64() * 1e3;
@@ -407,6 +461,10 @@ fn bench_pipeline() -> Vec<PipelineRow> {
             crossings_before += report.sweep.crossings;
             bands_after += report.residual_violations();
             job_costs.push(report.wall.as_secs_f64() * 1e3);
+            merge(&mut sweep_recycle, &report.sweep.recycle);
+            if let Some(e) = &report.enforcement {
+                merge(&mut enforce_recycle, &e.recycle);
+            }
         }
         if batch_threads == 1 {
             t1_total_ms = total_ms;
@@ -434,6 +492,8 @@ fn bench_pipeline() -> Vec<PipelineRow> {
             bands_after,
             speedup_vs_t1,
             virtual_speedup_vs_t1,
+            sweep_recycle,
+            enforce_recycle,
         });
     }
     let stats = Executor::pool(3).stats();
@@ -447,6 +507,19 @@ fn bench_pipeline() -> Vec<PipelineRow> {
     rows
 }
 
+fn recycle_json(r: &RecycleCounters) -> String {
+    format!(
+        "{{\"sweeps\": {}, \"matvecs\": {}, \"warm_started_shifts\": {}, \
+         \"recycle_candidates\": {}, \"recycle_hits\": {}, \"hit_rate\": {:.2}}}",
+        r.sweeps,
+        r.matvecs,
+        r.warm_started_shifts,
+        r.recycle_candidates,
+        r.recycle_hits,
+        r.hit_rate()
+    )
+}
+
 fn pipeline_rows_json(rows: &[PipelineRow]) -> String {
     let items: Vec<String> = rows
         .iter()
@@ -456,7 +529,8 @@ fn pipeline_rows_json(rows: &[PipelineRow]) -> String {
                  \"parse_ms\": {:.2}, \"fit_ms\": {:.2}, \"sweep_ms\": {:.2}, \
                  \"enforce_ms\": {:.2}, \"total_ms\": {:.2}, \
                  \"crossings_before\": {}, \"bands_after\": {}, \
-                 \"speedup_vs_t1\": {:.2}, \"virtual_speedup_vs_t1\": {:.2}}}",
+                 \"speedup_vs_t1\": {:.2}, \"virtual_speedup_vs_t1\": {:.2}, \
+                 \"sweep_recycle\": {}, \"enforce_recycle\": {}}}",
                 r.label,
                 r.jobs,
                 r.batch_threads,
@@ -468,7 +542,9 @@ fn pipeline_rows_json(rows: &[PipelineRow]) -> String {
                 r.crossings_before,
                 r.bands_after,
                 r.speedup_vs_t1,
-                r.virtual_speedup_vs_t1
+                r.virtual_speedup_vs_t1,
+                recycle_json(&r.sweep_recycle),
+                recycle_json(&r.enforce_recycle)
             )
         })
         .collect();
@@ -496,7 +572,9 @@ fn solver_rows_json(rows: &[SolverRow]) -> String {
             format!(
                 "    {{\"n\": {}, \"p\": {}, \"threads\": {}, \"wall_ms\": {:.1}, \
                  \"total_matvecs\": {}, \"shifts\": {}, \"crossings\": {}, \
-                 \"cpus_limited\": {}}}",
+                 \"cpus_limited\": {}, \"recycling\": {}, \
+                 \"warm_started_shifts\": {}, \"recycle_hit_rate\": {:.2}, \
+                 \"matvecs_per_shift\": {:.1}}}",
                 r.n,
                 r.p,
                 r.threads,
@@ -504,7 +582,11 @@ fn solver_rows_json(rows: &[SolverRow]) -> String {
                 r.total_matvecs,
                 r.shifts,
                 r.crossings,
-                r.cpus_limited
+                r.cpus_limited,
+                r.recycling,
+                r.warm_started_shifts,
+                r.recycle_hit_rate,
+                r.matvecs_per_shift
             )
         })
         .collect();
@@ -599,7 +681,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"pheig-bench-quick/v2\",\n  \"profile\": \"{}\",\n  {},\n  \
+        "{{\n  \"schema\": \"pheig-bench-quick/v3\",\n  \"profile\": \"{}\",\n  {},\n  \
          \"shift_invert_apply\": [\n{}\n  ],\n  \"hamiltonian_matvec\": [\n{}\n  ],\n  \
          \"solver_sweep\": [\n{}\n  ]\n}}\n",
         if cfg!(debug_assertions) {
@@ -617,7 +699,7 @@ fn main() {
 
     let pipeline = bench_pipeline();
     let pipeline_json = format!(
-        "{{\n  \"schema\": \"pheig-bench-pipeline/v2\",\n  \"profile\": \"{}\",\n  {},\n  \
+        "{{\n  \"schema\": \"pheig-bench-pipeline/v3\",\n  \"profile\": \"{}\",\n  {},\n  \
          \"pipeline\": [\n{}\n  ]\n}}\n",
         if cfg!(debug_assertions) {
             "debug"

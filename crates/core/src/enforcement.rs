@@ -91,6 +91,10 @@ pub struct EnforcementOutcome {
     pub final_report: PassivityReport,
     /// Frobenius norm of the total applied `Delta C`.
     pub delta_c_norm: f64,
+    /// Recycling telemetry aggregated over this stage's own sweeps (the
+    /// seeded characterization is counted by its originating stage; failed
+    /// whole-loop retries are not counted).
+    pub recycle: crate::solver::RecycleCounters,
 }
 
 /// First-order displacement sensitivity of one imaginary eigenvalue with
@@ -359,6 +363,7 @@ fn enforce_once(
     let p = ss.ports();
     let (r_inv, s_inv) = port_coupling_inverses(ss.d())?;
     let mut current = ss.clone();
+    let mut recycle = crate::solver::RecycleCounters::default();
     let (mut outcome, initial_report) = match seed {
         Some((outcome, report)) => (outcome.clone(), report.clone()),
         None => {
@@ -368,6 +373,7 @@ fn enforce_once(
                 solver_ws,
                 SweepOrigin::Enforcement,
             )?;
+            recycle.absorb(&outcome.stats);
             let report = characterize(&current, &outcome.frequencies)?;
             (outcome, report)
         }
@@ -407,6 +413,7 @@ fn enforce_once(
                 initial_report,
                 final_report: report,
                 delta_c_norm: delta,
+                recycle,
             });
         }
         let match_tol = 1e-6 * outcome.band.1.max(1.0);
@@ -566,6 +573,7 @@ fn enforce_once(
                 solver_ws,
                 SweepOrigin::Enforcement,
             )?;
+            recycle.absorb(&trial_outcome.stats);
             let trial_report = characterize(&trial, &trial_outcome.frequencies)?;
             if opts.trace {
                 eprintln!(
@@ -612,6 +620,7 @@ fn enforce_once(
             initial_report,
             final_report: report,
             delta_c_norm: delta,
+            recycle,
         });
     }
     Err(SolverError::EnforcementStalled {

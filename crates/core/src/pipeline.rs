@@ -31,7 +31,9 @@ use crate::enforcement::EnforcementOptions;
 use crate::error::SolverError;
 use crate::exec::{Executor, Task, TaskContext};
 use crate::scheduler::SchedulerStats;
-use crate::solver::{find_imaginary_eigenvalues_with, ShiftRecord, SolverOptions, SolverWorkspace};
+use crate::solver::{
+    find_imaginary_eigenvalues_with, RecycleCounters, ShiftRecord, SolverOptions, SolverWorkspace,
+};
 use parking_lot::Mutex;
 use pheig_model::touchstone::{read_touchstone, read_touchstone_path};
 use pheig_model::{FrequencySamples, PoleResidueModel, StateSpace};
@@ -117,6 +119,8 @@ pub struct SweepDiagnostics {
     pub total_matvecs: usize,
     /// Per-shift telemetry in deterministic (frequency) order.
     pub shift_log: Vec<ShiftRecord>,
+    /// Recycling telemetry of this stage's sweep.
+    pub recycle: RecycleCounters,
     /// Wall-clock time of the sweep.
     pub wall: Duration,
 }
@@ -129,6 +133,9 @@ pub struct EnforcementDiagnostics {
     pub iterations: usize,
     /// Frobenius norm of the total applied residue perturbation.
     pub delta_c_norm: f64,
+    /// Recycling telemetry aggregated over the stage's re-characterization
+    /// sweeps.
+    pub recycle: RecycleCounters,
     /// Wall-clock time of the enforcement loop.
     pub wall: Duration,
 }
@@ -174,12 +181,13 @@ impl fmt::Display for PipelineReport {
         writeln!(
             f,
             "sweep:     {} crossing(s) on [{:.4}, {:.4}], {} shift(s), {} matvecs, \
-             {} deleted tentative ({:.1} ms)",
+             {} warm-started, {} deleted tentative ({:.1} ms)",
             self.sweep.crossings,
             self.sweep.band.0,
             self.sweep.band.1,
             self.sweep.shift_log.len(),
             self.sweep.total_matvecs,
+            self.sweep.recycle.warm_started_shifts,
             self.sweep.scheduler.deleted_tentative,
             self.sweep.wall.as_secs_f64() * 1e3
         )?;
@@ -336,6 +344,11 @@ impl Pipeline {
             scheduler: outcome.stats.scheduler,
             total_matvecs: outcome.stats.total_matvecs,
             shift_log: outcome.shift_log.clone(),
+            recycle: {
+                let mut r = RecycleCounters::default();
+                r.absorb(&outcome.stats);
+                r
+            },
             wall: t_sweep.elapsed(),
         };
 
@@ -358,6 +371,7 @@ impl Pipeline {
             let diag = EnforcementDiagnostics {
                 iterations: enforced.iterations,
                 delta_c_norm: enforced.delta_c_norm,
+                recycle: enforced.recycle,
                 wall: t_enf.elapsed(),
             };
             (enforced.state_space, Some(diag), enforced.final_report)

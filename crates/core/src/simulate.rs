@@ -143,7 +143,10 @@ pub fn simulate_parallel(
         while idle > 0 {
             match scheduler.next_shift() {
                 Some(task) => {
-                    let outcome = run_shift(ss, &task, scale, opts, &mut ws)?;
+                    // The simulator's cost model is cold-start by design:
+                    // virtual-time speedup curves must not depend on the
+                    // completion-order-dependent recycling pool.
+                    let outcome = run_shift(ss, &task, scale, opts, &mut ws, &[])?;
                     let cost = cost_units(&outcome);
                     total_cost += cost;
                     heap.push(Reverse(Event {

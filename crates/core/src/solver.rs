@@ -16,7 +16,12 @@ use crate::scheduler::{Scheduler, SchedulerStats, ShiftTask};
 use crate::spectrum::{self, ImaginaryEigenpair};
 use parking_lot::{Condvar, Mutex};
 use pheig_arnoldi::single_shift::SingleShiftOutcome;
-use pheig_arnoldi::{single_shift_iteration_with, ArnoldiWorkspace, SingleShiftOptions};
+use pheig_arnoldi::{
+    block_shift_sweep, build_shift_invert_op, single_shift_iteration_recycled_with, ArnoldiError,
+    ArnoldiWorkspace, BlockLaneSpec, RecyclePool, RecycledPair, SingleShiftOptions,
+};
+use pheig_hamiltonian::MultiShiftInvertOp;
+use pheig_linalg::C64;
 use pheig_model::StateSpace;
 use std::time::{Duration, Instant};
 
@@ -64,6 +69,13 @@ pub struct SolverOptions {
     pub seed: u64,
     /// Reseeded retries when a single-shift iteration fails to certify.
     pub max_shift_retries: usize,
+    /// Krylov recycling across the shifts of one sweep: converged Ritz
+    /// vectors of completed disks warm-start nearby shifts (kill switch
+    /// for A/B measurement; on by default).
+    pub recycling: bool,
+    /// Maximum shifts batched into one lockstep block solve; `1` runs
+    /// every shift solo (the pre-batching behavior).
+    pub block_size: usize,
 }
 
 impl SolverOptions {
@@ -77,12 +89,26 @@ impl SolverOptions {
             band: None,
             seed: 0,
             max_shift_retries: 4,
+            recycling: true,
+            block_size: 4,
         }
     }
 
     /// Sets the worker thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables Krylov recycling across shifts.
+    pub fn with_recycling(mut self, recycling: bool) -> Self {
+        self.recycling = recycling;
+        self
+    }
+
+    /// Sets the block-solve batch width (`1` disables batching).
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size.max(1);
         self
     }
 
@@ -119,6 +145,10 @@ pub struct ShiftRecord {
     /// Deterministic cost units (matvecs + 3 per restart) used by the
     /// virtual-time simulator.
     pub cost_units: u64,
+    /// Recycled warm-start candidates validated for this shift.
+    pub warm_candidates: usize,
+    /// Warm candidates that locked immediately (one matvec each).
+    pub warm_pre_locked: usize,
     /// Wall-clock time of the iteration.
     pub wall: Duration,
 }
@@ -130,8 +160,62 @@ pub struct SolverStats {
     pub scheduler: SchedulerStats,
     /// Total operator applications across all shifts.
     pub total_matvecs: usize,
+    /// Shifts that started with at least one recycled warm candidate.
+    pub warm_started_shifts: usize,
+    /// Recycled candidates validated across all shifts.
+    pub recycle_candidates: usize,
+    /// Recycled candidates that locked immediately (warm hits).
+    pub recycle_hits: usize,
     /// End-to-end wall time.
     pub wall: Duration,
+}
+
+impl SolverStats {
+    /// Fraction of validated recycled candidates that locked immediately.
+    pub fn recycle_hit_rate(&self) -> f64 {
+        if self.recycle_candidates == 0 {
+            0.0
+        } else {
+            self.recycle_hits as f64 / self.recycle_candidates as f64
+        }
+    }
+}
+
+/// Recycling telemetry aggregated across the sweeps of one pipeline stage
+/// (the characterization stage runs one sweep; enforcement runs one per
+/// accepted or rejected trial step).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecycleCounters {
+    /// Sweeps folded into this tally.
+    pub sweeps: usize,
+    /// Operator applications across those sweeps.
+    pub matvecs: usize,
+    /// Shifts that started with at least one recycled warm candidate.
+    pub warm_started_shifts: usize,
+    /// Recycled candidates validated (one matvec each).
+    pub recycle_candidates: usize,
+    /// Candidates that locked immediately.
+    pub recycle_hits: usize,
+}
+
+impl RecycleCounters {
+    /// Folds one sweep's statistics into the stage tally.
+    pub fn absorb(&mut self, stats: &SolverStats) {
+        self.sweeps += 1;
+        self.matvecs += stats.total_matvecs;
+        self.warm_started_shifts += stats.warm_started_shifts;
+        self.recycle_candidates += stats.recycle_candidates;
+        self.recycle_hits += stats.recycle_hits;
+    }
+
+    /// Fraction of validated candidates that locked immediately.
+    pub fn hit_rate(&self) -> f64 {
+        if self.recycle_candidates == 0 {
+            0.0
+        } else {
+            self.recycle_hits as f64 / self.recycle_candidates as f64
+        }
+    }
 }
 
 /// Result of a full band sweep.
@@ -151,7 +235,13 @@ pub struct SolverOutcome {
 
 /// Deterministic cost model shared with the simulator.
 pub(crate) fn cost_units(out: &SingleShiftOutcome) -> u64 {
-    (out.matvecs + 3 * out.restarts) as u64
+    // The refinement applies no operator (its images are cached or
+    // reconstructed from the Arnoldi build identity), but its projected
+    // eigenproblem and reconstructions still cost wall time that grows
+    // with the locked-subspace dimension; charge half a unit per basis
+    // vector. This also keeps the modeled work seed-sensitive — how many
+    // duplicate/extra shells lock depends on the random start vector.
+    (out.matvecs + 3 * out.restarts) as u64 + (out.refine_dim as u64).div_ceil(2)
 }
 
 /// Runs one shift task with reseeded retries.
@@ -168,6 +258,7 @@ pub(crate) fn run_shift(
     scale_floor: f64,
     opts: &SolverOptions,
     ws: &mut ArnoldiWorkspace,
+    warm: &[RecycledPair],
 ) -> Result<SingleShiftOutcome, SolverError> {
     // Tolerances must track the *local* magnitude: the global spectral
     // radius of M can exceed the pole band by orders of magnitude (large
@@ -193,7 +284,19 @@ pub(crate) fn run_shift(
             k => task.rho0 * 0.017 * k as f64 * if k % 2 == 0 { -1.0 } else { 1.0 },
         };
         let omega = (task.omega + nudge).max(0.0);
-        match single_shift_iteration_with(ss, omega, task.rho0, scale, &aopts, ws) {
+        // Warm candidates apply to the first attempt only: a warm attempt
+        // that failed to certify retries cold (the recycled vectors did
+        // not help, and the nudged shift invalidates their distances).
+        let attempt_warm = if attempt == 0 { warm } else { &[] };
+        match single_shift_iteration_recycled_with(
+            ss,
+            omega,
+            task.rho0,
+            scale,
+            &aopts,
+            ws,
+            attempt_warm,
+        ) {
             Ok(out) if out.radius > min_radius => return Ok(out),
             Ok(out) => last = format!("radius {} below resolution", out.radius),
             Err(e) => last = e.to_string(),
@@ -203,6 +306,21 @@ pub(crate) fn run_shift(
         omega: task.omega,
         reason: last,
     })
+}
+
+/// Gathers recycled warm-start candidates for a pending shift.
+///
+/// Reach slightly exceeds the initial radius guess (candidates just
+/// outside the expected disk still cap the certificate via near-miss
+/// estimates); the cap is the per-shift collect target plus slack,
+/// rounded up to even so Hamiltonian mirror pairs are never split.
+fn gather_warm(pool: &RecyclePool, task: &ShiftTask, opts: &SolverOptions) -> Vec<RecycledPair> {
+    if !opts.recycling {
+        return Vec::new();
+    }
+    let reach = task.rho0 * 1.25;
+    let cap = (opts.arnoldi.n_eigs + 4) & !1;
+    pool.gather(C64::from_imag(task.omega), reach, cap)
 }
 
 /// Classification tolerance for "purely imaginary": a safety factor above
@@ -240,20 +358,37 @@ fn assemble(
     let mut all_pairs = Vec::new();
     let mut shift_log = Vec::with_capacity(completions.len());
     let mut total_matvecs = 0usize;
+    let mut warm_started_shifts = 0usize;
+    let mut recycle_candidates = 0usize;
+    let mut recycle_hits = 0usize;
     for (_task, out, shift_wall) in completions {
         total_matvecs += out.matvecs;
+        warm_started_shifts += usize::from(out.warm_candidates > 0);
+        recycle_candidates += out.warm_candidates;
+        recycle_hits += out.warm_pre_locked;
         shift_log.push(ShiftRecord {
             omega: out.theta.im,
             radius: out.radius,
             matvecs: out.matvecs,
             restarts: out.restarts,
             cost_units: cost_units(&out),
+            warm_candidates: out.warm_candidates,
+            warm_pre_locked: out.warm_pre_locked,
             wall: shift_wall,
         });
         all_pairs.extend(out.in_disk);
     }
     let eigs = spectrum::extract_imaginary(&all_pairs, axis_tol);
-    let eigenpairs = spectrum::dedupe(eigs, axis_tol.max(1e-12 * scale));
+    let mut eigenpairs = spectrum::dedupe(eigs, axis_tol.max(1e-12 * scale));
+    // Certified disks may extend well past the requested band —
+    // warm-started certificates especially, since donated far pairs
+    // widen them — and everything inside a disk is a true eigenvalue.
+    // But a caller who restricted the band asked about that band:
+    // report crossings only up to half a band-width past the top edge
+    // (the documented "disks slightly overshoot" slack). The disks
+    // themselves stay in `shift_log`, so coverage checks are unchanged.
+    let report_cap = band.1 + 0.5 * (band.1 - band.0);
+    eigenpairs.retain(|e| e.lambda.im <= report_cap);
     let frequencies = spectrum::frequencies(&eigenpairs);
     SolverOutcome {
         frequencies,
@@ -263,6 +398,9 @@ fn assemble(
         stats: SolverStats {
             scheduler: sched_stats,
             total_matvecs,
+            warm_started_shifts,
+            recycle_candidates,
+            recycle_hits,
             wall,
         },
     }
@@ -341,7 +479,7 @@ pub(crate) fn find_imaginary_eigenvalues_tagged(
     let scale = pole_scale(ss);
 
     let (completions, sched_stats) = if opts.threads <= 1 {
-        run_serial(ss, scheduler, scale, opts, &mut ws.ensure_threads(1)[0])?
+        run_serial(ss, scheduler, scale, opts, ws)?
     } else {
         run_parallel(ss, scheduler, scale, opts, ws, origin)?
     };
@@ -374,26 +512,50 @@ type Completions = Vec<(ShiftTask, SingleShiftOutcome, Duration)>;
 
 fn run_serial(
     ss: &StateSpace,
-    mut scheduler: Scheduler,
+    scheduler: Scheduler,
     scale: f64,
     opts: &SolverOptions,
-    ws: &mut ArnoldiWorkspace,
+    ws: &mut SolverWorkspace,
 ) -> Result<(Completions, SchedulerStats), SolverError> {
-    let mut completions = Vec::new();
-    while let Some(task) = scheduler.next_shift() {
-        let started = Instant::now();
-        let out = run_shift(ss, &task, scale, opts, ws)?;
-        scheduler.complete(&task, out.theta.im, out.radius);
-        completions.push((task, out, started.elapsed()));
+    // The serial driver is one inline membership of the same sweep loop
+    // the parallel cohort runs: identical batching, recycling, and
+    // cancellation logic, with the mutex never contended.
+    let shared = Mutex::new(SharedState::new(scheduler));
+    let cv = Condvar::new();
+    let share = SweepShare {
+        ss,
+        scale,
+        opts,
+        shared: &shared,
+        cv: &cv,
+        origin: SweepOrigin::Characterization,
+    };
+    share.run(&mut TaskContext::new(ws));
+    let state = shared.into_inner();
+    if let Some(e) = state.error {
+        return Err(e);
     }
-    debug_assert!(scheduler.is_done());
-    Ok((completions, scheduler.stats()))
+    debug_assert!(state.scheduler.is_done());
+    let stats = state.scheduler.stats();
+    Ok((state.completions, stats))
 }
 
 struct SharedState {
     scheduler: Scheduler,
+    pool: RecyclePool,
     completions: Completions,
     error: Option<SolverError>,
+}
+
+impl SharedState {
+    fn new(scheduler: Scheduler) -> Self {
+        SharedState {
+            scheduler,
+            pool: RecyclePool::new(),
+            completions: Vec::new(),
+            error: None,
+        }
+    }
 }
 
 /// Shared state of one multi-shift sweep cohort: the scheduler (and its
@@ -414,44 +576,198 @@ impl SweepShare<'_> {
         self.origin
     }
 
-    /// One cohort membership: pull shifts until the scheduler is done or
-    /// an error is recorded. This is Sec. IV.C's idle-worker loop; a
-    /// member finding the queue momentarily empty *waits* (another
-    /// member's completion may split intervals and refill it) and wakes
-    /// on every completion.
+    /// One cohort membership: pull batches of shifts until the scheduler
+    /// is done or an error is recorded. This is Sec. IV.C's idle-worker
+    /// loop; a member finding the queue momentarily empty *waits*
+    /// (another member's completion may split intervals and refill it)
+    /// and wakes on every completion.
+    ///
+    /// Each pull takes up to `block_size` pending shifts in one lock
+    /// acquisition, together with their recycled warm-start candidates,
+    /// then runs them as one lockstep block solve outside the lock.
     pub(crate) fn run(&self, ctx: &mut TaskContext<'_>) {
-        let ws = &mut ctx.workspace.ensure_threads(1)[0];
+        let block_cap = self.opts.block_size.max(1);
         loop {
-            let task = {
+            let (batch, warms) = {
                 let mut guard = self.shared.lock();
                 loop {
                     if guard.error.is_some() || guard.scheduler.is_done() {
                         self.cv.notify_all();
                         return;
                     }
-                    if let Some(t) = guard.scheduler.next_shift() {
-                        break t;
+                    if let Some(first) = guard.scheduler.next_shift() {
+                        let mut batch = vec![first];
+                        // Progressive batching: a batch pull commits every
+                        // lane *before* its neighbors' results can donate,
+                        // so batching ahead of a young pool re-spends the
+                        // matvecs recycling would have saved. Widen the
+                        // block only as donors accumulate (cap `1 + donors`
+                        // — the cold sweep opener always runs solo).
+                        let donor_cap = if self.opts.recycling {
+                            1 + guard.pool.len()
+                        } else {
+                            usize::MAX
+                        };
+                        while batch.len() < block_cap.min(donor_cap) {
+                            match guard.scheduler.next_shift() {
+                                Some(t) => batch.push(t),
+                                None => break,
+                            }
+                        }
+                        let warms: Vec<Vec<RecycledPair>> = batch
+                            .iter()
+                            .map(|t| gather_warm(&guard.pool, t, self.opts))
+                            .collect();
+                        break (batch, warms);
                     }
                     self.cv.wait(&mut guard);
                 }
             };
-            let started = Instant::now();
-            let result = run_shift(self.ss, &task, self.scale, self.opts, ws);
-            let mut guard = self.shared.lock();
-            match result {
-                Ok(out) => {
-                    guard.scheduler.complete(&task, out.theta.im, out.radius);
-                    guard.completions.push((task, out, started.elapsed()));
+            let lane_ws = ctx.workspace.ensure_threads(batch.len());
+            if batch.len() == 1 {
+                self.run_solo(&batch[0], &warms[0], &mut lane_ws[0]);
+            } else {
+                self.run_block(&batch, warms, lane_ws);
+            }
+        }
+    }
+
+    /// Runs one shift solo (with retries) and records the result.
+    ///
+    /// A finished solo result is always *completed*, never cancelled: at
+    /// completion time the work is already spent, and a certified disk is
+    /// always sound to hand the scheduler — cancellation only pays when
+    /// it aborts a shift early (the block driver's round-boundary polls).
+    fn run_solo(&self, task: &ShiftTask, warm: &[RecycledPair], ws: &mut ArnoldiWorkspace) {
+        let started = Instant::now();
+        let result = run_shift(self.ss, task, self.scale, self.opts, ws, warm);
+        let mut guard = self.shared.lock();
+        match result {
+            Ok(out) => {
+                guard.scheduler.complete(task, out.theta.im, out.radius);
+                if self.opts.recycling {
+                    guard.pool.record(out.theta.im, &out);
                 }
-                Err(e) => {
-                    if guard.error.is_none() {
-                        guard.error = Some(e);
+                guard
+                    .completions
+                    .push((task.clone(), out, started.elapsed()));
+            }
+            Err(e) => {
+                if guard.error.is_none() {
+                    guard.error = Some(e);
+                }
+            }
+        }
+        drop(guard);
+        self.cv.notify_all();
+    }
+
+    /// Runs a batch of shifts as one lockstep block solve; lanes that
+    /// fail (below-resolution radius, Arnoldi failure) fall back to the
+    /// solo retry path, and lanes whose interval a sibling's completion
+    /// covered are cancelled at their next round boundary.
+    fn run_block(
+        &self,
+        batch: &[ShiftTask],
+        warms: Vec<Vec<RecycledPair>>,
+        lane_ws: &mut [ArnoldiWorkspace],
+    ) {
+        let failed = match self.try_block(batch, warms, lane_ws) {
+            Some(failed) => failed,
+            // Lane operator construction failed (irreparably singular
+            // shift): run every lane through the solo retry path.
+            None => (0..batch.len()).collect(),
+        };
+        for l in failed {
+            let task = &batch[l];
+            let warm = {
+                let mut guard = self.shared.lock();
+                if guard.error.is_some() {
+                    return;
+                }
+                // A sibling's completion may have covered this lane while
+                // the block ran; drop the redundant retry.
+                if guard.scheduler.should_cancel(task.id) {
+                    guard.scheduler.cancel(task);
+                    drop(guard);
+                    self.cv.notify_all();
+                    continue;
+                }
+                gather_warm(&guard.pool, task, self.opts)
+            };
+            self.run_solo(task, &warm, &mut lane_ws[0]);
+        }
+    }
+
+    /// Attempts the batched block solve proper. Returns the lanes needing
+    /// a solo fallback, or `None` when a lane operator could not be built
+    /// (then *every* lane still needs running).
+    fn try_block(
+        &self,
+        batch: &[ShiftTask],
+        warms: Vec<Vec<RecycledPair>>,
+        lane_ws: &mut [ArnoldiWorkspace],
+    ) -> Option<Vec<usize>> {
+        let started = Instant::now();
+        let mut lane_ops = Vec::with_capacity(batch.len());
+        for task in batch {
+            let lane_scale = task.omega.abs().max(self.scale);
+            lane_ops.push(build_shift_invert_op(self.ss, task.omega, lane_scale).ok()?);
+        }
+        let block = MultiShiftInvertOp::from_ops(lane_ops);
+        let specs: Vec<BlockLaneSpec> = batch
+            .iter()
+            .zip(warms)
+            .map(|(task, warm)| {
+                // First-attempt seed of `run_shift`'s retry loop: a cold
+                // block lane is bitwise identical to solo attempt 0.
+                let seed = self
+                    .opts
+                    .seed
+                    .wrapping_add((task.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                BlockLaneSpec {
+                    rho0: task.rho0,
+                    scale: task.omega.abs().max(self.scale),
+                    opts: self.opts.arnoldi.clone().with_seed(seed),
+                    warm,
+                }
+            })
+            .collect();
+        let mut failed: Vec<usize> = Vec::new();
+        let mut should_cancel = |l: usize| self.shared.lock().scheduler.should_cancel(batch[l].id);
+        let mut on_complete = |l: usize, res: Result<SingleShiftOutcome, ArnoldiError>| {
+            let task = &batch[l];
+            let mut guard = self.shared.lock();
+            match res {
+                Ok(out) => {
+                    let lane_scale = task.omega.abs().max(self.scale);
+                    let min_radius = 1e-12 * lane_scale.max(1.0);
+                    if out.radius > min_radius {
+                        guard.scheduler.complete(task, out.theta.im, out.radius);
+                        if self.opts.recycling {
+                            guard.pool.record(out.theta.im, &out);
+                        }
+                        guard
+                            .completions
+                            .push((task.clone(), out, started.elapsed()));
+                    } else {
+                        failed.push(l);
                     }
                 }
+                Err(ArnoldiError::Cancelled) => guard.scheduler.cancel(task),
+                Err(_) => failed.push(l),
             }
             drop(guard);
             self.cv.notify_all();
-        }
+        };
+        block_shift_sweep(
+            &block,
+            &specs,
+            lane_ws,
+            &mut should_cancel,
+            &mut on_complete,
+        );
+        Some(failed)
     }
 }
 
@@ -463,11 +779,7 @@ fn run_parallel(
     ws: &mut SolverWorkspace,
     origin: SweepOrigin,
 ) -> Result<(Completions, SchedulerStats), SolverError> {
-    let shared = Mutex::new(SharedState {
-        scheduler,
-        completions: Vec::new(),
-        error: None,
-    });
+    let shared = Mutex::new(SharedState::new(scheduler));
     let cv = Condvar::new();
     let share = SweepShare {
         ss,
@@ -693,6 +1005,37 @@ mod tests {
             fresh.shift_log.len(),
             "workspace reuse changed the shift schedule"
         );
+    }
+
+    #[test]
+    #[ignore = "diagnostic probe"]
+    fn recycling_probe() {
+        let ss = generate_case(&CaseSpec::new(96, 3).with_seed(7).with_target_crossings(4))
+            .unwrap()
+            .realize();
+        for (recycling, block) in [(false, 1), (true, 1), (true, 4)] {
+            let opts = SolverOptions::default()
+                .with_recycling(recycling)
+                .with_block_size(block);
+            let out = find_imaginary_eigenvalues(&ss, &opts).unwrap();
+            println!(
+                "recycling={recycling} block={block}: matvecs={} shifts={} crossings={} \
+                 warm_started={} candidates={} hits={} cancelled={}",
+                out.stats.total_matvecs,
+                out.shift_log.len(),
+                out.frequencies.len(),
+                out.stats.warm_started_shifts,
+                out.stats.recycle_candidates,
+                out.stats.recycle_hits,
+                out.stats.scheduler.cancelled_in_flight,
+            );
+            for r in &out.shift_log {
+                println!(
+                    "  omega={:.4} radius={:.4} matvecs={} restarts={} warm={}/{}",
+                    r.omega, r.radius, r.matvecs, r.restarts, r.warm_pre_locked, r.warm_candidates
+                );
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod build;
 pub mod error;
 pub mod immittance;
 pub mod matvec;
+pub mod multi_shift;
 pub mod op;
 pub mod scratch;
 pub mod shift_invert;
@@ -38,6 +39,7 @@ pub mod shift_invert;
 pub use build::dense_hamiltonian;
 pub use error::HamiltonianError;
 pub use matvec::HamiltonianOp;
+pub use multi_shift::MultiShiftInvertOp;
 pub use op::CLinearOp;
 pub use scratch::{contention_total as scratch_contention_total, ScratchCell};
 pub use shift_invert::ShiftInvertOp;

@@ -507,16 +507,16 @@ pub fn audit(root: &Path) -> std::io::Result<AuditReport> {
                                 sites.len()
                             ),
                         }),
-                        Some(&expected) if expected != sites.len() => report
-                            .violations
-                            .push(Violation {
-                            file: file.clone(),
-                            line: 0,
-                            message: format!(
+                        Some(&expected) if expected != sites.len() => {
+                            report.violations.push(Violation {
+                                file: file.clone(),
+                                line: 0,
+                                message: format!(
                                 "unsafe site count drifted: found {}, allowlist says {expected}",
                                 sites.len()
                             ),
-                        }),
+                            })
+                        }
                         Some(_) => {}
                     }
                 }

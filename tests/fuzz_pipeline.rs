@@ -10,10 +10,13 @@
 //! reproduces directly.
 
 use pheig::core::error::SolverError;
+use pheig::core::solver::{find_imaginary_eigenvalues, SolverOptions};
 use pheig::model::touchstone::{DataFormat, FreqUnit, ParameterKind};
 use pheig::model::ModelError;
+use pheig::vectorfit::{vector_fit, VectorFitOptions};
 use pheig::Pipeline;
-use pheig_fuzz::{check_case, check_repro, FuzzCase};
+use pheig_fuzz::oracle::{disks_cover_band, match_crossings};
+use pheig_fuzz::{check_case, check_repro, Expectation, FuzzCase};
 
 /// A cheap cycle of the zoo on every `cargo test`: one seed from each
 /// scenario family except mild-violations (seed 1) and
@@ -85,6 +88,78 @@ fn fuzz_zoo_differential_sweep() {
     for unit in [FreqUnit::Hz, FreqUnit::KHz, FreqUnit::MHz, FreqUnit::GHz] {
         assert!(units.contains(&unit), "{unit:?} never generated");
     }
+}
+
+/// Warm-vs-cold differential on one zoo deck: fit the deck, sweep the
+/// fitted model with recycling on and off, and require the same crossing
+/// set plus full band coverage from both certificate sets.
+fn check_recycling_differential(case: &FuzzCase) -> Result<(), String> {
+    let pipeline = Pipeline::from_touchstone(&case.deck, case.ports_hint)
+        .map_err(|e| format!("parse failed: {e}"))?;
+    let vf = VectorFitOptions::new(case.poles_per_column).with_iterations(8);
+    let fit = vector_fit(pipeline.samples(), &vf).map_err(|e| format!("fit failed: {e}"))?;
+    let ss = fit.state_space();
+    let cold = find_imaginary_eigenvalues(&ss, &SolverOptions::default().with_recycling(false))
+        .map_err(|e| format!("cold sweep failed: {e}"))?;
+    let warm = find_imaginary_eigenvalues(&ss, &SolverOptions::default().with_recycling(true))
+        .map_err(|e| format!("warm sweep failed: {e}"))?;
+    let tol = 1e-6 * cold.band.1.max(1.0);
+    match_crossings(&warm.frequencies, &cold.frequencies, tol)
+        .map_err(|e| format!("warm vs cold crossings: {e}"))?;
+    disks_cover_band(&cold.shift_log, cold.band).map_err(|e| format!("cold coverage: {e}"))?;
+    disks_cover_band(&warm.shift_log, warm.band).map_err(|e| format!("warm coverage: {e}"))
+}
+
+/// A cheap recycling on/off differential on every `cargo test`: a handful
+/// of zoo decks, same-crossings + coverage both ways.
+#[test]
+fn recycling_differential_smoke() {
+    let mut failures = Vec::new();
+    for seed in [0u64, 3, 5, 7] {
+        let case = FuzzCase::from_seed(seed);
+        if !matches!(case.expect, Expectation::Differential) {
+            continue;
+        }
+        if let Err(f) = check_recycling_differential(&case) {
+            failures.push(format!(
+                "seed={seed} scenario={}: {f}",
+                case.scenario.name()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// The full recycling differential: every Differential-expectation deck of
+/// the zoo sweep (override the count with `PHEIG_FUZZ_SEED_COUNT`) must
+/// report identical crossings with recycling on and off.
+#[test]
+#[ignore = "many-deck warm/cold differential (minutes in debug); run with --ignored (CI slow-tests)"]
+fn fuzz_zoo_recycling_differential() {
+    let count: u64 = std::env::var("PHEIG_FUZZ_SEED_COUNT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for seed in 0..count {
+        let case = FuzzCase::from_seed(seed);
+        if !matches!(case.expect, Expectation::Differential) {
+            continue;
+        }
+        checked += 1;
+        if let Err(f) = check_recycling_differential(&case) {
+            failures.push(format!(
+                "seed={seed} scenario={}: {f}",
+                case.scenario.name()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+    assert!(
+        checked >= 20,
+        "only {checked} differential decks in the sweep"
+    );
 }
 
 /// Every committed repro deck must replay clean: each file encodes the
