@@ -198,6 +198,7 @@ pub fn block_shift_sweep(
             op.apply_block(&ids, &xs, &mut ys);
         }
         for &l in &ids {
+            cores[l].post_apply();
             if cores[l].absorb_step() {
                 continue; // build continues next superstep
             }

@@ -22,6 +22,7 @@
 //!   shift `n_theta = 5`, tolerances), matching the paper's choices.
 
 pub mod block;
+pub mod control;
 pub mod error;
 pub mod krylov;
 pub mod options;
@@ -30,6 +31,7 @@ pub mod ritz;
 pub mod single_shift;
 
 pub use block::{block_shift_sweep, BlockLaneSpec, BlockShiftOp};
+pub use control::{CancelToken, CorruptKind, FirePoint, SweepBudget, SweepControl};
 pub use error::ArnoldiError;
 pub use options::SingleShiftOptions;
 pub use recycle::{RecyclePool, RecycledPair};

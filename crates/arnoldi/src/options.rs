@@ -1,5 +1,7 @@
 //! Tuning options for the single-shift iteration.
 
+use crate::control::SweepControl;
+
 /// Options for [`crate::single_shift_iteration`].
 ///
 /// Defaults match the paper: Krylov subspace capped at `d = 60`, a small
@@ -20,6 +22,10 @@ pub struct SingleShiftOptions {
     /// Seed for the random start vectors (the paper draws them randomly;
     /// statistics over seeds reproduce its Fig. 6 error bars).
     pub seed: u64,
+    /// Cooperative control plane: cancellation, shared work budget, and
+    /// fault fire-points. Inert by default (zero overhead; see
+    /// [`crate::control`]).
+    pub control: SweepControl,
 }
 
 impl SingleShiftOptions {
@@ -31,6 +37,7 @@ impl SingleShiftOptions {
             tol: 1e-9,
             max_restarts: 24,
             seed: 0,
+            control: SweepControl::none(),
         }
     }
 
@@ -49,6 +56,12 @@ impl SingleShiftOptions {
     /// Sets the subspace cap.
     pub fn with_max_subspace(mut self, d: usize) -> Self {
         self.max_subspace = d;
+        self
+    }
+
+    /// Attaches a control plane (cancellation, budgets, fault hooks).
+    pub fn with_control(mut self, control: SweepControl) -> Self {
+        self.control = control;
         self
     }
 }

@@ -282,7 +282,9 @@ impl<'a> ShiftCore<'a> {
                 continue;
             }
             self.matvecs += 1;
+            self.opts.control.charge_matvecs(1);
             apply(comb, lifted);
+            self.opts.control.corrupt(lifted);
             let mu = dot(comb, lifted);
             let m2 = mu.abs_sq().max(f64::MIN_POSITIVE);
             let mut r2 = 0.0f64;
@@ -334,10 +336,12 @@ impl<'a> ShiftCore<'a> {
     }
 
     /// `true` while more Arnoldi rounds are warranted: the collect target
-    /// is unmet, or post-warm probe rounds remain.
+    /// is unmet, or post-warm probe rounds remain — and the control plane
+    /// has not cancelled the sweep or exhausted its budget.
     pub(crate) fn building(&self) -> bool {
         self.restarts < self.opts.max_restarts
             && (self.locked_lambdas.len() < self.collect_target || self.probe_budget > 0)
+            && !self.opts.control.should_stop()
     }
 
     /// Prepares the start vector and opens the incremental Arnoldi build
@@ -345,6 +349,7 @@ impl<'a> ShiftCore<'a> {
     /// fully inside the locked span) — skip straight to
     /// [`Self::finish_round`], which will report exhaustion.
     pub(crate) fn begin_round(&mut self) -> bool {
+        self.opts.control.maybe_stall();
         let steps = if self.locked_lambdas.len() >= self.collect_target {
             // Post-warm probe: a short deflated pass is enough to surface
             // any missed nearby direction; a full subspace would re-spend
@@ -388,6 +393,17 @@ impl<'a> ShiftCore<'a> {
         self.ws.fact.absorb()
     }
 
+    /// Fault hook for the operator boundary: corrupts the pending apply
+    /// output when the control's corruption fire-point triggers. Called by
+    /// the drivers between `apply` and [`Self::absorb_step`]; a no-op for
+    /// an inert control.
+    pub(crate) fn post_apply(&mut self) {
+        if self.opts.control.corrupt_apply.is_some() {
+            let (_, w) = self.ws.fact.io_mut();
+            self.opts.control.corrupt(w);
+        }
+    }
+
     /// Closes one round: extracts Ritz pairs, locks converged ones,
     /// records near-estimates, and builds the explicit-restart vector.
     /// Returns `Ok(false)` when the shift should stop building (spectrum
@@ -395,6 +411,8 @@ impl<'a> ShiftCore<'a> {
     pub(crate) fn finish_round(&mut self, map: &dyn Fn(C64) -> C64) -> Result<bool, ArnoldiError> {
         self.matvecs += self.ws.fact.steps;
         self.restarts += 1;
+        self.opts.control.charge_matvecs(self.ws.fact.steps);
+        self.opts.control.charge_restart();
         if self.ws.fact.steps == 0 {
             // Fully deflated: the reachable spectrum is exhausted.
             return Ok(false);
@@ -409,6 +427,12 @@ impl<'a> ShiftCore<'a> {
         self.ext_cap = f64::INFINITY;
         for pair in &pairs {
             let lambda = map(pair.mu);
+            if !lambda.re.is_finite() || !lambda.im.is_finite() {
+                // Non-finite Ritz value (a corrupted apply or a broken
+                // projected solve): it carries no location information and
+                // must neither lock nor cap the certificate.
+                continue;
+            }
             let dist = (lambda - self.theta).abs();
             let err = pair.mapped_error_estimate();
             if err > self.tol_abs && err <= 0.5 * dist {
@@ -553,6 +577,7 @@ impl<'a> ShiftCore<'a> {
                 loop {
                     let (v, w) = self.io_mut();
                     apply(v, w);
+                    self.post_apply();
                     if !self.absorb_step() {
                         break;
                     }
@@ -594,6 +619,7 @@ impl<'a> ShiftCore<'a> {
                     let mut w = vec![C64::zero(); n];
                     apply(q, &mut w);
                     self.matvecs += 1;
+                    self.opts.control.charge_matvecs(1);
                     opq.push(w);
                 }
             }
@@ -606,6 +632,12 @@ impl<'a> ShiftCore<'a> {
         let mut doubtful_dists: Vec<f64> = Vec::new();
         for (k, &mu) in mus.iter().enumerate() {
             let lambda = map(mu);
+            if !lambda.re.is_finite() || !lambda.im.is_finite() {
+                // Non-finite refined value: numerical junk from a polluted
+                // subspace; returning it (or letting it into the distance
+                // sort below) would poison the certificate.
+                continue;
+            }
             // x = Q y_k (unit norm since Q is orthonormal and y_k is unit).
             let mut x = vec![C64::zero(); n];
             let mut z = vec![C64::zero(); n];
@@ -847,7 +879,10 @@ pub fn build_shift_invert_op(
     loop {
         match ShiftInvertOp::new(ss, theta) {
             Ok(op) => break Ok(op),
-            Err(pheig_hamiltonian::HamiltonianError::ShiftSingular { .. }) => {
+            Err(
+                pheig_hamiltonian::HamiltonianError::ShiftSingular { .. }
+                | pheig_hamiltonian::HamiltonianError::NearSingularShift { .. },
+            ) => {
                 theta = C64::from_imag(omega + nudge);
                 nudge *= 16.0;
                 if nudge > scale.max(1.0) {
@@ -881,6 +916,16 @@ pub fn single_shift_iteration_recycled_with(
     ws: &mut ArnoldiWorkspace,
     warm: &[RecycledPair],
 ) -> Result<SingleShiftOutcome, ArnoldiError> {
+    if opts.control.fire_singular() {
+        // Injected factorization failure: report the typed near-singular
+        // error the real detection path would produce.
+        return Err(ArnoldiError::Hamiltonian(
+            pheig_hamiltonian::HamiltonianError::NearSingularShift {
+                block: 0,
+                rcond: 0.0,
+            },
+        ));
+    }
     let op = build_shift_invert_op(ss, omega, scale)?;
     let theta = op.theta();
     let map = |mu: C64| op.to_hamiltonian_eigenvalue(mu);

@@ -21,6 +21,15 @@
 //! and warm trajectories are never diffed against each other. All v2
 //! fields are unchanged.
 //!
+//! Schema v4: `solver_sweep` rows add the failure-containment telemetry
+//! (`faults_injected`, `shifts_quarantined`, `degraded_coverage_fraction`)
+//! and pipeline rows add the same books aggregated over their jobs'
+//! characterization sweeps. On a healthy run every row reports the
+//! zero-fault baseline `0 / 0 / 1.0` — CI's bench-smoke gate pins this,
+//! so a trajectory point recorded with `PHEIG_FAULT_PLAN` armed (or a
+//! sweep that silently degraded) can never be mistaken for a clean one.
+//! All v3 fields are unchanged.
+//!
 //! A counting global allocator measures steady-state heap allocations per
 //! operator application — the quantity the allocation-free hot-path
 //! contract pins to zero.
@@ -117,6 +126,12 @@ struct SolverRow {
     recycle_hit_rate: f64,
     /// `total_matvecs / shifts` — the per-shift cost recycling targets.
     matvecs_per_shift: f64,
+    /// Faults fired by an armed `FaultPlan` (0 on a clean run).
+    faults_injected: u64,
+    /// Shifts retired without coverage by the degradation ladder.
+    shifts_quarantined: usize,
+    /// Fraction of the band certified covered (1.0 on a clean run).
+    degraded_coverage_fraction: f64,
 }
 
 /// Host provenance recorded in every report (schema v2) so the perf
@@ -302,6 +317,9 @@ fn bench_solver(host_cpus: usize) -> Vec<SolverRow> {
                 warm_started_shifts: out.stats.warm_started_shifts,
                 recycle_hit_rate: out.stats.recycle_hit_rate(),
                 matvecs_per_shift: out.stats.total_matvecs as f64 / shifts.max(1) as f64,
+                faults_injected: out.stats.faults_injected,
+                shifts_quarantined: out.stats.shifts_quarantined,
+                degraded_coverage_fraction: out.covered_fraction,
             }
         })
         .collect()
@@ -336,6 +354,12 @@ struct PipelineRow {
     /// Enforcement-stage recycling telemetry (re-characterization sweeps),
     /// summed over the jobs.
     enforce_recycle: RecycleCounters,
+    /// Faults fired across the jobs' characterization sweeps (0 clean).
+    faults_injected: u64,
+    /// Quarantined shifts across the jobs' characterization sweeps.
+    shifts_quarantined: usize,
+    /// Worst per-job certified coverage fraction (1.0 on a clean run).
+    min_covered_fraction: f64,
 }
 
 /// Sums two stage tallies (aggregation across batch jobs).
@@ -404,6 +428,9 @@ fn bench_pipeline() -> Vec<PipelineRow> {
             .as_ref()
             .map(|e| e.recycle)
             .unwrap_or_default(),
+        faults_injected: report.sweep.faults_injected,
+        shifts_quarantined: report.sweep.shifts_quarantined,
+        min_covered_fraction: report.sweep.covered_fraction,
     };
     eprintln!(
         "pipeline {}: parse {:.1} ms, fit {:.1} ms, sweep {:.1} ms, enforce {:.1} ms \
@@ -450,8 +477,14 @@ fn bench_pipeline() -> Vec<PipelineRow> {
         let mut job_costs: Vec<f64> = Vec::new();
         let mut sweep_recycle = RecycleCounters::default();
         let mut enforce_recycle = RecycleCounters::default();
+        let mut faults_injected = 0u64;
+        let mut shifts_quarantined = 0usize;
+        let mut min_covered_fraction = 1.0f64;
         for result in &results {
             let report = &result.as_ref().expect("checked above").report;
+            faults_injected += report.sweep.faults_injected;
+            shifts_quarantined += report.sweep.shifts_quarantined;
+            min_covered_fraction = min_covered_fraction.min(report.sweep.covered_fraction);
             fit_ms += report.fit.wall.as_secs_f64() * 1e3;
             sweep_ms += report.sweep.wall.as_secs_f64() * 1e3;
             enforce_ms += report
@@ -494,6 +527,9 @@ fn bench_pipeline() -> Vec<PipelineRow> {
             virtual_speedup_vs_t1,
             sweep_recycle,
             enforce_recycle,
+            faults_injected,
+            shifts_quarantined,
+            min_covered_fraction,
         });
     }
     let stats = Executor::pool(3).stats();
@@ -530,7 +566,9 @@ fn pipeline_rows_json(rows: &[PipelineRow]) -> String {
                  \"enforce_ms\": {:.2}, \"total_ms\": {:.2}, \
                  \"crossings_before\": {}, \"bands_after\": {}, \
                  \"speedup_vs_t1\": {:.2}, \"virtual_speedup_vs_t1\": {:.2}, \
-                 \"sweep_recycle\": {}, \"enforce_recycle\": {}}}",
+                 \"sweep_recycle\": {}, \"enforce_recycle\": {}, \
+                 \"faults_injected\": {}, \"shifts_quarantined\": {}, \
+                 \"min_covered_fraction\": {:.4}}}",
                 r.label,
                 r.jobs,
                 r.batch_threads,
@@ -544,7 +582,10 @@ fn pipeline_rows_json(rows: &[PipelineRow]) -> String {
                 r.speedup_vs_t1,
                 r.virtual_speedup_vs_t1,
                 recycle_json(&r.sweep_recycle),
-                recycle_json(&r.enforce_recycle)
+                recycle_json(&r.enforce_recycle),
+                r.faults_injected,
+                r.shifts_quarantined,
+                r.min_covered_fraction
             )
         })
         .collect();
@@ -574,7 +615,9 @@ fn solver_rows_json(rows: &[SolverRow]) -> String {
                  \"total_matvecs\": {}, \"shifts\": {}, \"crossings\": {}, \
                  \"cpus_limited\": {}, \"recycling\": {}, \
                  \"warm_started_shifts\": {}, \"recycle_hit_rate\": {:.2}, \
-                 \"matvecs_per_shift\": {:.1}}}",
+                 \"matvecs_per_shift\": {:.1}, \"faults_injected\": {}, \
+                 \"shifts_quarantined\": {}, \
+                 \"degraded_coverage_fraction\": {:.4}}}",
                 r.n,
                 r.p,
                 r.threads,
@@ -586,7 +629,10 @@ fn solver_rows_json(rows: &[SolverRow]) -> String {
                 r.recycling,
                 r.warm_started_shifts,
                 r.recycle_hit_rate,
-                r.matvecs_per_shift
+                r.matvecs_per_shift,
+                r.faults_injected,
+                r.shifts_quarantined,
+                r.degraded_coverage_fraction
             )
         })
         .collect();
@@ -681,7 +727,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"pheig-bench-quick/v3\",\n  \"profile\": \"{}\",\n  {},\n  \
+        "{{\n  \"schema\": \"pheig-bench-quick/v4\",\n  \"profile\": \"{}\",\n  {},\n  \
          \"shift_invert_apply\": [\n{}\n  ],\n  \"hamiltonian_matvec\": [\n{}\n  ],\n  \
          \"solver_sweep\": [\n{}\n  ]\n}}\n",
         if cfg!(debug_assertions) {
@@ -699,7 +745,7 @@ fn main() {
 
     let pipeline = bench_pipeline();
     let pipeline_json = format!(
-        "{{\n  \"schema\": \"pheig-bench-pipeline/v3\",\n  \"profile\": \"{}\",\n  {},\n  \
+        "{{\n  \"schema\": \"pheig-bench-pipeline/v4\",\n  \"profile\": \"{}\",\n  {},\n  \
          \"pipeline\": [\n{}\n  ]\n}}\n",
         if cfg!(debug_assertions) {
             "debug"

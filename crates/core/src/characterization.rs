@@ -99,7 +99,9 @@ pub fn characterize(
     let mut edges = Vec::with_capacity(crossings.len() + 2);
     edges.push(0.0);
     edges.extend(crossings.iter().copied());
-    let last = *crossings.last().expect("non-empty");
+    // PANIC-SAFE: the empty-crossings case returned above.
+    #[allow(clippy::expect_used)]
+    let last = *crossings.last().expect("guarded by the early return");
     let tail = last * 1.25 + 1.0;
     edges.push(tail);
     for w in edges.windows(2) {

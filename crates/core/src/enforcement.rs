@@ -200,7 +200,9 @@ fn sigma_descent_row(ss: &StateSpace, omega: f64) -> Result<(Vec<f64>, f64), Sol
     // Top right singular vector from the Gram matrix, then u = H v / sigma.
     let gram = &h.conj_transpose() * &h;
     let eig = pheig_linalg::hermitian::eigh(&gram, true)?;
-    let vectors = eig.vectors.expect("requested vectors");
+    // PANIC-SAFE: `eigh(_, true)` always populates `vectors`.
+    #[allow(clippy::expect_used)]
+    let vectors = eig.vectors.expect("eigh was asked for vectors");
     let top = eig.values.len() - 1;
     let sigma = eig.values[top].max(0.0).sqrt();
     let v: Vec<C64> = (0..p).map(|i| vectors[(i, top)]).collect();
@@ -238,7 +240,7 @@ fn displacement_targets(
             .iter()
             .enumerate()
             .map(|(i, e)| (i, (e.omega - omega).abs()))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
         {
             if (eigenpairs[idx].omega - omega).abs() <= match_tol {
                 targets.push((idx, delta));
@@ -350,6 +352,9 @@ pub(crate) fn enforce_with_seed(
             Err(e) => return Err(e),
         }
     }
+    // PANIC-SAFE: the factor array is non-empty, so the loop either
+    // returned or recorded at least one stall error.
+    #[allow(clippy::expect_used)]
     Err(last_err.expect("at least one attempt ran"))
 }
 

@@ -39,6 +39,17 @@ pub enum SolverError {
         /// Remaining violation metric (sum of band widths times excess).
         residual_violation: f64,
     },
+    /// A task body panicked inside the execution layer. The unwind was
+    /// contained at the cohort boundary (the latch still completed, the
+    /// pooled workspace was returned) and surfaced as this typed error
+    /// instead of aborting the process.
+    TaskPanicked {
+        /// The panic payload rendered to text (`&str`/`String` payloads
+        /// verbatim; anything else a placeholder).
+        message: String,
+    },
+    /// A `PHEIG_FAULT_PLAN` specification could not be parsed.
+    InvalidFaultPlan(String),
     /// A downstream Arnoldi failure.
     Arnoldi(pheig_arnoldi::ArnoldiError),
     /// A downstream Hamiltonian-operator failure.
@@ -49,6 +60,21 @@ pub enum SolverError {
     Model(pheig_model::ModelError),
     /// A Vector Fitting failure in the pipeline's identification stage.
     VectorFit(pheig_vectorfit::VectorFitError),
+}
+
+impl SolverError {
+    /// Renders a panic payload contained by `catch_unwind` as a typed
+    /// [`SolverError::TaskPanicked`].
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        SolverError::TaskPanicked { message }
+    }
 }
 
 impl fmt::Display for SolverError {
@@ -80,6 +106,12 @@ impl fmt::Display for SolverError {
                 "passivity enforcement stalled after {iterations} iterations \
                  (residual violation {residual_violation:.3e})"
             ),
+            SolverError::TaskPanicked { message } => {
+                write!(f, "a solver task panicked (contained): {message}")
+            }
+            SolverError::InvalidFaultPlan(m) => {
+                write!(f, "invalid PHEIG_FAULT_PLAN specification: {m}")
+            }
             SolverError::Arnoldi(e) => write!(f, "arnoldi failure: {e}"),
             SolverError::Hamiltonian(e) => write!(f, "hamiltonian failure: {e}"),
             SolverError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
@@ -146,5 +178,21 @@ mod tests {
         assert!(e.to_string().contains('7'));
         let e: SolverError = pheig_linalg::LinalgError::Singular { at: 0 }.into();
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn panic_payloads_render_to_typed_errors() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert!(SolverError::from_panic(p.as_ref())
+            .to_string()
+            .contains("boom"));
+        let p: Box<dyn std::any::Any + Send> = Box::new(String::from("kaboom"));
+        assert!(SolverError::from_panic(p.as_ref())
+            .to_string()
+            .contains("kaboom"));
+        let p: Box<dyn std::any::Any + Send> = Box::new(17usize);
+        assert!(SolverError::from_panic(p.as_ref())
+            .to_string()
+            .contains("non-string"));
     }
 }

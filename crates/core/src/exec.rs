@@ -488,6 +488,10 @@ impl Executor {
         for index in 0..workers {
             let shared = Arc::clone(&shared);
             SPAWNED.fetch_add(1, Ordering::Relaxed);
+            // PANIC-SAFE: worker-thread spawn fails only on OS resource
+            // exhaustion, and a pool constructor has no error channel —
+            // a process that cannot spawn its workers cannot run.
+            #[allow(clippy::expect_used)]
             std::thread::Builder::new()
                 .name(format!("pheig-exec-{index}"))
                 .spawn(move || worker_loop(shared, index))
@@ -556,18 +560,29 @@ impl Executor {
 
     /// Runs `f` against a workspace checked out from the executor's pool,
     /// so scratch persists across calls (batches, enforcement sweeps)
-    /// instead of being rebuilt per invocation.
+    /// instead of being rebuilt per invocation. The checkout is returned
+    /// even when `f` unwinds — a contained panic must not leak the slot.
     pub fn with_workspace<R>(&self, f: impl FnOnce(&mut SolverWorkspace) -> R) -> R {
         let mut ws = self.shared.workspaces.lock().pop().unwrap_or_default();
-        let result = f(&mut ws);
+        let result = catch_unwind(AssertUnwindSafe(|| f(&mut ws)));
         self.shared.workspaces.lock().push(ws);
-        result
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
     }
 
     /// [`Executor::run_cohort`] with the caller's workspace checked out
     /// from the executor pool.
     pub fn run(&self, task: Task<'_>, extra: usize) {
         self.with_workspace(|ws| self.run_cohort(task, extra, &mut TaskContext::new(ws)));
+    }
+
+    /// [`Executor::run_cohort_caught`] with the caller's workspace checked
+    /// out from the executor pool: a panicking cohort surfaces as an `Err`
+    /// payload here, with the workspace already returned to the pool.
+    pub fn run_caught(&self, task: Task<'_>, extra: usize) -> Result<(), Box<dyn Any + Send>> {
+        self.with_workspace(|ws| self.run_cohort_caught(task, extra, &mut TaskContext::new(ws)))
     }
 
     /// Runs a cohort of `extra + 1` copies of `task`: `extra` copies on
@@ -590,14 +605,33 @@ impl Executor {
     /// Re-raises the first panic observed in any cohort member after the
     /// whole cohort has completed.
     pub fn run_cohort(&self, task: Task<'_>, extra: usize, ctx: &mut TaskContext<'_>) {
+        if let Err(payload) = self.run_cohort_caught(task, extra, ctx) {
+            resume_unwind(payload);
+        }
+    }
+
+    /// [`Executor::run_cohort`] with panic *containment* instead of
+    /// propagation: the whole cohort still runs to completion (the latch
+    /// counts a panicked member as completed-with-error, so no member is
+    /// lost and no waiter deadlocks), but the first observed panic payload
+    /// is returned as `Err` rather than re-raised. This is the boundary
+    /// the solver layers use to convert unwinds into typed
+    /// [`SolverError::TaskPanicked`](crate::error::SolverError::TaskPanicked)
+    /// values.
+    pub fn run_cohort_caught(
+        &self,
+        task: Task<'_>,
+        extra: usize,
+        ctx: &mut TaskContext<'_>,
+    ) -> Result<(), Box<dyn Any + Send>> {
         let shared = &self.shared;
         let _bind = CurrentGuard::enter(shared);
         if extra == 0 {
             // Degenerate cohort: just the owner. Still bound to the pool
-            // so nested layers reuse it.
+            // so nested layers reuse it — and still caught, so a panicking
+            // solo membership is contained like any other.
             shared.record(&task);
-            task.run(ctx);
-            return;
+            return catch_unwind(AssertUnwindSafe(|| task.run(ctx)));
         }
         let group = GroupRecord {
             task,
@@ -627,12 +661,30 @@ impl Executor {
             PARK_INTERVAL,
         );
         if let Some(payload) = group.panic.lock().take() {
-            resume_unwind(payload);
+            return Err(payload);
         }
-        if let Err(payload) = inline_result {
-            resume_unwind(payload);
-        }
+        inline_result
     }
+
+    /// Fault-injection hook: deterministically drives the bounded
+    /// injector into its full-ring backpressure branch. A zero-worker
+    /// pool's owner is the only drainer, so submitting more copies than
+    /// [`injector_capacity`] forces `submit` through the help-drain path
+    /// (push fails → owner executes one queued entry inline → retry) for
+    /// every overflowing copy. Returns the number of executed memberships
+    /// so callers can assert none were lost.
+    pub fn exercise_injector_backpressure(copies: usize) -> usize {
+        let exec = Executor::spawn_pool(0);
+        let probe = ProbeShare::new();
+        exec.run(Task::Probe(&probe), copies);
+        probe.hits()
+    }
+}
+
+/// Capacity of the bounded injector ring (see
+/// [`Executor::exercise_injector_backpressure`]).
+pub fn injector_capacity() -> usize {
+    INJECTOR_CAPACITY
 }
 
 #[cfg(test)]
@@ -774,6 +826,50 @@ mod tests {
         assert_eq!(probe_cohort(&exec, 1), 2);
         // The cohort owner's pool binding must not leak past run_cohort.
         assert!(Executor::current().is_none());
+    }
+
+    #[test]
+    fn caught_cohort_surfaces_the_payload_without_unwinding() {
+        let exec = Executor::spawn_pool(1);
+        let probe = ProbeShare::new();
+        let result = exec.run_caught(Task::PanicProbe(&probe), 2);
+        let payload = result.expect_err("panic payload must surface as Err");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .expect("PanicProbe panics with a &str");
+        assert!(msg.contains("by design"));
+        assert_eq!(probe.hits(), 3, "all memberships ran before returning");
+        assert_eq!(probe_cohort(&exec, 2), 3, "pool survives caught panics");
+    }
+
+    #[test]
+    fn panicking_cohort_does_not_leak_workspace_checkouts() {
+        // Zero workers: every membership (and its workspace checkout)
+        // executes on the owner thread, so the checkout-pool length is
+        // deterministic at every observation point.
+        let exec = Executor::spawn_pool(0);
+        assert_eq!(probe_cohort(&exec, 3), 4); // prime the checkout pool
+        let before = exec.shared.workspaces.lock().len();
+        let probe = ProbeShare::new();
+        assert!(exec.run_caught(Task::PanicProbe(&probe), 3).is_err());
+        assert_eq!(probe.hits(), 4, "latch completed every panicked member");
+        assert_eq!(
+            exec.shared.workspaces.lock().len(),
+            before,
+            "every checkout must be returned despite the unwinds"
+        );
+        assert_eq!(probe_cohort(&exec, 2), 3, "pool stays usable");
+    }
+
+    #[test]
+    fn injector_backpressure_exercise_loses_no_memberships() {
+        let copies = injector_capacity() + 257;
+        assert_eq!(
+            Executor::exercise_injector_backpressure(copies),
+            copies + 1,
+            "full-ring backpressure must degrade to inline execution, \
+             never drop a membership"
+        );
     }
 
     #[test]

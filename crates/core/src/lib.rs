@@ -33,12 +33,17 @@
 // every unsafe operation inside an `unsafe fn` needs its own block (and
 // `// SAFETY:` comment — enforced by `pheig-verify`'s audit binary).
 #![deny(unsafe_op_in_unsafe_fn)]
+// Library code must not panic on fallible paths: every `unwrap`/`expect`
+// either becomes a typed error or moves behind a `// PANIC-SAFE:`
+// invariant argument with an explicit `#[allow]`. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod band;
 pub mod characterization;
 pub mod enforcement;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod pipeline;
 pub mod scheduler;
 pub mod simulate;
@@ -47,8 +52,10 @@ pub mod spectrum;
 
 pub use error::SolverError;
 pub use exec::Executor;
+pub use fault::{ActiveFaults, FaultPlan};
+pub use pheig_arnoldi::CancelToken;
 pub use pipeline::{run_batch, PassiveModel, Pipeline, PipelineOptions, PipelineReport};
 pub use solver::{
-    find_imaginary_eigenvalues, find_imaginary_eigenvalues_with, SolverOptions, SolverOutcome,
-    SolverWorkspace,
+    find_imaginary_eigenvalues, find_imaginary_eigenvalues_with, QuarantinedShift, SolverOptions,
+    SolverOutcome, SolverWorkspace,
 };

@@ -30,6 +30,7 @@ use crate::characterization::{characterize, PassivityReport};
 use crate::enforcement::EnforcementOptions;
 use crate::error::SolverError;
 use crate::exec::{Executor, Task, TaskContext};
+use crate::fault::FaultPlan;
 use crate::scheduler::SchedulerStats;
 use crate::solver::{
     find_imaginary_eigenvalues_with, RecycleCounters, ShiftRecord, SolverOptions, SolverWorkspace,
@@ -39,6 +40,7 @@ use pheig_model::touchstone::{read_touchstone, read_touchstone_path};
 use pheig_model::{FrequencySamples, PoleResidueModel, StateSpace};
 use pheig_vectorfit::{vector_fit, VectorFitOptions};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -81,6 +83,13 @@ impl PipelineOptions {
         self.solver = self.solver.with_threads(threads);
         self
     }
+
+    /// Arms a fault-injection plan on every eigensolver sweep of the run
+    /// (chaos testing; forwards to [`SolverOptions::with_fault_plan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.solver = self.solver.with_fault_plan(plan);
+        self
+    }
 }
 
 impl Default for PipelineOptions {
@@ -121,6 +130,13 @@ pub struct SweepDiagnostics {
     pub shift_log: Vec<ShiftRecord>,
     /// Recycling telemetry of this stage's sweep.
     pub recycle: RecycleCounters,
+    /// Shifts the sweep's degradation ladder quarantined (0 on a healthy
+    /// run; see [`crate::solver::SolverOutcome::quarantined`]).
+    pub shifts_quarantined: usize,
+    /// Fraction of the band covered by certified disks (`1.0` healthy).
+    pub covered_fraction: f64,
+    /// Faults the armed fault plan fired during this sweep.
+    pub faults_injected: u64,
     /// Wall-clock time of the sweep.
     pub wall: Duration,
 }
@@ -246,12 +262,22 @@ pub struct PassiveModel {
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     samples: FrequencySamples,
+    /// Test-only seam: a poisoned pipeline unwinds at the top of
+    /// [`Pipeline::run_with`], standing in for a panic in any downstream
+    /// stage so the batch-level containment path is exercisable from a
+    /// unit test.
+    #[cfg(test)]
+    poison: bool,
 }
 
 impl Pipeline {
     /// Builds a pipeline directly from frequency samples.
     pub fn from_samples(samples: FrequencySamples) -> Self {
-        Pipeline { samples }
+        Pipeline {
+            samples,
+            #[cfg(test)]
+            poison: false,
+        }
     }
 
     /// Parses a Touchstone deck from text. Y and Z decks are converted to
@@ -266,9 +292,7 @@ impl Pipeline {
     /// [`SolverError::Model`].
     pub fn from_touchstone(text: &str, ports: Option<usize>) -> Result<Self, SolverError> {
         let deck = read_touchstone(text, ports)?;
-        Ok(Pipeline {
-            samples: deck.into_scattering_samples()?,
-        })
+        Ok(Pipeline::from_samples(deck.into_scattering_samples()?))
     }
 
     /// Parses a Touchstone deck from a file, inferring the port count from
@@ -287,7 +311,7 @@ impl Pipeline {
         let samples = deck
             .into_scattering_samples()
             .map_err(|e| pheig_model::ModelError::in_file(path, e))?;
-        Ok(Pipeline { samples })
+        Ok(Pipeline::from_samples(samples))
     }
 
     /// The samples this pipeline will fit.
@@ -320,6 +344,12 @@ impl Pipeline {
         ws: &mut SolverWorkspace,
     ) -> Result<PassiveModel, SolverError> {
         let t0 = Instant::now();
+        #[cfg(test)]
+        if self.poison {
+            // `resume_unwind` skips the global panic hook: the unwind is
+            // the scenario under test, not noise worth printing.
+            std::panic::resume_unwind(Box::new("poisoned test pipeline"));
+        }
 
         // Stage 1: rational identification.
         let t_fit = Instant::now();
@@ -349,6 +379,9 @@ impl Pipeline {
                 r.absorb(&outcome.stats);
                 r
             },
+            shifts_quarantined: outcome.stats.shifts_quarantined,
+            covered_fraction: outcome.covered_fraction,
+            faults_injected: outcome.stats.faults_injected,
             wall: t_sweep.elapsed(),
         };
 
@@ -414,7 +447,14 @@ impl BatchShare<'_> {
             let Some(pipeline) = self.pipelines.get(idx) else {
                 break;
             };
-            *self.results[idx].lock() = Some(pipeline.run_with(self.opts, ctx.workspace()));
+            // A panicking job is contained here, at the job boundary: its
+            // slot reports a typed error while sibling jobs (and this
+            // member, which moves on to the next slot) run unaffected.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pipeline.run_with(self.opts, ctx.workspace())
+            }))
+            .unwrap_or_else(|payload| Err(SolverError::from_panic(payload.as_ref())));
+            *self.results[idx].lock() = Some(result);
         }
     }
 }
@@ -453,12 +493,21 @@ pub fn run_batch(
         results: &results,
     };
     let exec = Executor::current_or_pool(concurrency - 1);
-    exec.run(Task::BatchJob(&share), concurrency - 1);
+    // Job-body panics are contained per slot inside `BatchShare::run`;
+    // `run_caught` additionally contains anything that unwinds outside a
+    // job body, so a batch can never abort the process.
+    let cohort = exec.run_caught(Task::BatchJob(&share), concurrency - 1);
     results
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .expect("every slot filled by a cohort member")
+            slot.into_inner().unwrap_or_else(|| {
+                Err(match &cohort {
+                    Err(payload) => SolverError::from_panic(payload.as_ref()),
+                    Ok(()) => SolverError::TaskPanicked {
+                        message: "batch job slot left unfilled".to_string(),
+                    },
+                })
+            })
         })
         .collect()
 }
@@ -582,6 +631,48 @@ mod tests {
             spawned_after_first,
             "a repeated nested batch spawned new workers"
         );
+    }
+
+    #[test]
+    fn panicking_batch_job_is_typed_while_siblings_complete() {
+        // Job 1's body unwinds (via the test-only poison seam, standing
+        // in for a panic anywhere in the fit/sweep/enforcement stages).
+        // Its slot must report the typed `TaskPanicked` error; the
+        // sibling jobs — including ones pulled *after* the panic by the
+        // same cohort member — must complete with their usual results.
+        let mut jobs = Vec::new();
+        for seed in [55u64, 56, 57] {
+            let reference = generate_case(
+                &CaseSpec::new(10, 2)
+                    .with_seed(seed)
+                    .with_target_crossings(0),
+            )
+            .unwrap();
+            let samples = FrequencySamples::from_model(&reference, 0.01, 12.0, 140).unwrap();
+            jobs.push(Pipeline::from_samples(samples));
+        }
+        let opts = PipelineOptions::default();
+        let want: Vec<_> = jobs.iter().map(|j| j.run(&opts).unwrap()).collect();
+        jobs[1].poison = true;
+
+        for threads in [1usize, 2] {
+            let results = run_batch(&jobs, &opts, threads);
+            assert_eq!(results.len(), 3);
+            let Err(err) = &results[1] else {
+                panic!("poisoned job must fail")
+            };
+            assert!(
+                matches!(err, SolverError::TaskPanicked { .. }),
+                "expected TaskPanicked, got {err:?}"
+            );
+            assert!(err.to_string().contains("poisoned"), "{err}");
+            for i in [0usize, 2] {
+                let got = results[i].as_ref().expect("sibling job must complete");
+                assert_eq!(got.report.sweep.crossings, want[i].report.sweep.crossings);
+                assert_eq!(got.report.fit.order, want[i].report.fit.order);
+                assert!((got.report.fit.rms_error - want[i].report.fit.rms_error).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct SchedulerStats {
     /// covered by sibling disks while they were still running (Eq. (24)
     /// applied to in-flight work, not just queued tentatives).
     pub cancelled_in_flight: usize,
+    /// Shifts the degradation ladder gave up on: their interval's
+    /// uncovered remainder was recorded as a named coverage gap instead of
+    /// being re-seeded (see [`Scheduler::quarantine`]).
+    pub quarantined: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -74,6 +78,11 @@ pub struct Scheduler {
     next_id: usize,
     dropped_length: f64,
     delete_covered: bool,
+    /// Disjoint intervals given up on by [`Scheduler::quarantine`]: out of
+    /// the uncovered set (so the sweep terminates) but *named*, never
+    /// silently claimed covered. Later certified disks that land on a gap
+    /// shrink it — only genuinely unexplored frequencies stay reported.
+    gaps: Vec<(f64, f64)>,
     stats: SchedulerStats,
 }
 
@@ -149,6 +158,7 @@ impl Scheduler {
             next_id: 0,
             dropped_length: 0.0,
             delete_covered: true,
+            gaps: Vec::new(),
             stats: SchedulerStats::default(),
         }
     }
@@ -216,16 +226,14 @@ impl Scheduler {
             self.tentative
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.omega.partial_cmp(&b.1.omega).unwrap())
-                .map(|(i, _)| i)
-                .expect("non-empty")
+                .max_by(|a, b| a.1.omega.total_cmp(&b.1.omega))
+                .map(|(i, _)| i)?
         } else {
             self.tentative
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.omega.partial_cmp(&b.1.omega).unwrap())
-                .map(|(i, _)| i)
-                .expect("non-empty")
+                .min_by(|a, b| a.1.omega.total_cmp(&b.1.omega))
+                .map(|(i, _)| i)?
         };
         let t = self.tentative.swap_remove(idx);
         let id = self.next_id;
@@ -254,12 +262,18 @@ impl Scheduler {
     /// is not positive.
     pub fn complete(&mut self, task: &ShiftTask, center: f64, radius: f64) {
         assert!(radius > 0.0, "certified radius must be positive");
+        // PANIC-SAFE: a missing id is a double-completion bug in the
+        // driver; the documented panic (see `# Panics`) is the guard.
+        #[allow(clippy::expect_used)]
         let interval = self
             .in_flight
             .remove(&task.id)
             .expect("completion of unknown or already-completed task");
         self.stats.processed += 1;
         subtract(&mut self.uncovered, (center - radius, center + radius));
+        // A certified disk landing on a quarantined gap shrinks the gap:
+        // those frequencies *were* explored after all.
+        subtract(&mut self.gaps, (center - radius, center + radius));
 
         // Re-seed tentative shifts whose interval lost coverage (skipped in
         // static-grid ablation mode, where pre-allocated shifts are always
@@ -328,6 +342,13 @@ impl Scheduler {
     ///
     /// Deterministic in the scheduler state (pure function of the
     /// uncovered set), so workers may poll it at any cadence.
+    /// `true` while `id` names a shift currently in flight. The block
+    /// driver's panic-recovery path uses this to retry only lanes that
+    /// never reached `complete`/`cancel` before the unwind.
+    pub fn is_in_flight(&self, id: usize) -> bool {
+        self.in_flight.contains_key(&id)
+    }
+
     pub fn should_cancel(&self, id: usize) -> bool {
         let Some(&interval) = self.in_flight.get(&id) else {
             return false;
@@ -346,6 +367,9 @@ impl Scheduler {
     ///
     /// Panics if the task id is unknown (double completion/cancellation).
     pub fn cancel(&mut self, task: &ShiftTask) {
+        // PANIC-SAFE: a missing id is a double-cancellation bug in the
+        // driver; the documented panic (see `# Panics`) is the guard.
+        #[allow(clippy::expect_used)]
         let interval = self
             .in_flight
             .remove(&task.id)
@@ -363,6 +387,53 @@ impl Scheduler {
         }
     }
 
+    /// Gives up on an in-flight shift the degradation ladder could not
+    /// rescue: its interval's uncovered remainder is removed from the
+    /// uncovered set (so the sweep can terminate) and recorded as a
+    /// *named* coverage gap — honest partial coverage, never a silent
+    /// claim. Unlike [`Scheduler::cancel`], nothing is re-seeded: the
+    /// whole point is to stop retrying a breaking-down frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task id is unknown (double completion/quarantine).
+    pub fn quarantine(&mut self, task: &ShiftTask) {
+        // PANIC-SAFE: a missing id is a double-quarantine bug in the
+        // driver; the documented panic (see `# Panics`) is the guard.
+        #[allow(clippy::expect_used)]
+        let interval = self
+            .in_flight
+            .remove(&task.id)
+            .expect("quarantine of unknown or already-completed task");
+        self.stats.quarantined += 1;
+        let pieces = intersect(interval, &self.uncovered);
+        for &piece in &pieces {
+            self.gaps.push(piece);
+            subtract(&mut self.uncovered, piece);
+        }
+    }
+
+    /// The named coverage gaps left by quarantined shifts, sorted and
+    /// merged, net of any later certified disks. Empty on a fully covered
+    /// sweep.
+    pub fn coverage_gaps(&self) -> Vec<(f64, f64)> {
+        let mut gaps: Vec<(f64, f64)> = self
+            .gaps
+            .iter()
+            .copied()
+            .filter(|(lo, hi)| hi - lo > 0.0)
+            .collect();
+        gaps.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(gaps.len());
+        for (lo, hi) in gaps {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1 + self.min_piece => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        merged
+    }
+
     /// Debug/verification helper: `true` when every uncovered point lies in
     /// a tentative or in-flight interval (the coverage invariant).
     pub fn coverage_invariant_holds(&self) -> bool {
@@ -372,7 +443,7 @@ impl Scheduler {
             .map(|t| t.interval)
             .chain(self.in_flight.values().copied())
             .collect();
-        owned.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        owned.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut remaining = self.uncovered.clone();
         for iv in owned {
             subtract(&mut remaining, iv);
@@ -627,6 +698,60 @@ mod tests {
             "oversized disks should strand at least one in-flight shift: {st:?}"
         );
         assert_eq!(st.processed + st.cancelled_in_flight, steps);
+    }
+
+    #[test]
+    fn quarantine_names_the_gap_and_lets_the_sweep_terminate() {
+        let mut s = Scheduler::new((0.0, 4.0), 4, 1.0);
+        let a = s.next_shift().unwrap(); // omega 0, interval (0,1)
+        let b = s.next_shift().unwrap(); // omega 4, interval (3,4)
+        s.quarantine(&b);
+        assert_eq!(s.stats().quarantined, 1);
+        assert_eq!(s.coverage_gaps(), vec![(3.0, 4.0)]);
+        // The gap left the uncovered set (else the sweep could never end)…
+        assert!((s.uncovered_length() - 3.0).abs() < 1e-12);
+        // …and the rest of the sweep proceeds normally.
+        s.complete(&a, a.omega, 1.0);
+        while let Some(t) = s.next_shift() {
+            s.complete(&t, t.omega, t.rho0);
+        }
+        assert!(s.is_done());
+        assert_eq!(s.coverage_gaps(), vec![(3.0, 4.0)], "gap stays named");
+    }
+
+    #[test]
+    fn later_disks_shrink_reported_gaps() {
+        let mut s = Scheduler::new((0.0, 4.0), 4, 1.0);
+        let a = s.next_shift().unwrap(); // omega 0, interval (0,1)
+        let b = s.next_shift().unwrap(); // omega 4, interval (3,4)
+        s.quarantine(&b);
+        assert_eq!(s.coverage_gaps(), vec![(3.0, 4.0)]);
+        // A huge disk from the other side covers most of the gap too.
+        s.complete(&a, a.omega, 3.5);
+        assert_eq!(s.coverage_gaps(), vec![(3.5, 4.0)]);
+    }
+
+    #[test]
+    fn adjacent_quarantine_gaps_merge() {
+        let mut s = Scheduler::new((0.0, 4.0), 4, 1.0);
+        let _a = s.next_shift().unwrap(); // (0,1)
+        let b = s.next_shift().unwrap(); // (3,4)
+        let c = s.next_shift().unwrap(); // (1,2)
+        let d = s.next_shift().unwrap(); // (2,3)
+        s.quarantine(&d);
+        s.quarantine(&b);
+        s.quarantine(&c);
+        assert_eq!(s.stats().quarantined, 3);
+        assert_eq!(s.coverage_gaps(), vec![(1.0, 4.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or already-completed")]
+    fn double_quarantine_rejected() {
+        let mut s = Scheduler::new((0.0, 1.0), 2, 1.0);
+        let t = s.next_shift().unwrap();
+        s.quarantine(&t);
+        s.quarantine(&t);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::scheduler::{Scheduler, SchedulerStats, ShiftTask};
 use crate::solver::{cost_units, run_shift, SolverOptions};
 use crate::spectrum;
 use pheig_arnoldi::single_shift::SingleShiftOutcome;
+use pheig_arnoldi::SweepControl;
 use pheig_model::StateSpace;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -146,7 +147,8 @@ pub fn simulate_parallel(
                     // The simulator's cost model is cold-start by design:
                     // virtual-time speedup curves must not depend on the
                     // completion-order-dependent recycling pool.
-                    let outcome = run_shift(ss, &task, scale, opts, &mut ws, &[])?;
+                    let outcome =
+                        run_shift(ss, &task, scale, opts, &mut ws, &[], &SweepControl::none())?;
                     let cost = cost_units(&outcome);
                     total_cost += cost;
                     heap.push(Reverse(Event {

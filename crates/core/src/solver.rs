@@ -12,17 +12,22 @@
 use crate::band::estimate_band;
 use crate::error::SolverError;
 use crate::exec::{Executor, SweepOrigin, Task, TaskContext};
+use crate::fault::{self, ActiveFaults, FaultPlan};
 use crate::scheduler::{Scheduler, SchedulerStats, ShiftTask};
 use crate::spectrum::{self, ImaginaryEigenpair};
 use parking_lot::{Condvar, Mutex};
 use pheig_arnoldi::single_shift::SingleShiftOutcome;
 use pheig_arnoldi::{
     block_shift_sweep, build_shift_invert_op, single_shift_iteration_recycled_with, ArnoldiError,
-    ArnoldiWorkspace, BlockLaneSpec, RecyclePool, RecycledPair, SingleShiftOptions,
+    ArnoldiWorkspace, BlockLaneSpec, CancelToken, RecyclePool, RecycledPair, SingleShiftOptions,
+    SweepControl,
 };
 use pheig_hamiltonian::MultiShiftInvertOp;
 use pheig_linalg::C64;
 use pheig_model::StateSpace;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Reusable solver scratch: one Arnoldi workspace per worker thread.
@@ -76,6 +81,20 @@ pub struct SolverOptions {
     /// Maximum shifts batched into one lockstep block solve; `1` runs
     /// every shift solo (the pre-batching behavior).
     pub block_size: usize,
+    /// Cooperative cancellation: latch the token and the sweep winds down
+    /// at the next restart boundaries, returning whatever is certified
+    /// (remaining work becomes named coverage gaps, not an error).
+    pub cancel: Option<CancelToken>,
+    /// Per-sweep operator-application budget shared by all shifts; on
+    /// exhaustion the sweep degrades to a partial result exactly like a
+    /// cancellation. `None` is unlimited.
+    pub matvec_budget: Option<u64>,
+    /// Per-sweep restart budget; same semantics as `matvec_budget`.
+    pub restart_budget: Option<u64>,
+    /// Fault-injection plan for chaos testing. `None` consults the
+    /// `PHEIG_FAULT_PLAN` environment hook; an empty plan (and an unset
+    /// variable) arms nothing and costs nothing on the hot path.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SolverOptions {
@@ -91,6 +110,10 @@ impl SolverOptions {
             max_shift_retries: 4,
             recycling: true,
             block_size: 4,
+            cancel: None,
+            matvec_budget: None,
+            restart_budget: None,
+            fault_plan: None,
         }
     }
 
@@ -121,6 +144,30 @@ impl SolverOptions {
     /// Overrides the search band.
     pub fn with_band(mut self, lo: f64, hi: f64) -> Self {
         self.band = Some((lo, hi));
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Caps the sweep's total operator applications.
+    pub fn with_matvec_budget(mut self, matvecs: u64) -> Self {
+        self.matvec_budget = Some(matvecs);
+        self
+    }
+
+    /// Caps the sweep's total restarts.
+    pub fn with_restart_budget(mut self, restarts: u64) -> Self {
+        self.restart_budget = Some(restarts);
+        self
+    }
+
+    /// Arms a fault-injection plan (chaos testing).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }
@@ -166,6 +213,12 @@ pub struct SolverStats {
     pub recycle_candidates: usize,
     /// Recycled candidates that locked immediately (warm hits).
     pub recycle_hits: usize,
+    /// Shifts the degradation ladder gave up on (their intervals are the
+    /// sweep's [`SolverOutcome::coverage_gaps`]).
+    pub shifts_quarantined: usize,
+    /// Faults the armed [`FaultPlan`] actually fired during this sweep
+    /// (always 0 without a plan).
+    pub faults_injected: u64,
     /// End-to-end wall time.
     pub wall: Duration,
 }
@@ -218,6 +271,23 @@ impl RecycleCounters {
     }
 }
 
+/// A shift the sweep gave up on after the degradation ladder (retries,
+/// then one cold attempt with widened tolerance) was exhausted, or that
+/// was abandoned by a cancellation / budget stop.
+///
+/// Its interval contribution to [`SolverOutcome::coverage_gaps`] is the
+/// part of the band the sweep makes *no claim about*: crossings there may
+/// exist undetected.
+#[derive(Debug, Clone)]
+pub struct QuarantinedShift {
+    /// The shift frequency that could not be processed.
+    pub omega: f64,
+    /// The interval the shift was responsible for when quarantined.
+    pub interval: (f64, f64),
+    /// The first error that sent the shift down the degradation ladder.
+    pub reason: SolverError,
+}
+
 /// Result of a full band sweep.
 #[derive(Debug, Clone)]
 pub struct SolverOutcome {
@@ -229,6 +299,17 @@ pub struct SolverOutcome {
     pub band: (f64, f64),
     /// Per-shift telemetry in completion order.
     pub shift_log: Vec<ShiftRecord>,
+    /// Shifts the sweep gave up on, in quarantine order. Empty on a
+    /// healthy run; non-empty means the result is *partial* and
+    /// [`SolverOutcome::coverage_gaps`] names the unexamined intervals.
+    pub quarantined: Vec<QuarantinedShift>,
+    /// Sub-intervals of `band` that no certified disk covers, sorted and
+    /// merged. Empty on a healthy run.
+    pub coverage_gaps: Vec<(f64, f64)>,
+    /// Fraction of the band length covered by certified disks (`1.0` on a
+    /// healthy run). Honest partial-coverage reporting: uncovered
+    /// intervals are named in `coverage_gaps`, never silently claimed.
+    pub covered_fraction: f64,
     /// Aggregate statistics.
     pub stats: SolverStats,
 }
@@ -259,6 +340,7 @@ pub(crate) fn run_shift(
     opts: &SolverOptions,
     ws: &mut ArnoldiWorkspace,
     warm: &[RecycledPair],
+    control: &SweepControl,
 ) -> Result<SingleShiftOutcome, SolverError> {
     // Tolerances must track the *local* magnitude: the global spectral
     // radius of M can exceed the pole band by orders of magnitude (large
@@ -268,6 +350,10 @@ pub(crate) fn run_shift(
     let min_radius = 1e-12 * scale.max(1.0);
     let mut last = String::from("no attempts made");
     for attempt in 0..opts.max_shift_retries.max(1) {
+        if control.should_stop() {
+            last = String::from("sweep stopped (cancelled or budget exhausted)");
+            break;
+        }
         let seed = opts
             .seed
             .wrapping_add((task.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
@@ -277,6 +363,7 @@ pub(crate) fn run_shift(
         // produce nearly-degenerate eigenvalue shells that a 60-vector
         // space cannot always split.
         let mut aopts = opts.arnoldi.clone().with_seed(seed);
+        aopts.control = control.clone();
         aopts.max_subspace += 30 * attempt;
         aopts.max_restarts += 8 * attempt;
         let nudge = match attempt {
@@ -339,19 +426,26 @@ pub(crate) fn pole_scale(ss: &StateSpace) -> f64 {
 fn assemble(
     band: (f64, f64),
     axis_scale: f64,
-    mut completions: Vec<(ShiftTask, SingleShiftOutcome, Duration)>,
-    sched_stats: SchedulerStats,
+    sweep: SweepOutput,
     opts: &SolverOptions,
+    faults_injected: u64,
     wall: Duration,
 ) -> SolverOutcome {
+    let SweepOutput {
+        mut completions,
+        stats: sched_stats,
+        gaps,
+        quarantined,
+    } = sweep;
     // Under `threads > 1` completions land in mutex-acquisition order,
     // which varies run to run; sort by shift frequency (radius as the
     // tie-break) so `shift_log` and everything derived from it is
     // deterministic for a given completion set.
     completions.sort_by(|a, b| {
-        (a.1.theta.im, a.1.radius)
-            .partial_cmp(&(b.1.theta.im, b.1.radius))
-            .expect("shift frequencies and radii are finite")
+        a.1.theta
+            .im
+            .total_cmp(&b.1.theta.im)
+            .then(a.1.radius.total_cmp(&b.1.radius))
     });
     let scale = axis_scale;
     let axis_tol = axis_tolerance(opts, scale);
@@ -390,17 +484,26 @@ fn assemble(
     let report_cap = band.1 + 0.5 * (band.1 - band.0);
     eigenpairs.retain(|e| e.lambda.im <= report_cap);
     let frequencies = spectrum::frequencies(&eigenpairs);
+    let band_len = (band.1 - band.0).max(f64::MIN_POSITIVE);
+    let gap_len: f64 = gaps.iter().map(|&(lo, hi)| hi - lo).sum();
+    let covered_fraction = (1.0 - gap_len / band_len).clamp(0.0, 1.0);
+    let shifts_quarantined = sched_stats.quarantined;
     SolverOutcome {
         frequencies,
         eigenpairs,
         band,
         shift_log,
+        quarantined,
+        coverage_gaps: gaps,
+        covered_fraction,
         stats: SolverStats {
             scheduler: sched_stats,
             total_matvecs,
             warm_started_shifts,
             recycle_candidates,
             recycle_hits,
+            shifts_quarantined,
+            faults_injected,
             wall,
         },
     }
@@ -415,8 +518,13 @@ fn assemble(
 ///
 /// * [`SolverError::BandEstimation`] / [`SolverError::Hamiltonian`] for
 ///   degenerate models;
-/// * [`SolverError::ShiftFailed`] when a shift cannot be certified even
-///   after reseeded retries.
+/// * [`SolverError::TaskPanicked`] when a sweep task panicked and the
+///   remaining members could not finish the band without it.
+///
+/// A shift that cannot be certified even after reseeded retries is *not*
+/// an error: the degradation ladder retries it once cold, then
+/// quarantines it, and the sweep returns a partial result whose
+/// [`SolverOutcome::coverage_gaps`] name the unexamined intervals.
 ///
 /// # Example
 ///
@@ -470,6 +578,40 @@ pub(crate) fn find_imaginary_eigenvalues_tagged(
 ) -> Result<SolverOutcome, SolverError> {
     let t0 = Instant::now();
     validate_options(opts)?;
+    // `PHEIG_NO_RECYCLE` kill switch: force recycling off regardless of
+    // options, so A/B and incident triage never require a rebuild.
+    static NO_RECYCLE: OnceLock<bool> = OnceLock::new();
+    let no_recycle =
+        *NO_RECYCLE.get_or_init(|| std::env::var_os("PHEIG_NO_RECYCLE").is_some_and(|v| v != "0"));
+    let mut eff_opts = None;
+    let opts = if no_recycle && opts.recycling {
+        &*eff_opts.insert(opts.clone().with_recycling(false))
+    } else {
+        opts
+    };
+    // Fault plan: explicit options win; otherwise the `PHEIG_FAULT_PLAN`
+    // environment hook. Budget overrides fold into the plan so both
+    // channels share one activation path.
+    let mut plan = match &opts.fault_plan {
+        Some(p) => p.clone(),
+        None => fault::plan_from_env()?.unwrap_or_default(),
+    };
+    if opts.matvec_budget.is_some() {
+        plan.budget_matvecs = opts.matvec_budget;
+    }
+    if opts.restart_budget.is_some() {
+        plan.budget_restarts = opts.restart_budget;
+    }
+    let faults = plan.activate();
+    let mut control = faults.control.clone();
+    if let Some(token) = &opts.cancel {
+        control.cancel = Some(token.clone());
+    }
+    if faults.wants_injector_pressure() {
+        // Deterministically overflow the executor's injector so the
+        // push-fail -> inline-execute recovery path runs under test.
+        Executor::exercise_injector_backpressure(crate::exec::injector_capacity() + 128);
+    }
     let band = match opts.band {
         Some(b) => b,
         None => estimate_band(ss, &opts.arnoldi)?,
@@ -478,17 +620,17 @@ pub(crate) fn find_imaginary_eigenvalues_tagged(
     let scheduler = Scheduler::new(band, n_intervals, opts.alpha);
     let scale = pole_scale(ss);
 
-    let (completions, sched_stats) = if opts.threads <= 1 {
-        run_serial(ss, scheduler, scale, opts, ws)?
+    let sweep = if opts.threads <= 1 {
+        run_serial(ss, scheduler, scale, opts, ws, &control, &faults)?
     } else {
-        run_parallel(ss, scheduler, scale, opts, ws, origin)?
+        run_parallel(ss, scheduler, scale, opts, ws, origin, &control, &faults)?
     };
     Ok(assemble(
         band,
         scale,
-        completions,
-        sched_stats,
+        sweep,
         opts,
+        faults.faults_injected(),
         t0.elapsed(),
     ))
 }
@@ -510,13 +652,51 @@ fn validate_options(opts: &SolverOptions) -> Result<(), SolverError> {
 
 type Completions = Vec<(ShiftTask, SingleShiftOutcome, Duration)>;
 
+/// What a sweep driver hands back: completions plus the partial-coverage
+/// record (quarantined shifts and the gaps they left).
+struct SweepOutput {
+    completions: Completions,
+    stats: SchedulerStats,
+    gaps: Vec<(f64, f64)>,
+    quarantined: Vec<QuarantinedShift>,
+}
+
+/// Converts a finished [`SharedState`] (plus any contained panic payload)
+/// into a driver result. A panic payload only becomes an error when the
+/// sweep did not finish: an injected worker panic whose siblings still
+/// completed the band is a *contained* fault, not a failure.
+fn finish_state(
+    state: SharedState,
+    payload: Option<Box<dyn Any + Send>>,
+) -> Result<SweepOutput, SolverError> {
+    if let Some(e) = state.error {
+        return Err(e);
+    }
+    if let Some(p) = payload {
+        if !state.scheduler.is_done() {
+            return Err(SolverError::from_panic(p.as_ref()));
+        }
+    }
+    let stats = state.scheduler.stats();
+    let gaps = state.scheduler.coverage_gaps();
+    Ok(SweepOutput {
+        completions: state.completions,
+        stats,
+        gaps,
+        quarantined: state.quarantined,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_serial(
     ss: &StateSpace,
     scheduler: Scheduler,
     scale: f64,
     opts: &SolverOptions,
     ws: &mut SolverWorkspace,
-) -> Result<(Completions, SchedulerStats), SolverError> {
+    control: &SweepControl,
+    faults: &ActiveFaults,
+) -> Result<SweepOutput, SolverError> {
     // The serial driver is one inline membership of the same sweep loop
     // the parallel cohort runs: identical batching, recycling, and
     // cancellation logic, with the mutex never contended.
@@ -529,21 +709,21 @@ fn run_serial(
         shared: &shared,
         cv: &cv,
         origin: SweepOrigin::Characterization,
+        control,
+        faults,
     };
-    share.run(&mut TaskContext::new(ws));
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        share.run(&mut TaskContext::new(ws));
+    }));
     let state = shared.into_inner();
-    if let Some(e) = state.error {
-        return Err(e);
-    }
-    debug_assert!(state.scheduler.is_done());
-    let stats = state.scheduler.stats();
-    Ok((state.completions, stats))
+    finish_state(state, run.err())
 }
 
 struct SharedState {
     scheduler: Scheduler,
     pool: RecyclePool,
     completions: Completions,
+    quarantined: Vec<QuarantinedShift>,
     error: Option<SolverError>,
 }
 
@@ -553,6 +733,7 @@ impl SharedState {
             scheduler,
             pool: RecyclePool::new(),
             completions: Vec::new(),
+            quarantined: Vec::new(),
             error: None,
         }
     }
@@ -569,6 +750,8 @@ pub struct SweepShare<'a> {
     shared: &'a Mutex<SharedState>,
     cv: &'a Condvar,
     origin: SweepOrigin,
+    control: &'a SweepControl,
+    faults: &'a ActiveFaults,
 }
 
 impl SweepShare<'_> {
@@ -588,12 +771,32 @@ impl SweepShare<'_> {
     pub(crate) fn run(&self, ctx: &mut TaskContext<'_>) {
         let block_cap = self.opts.block_size.max(1);
         loop {
+            // An injected worker panic fires here, at the pull boundary
+            // with nothing in flight and no lock held: what's under test
+            // is the containment machinery (latch completion, workspace
+            // return, typed surfacing), not torn scheduler state.
+            if self.faults.should_panic_task() {
+                panic!("injected fault: solver task panic at pull boundary");
+            }
             let (batch, warms) = {
                 let mut guard = self.shared.lock();
                 loop {
                     if guard.error.is_some() || guard.scheduler.is_done() {
                         self.cv.notify_all();
                         return;
+                    }
+                    if self.control.should_stop() {
+                        // Cancelled or out of budget: stop pulling new
+                        // work and quarantine every remaining tentative so
+                        // the sweep terminates with *named* gaps instead
+                        // of spinning (partial result, not an error).
+                        self.drain_stopped(&mut guard);
+                        if guard.scheduler.is_done() {
+                            self.cv.notify_all();
+                            return;
+                        }
+                        self.cv.wait(&mut guard);
+                        continue;
                     }
                     if let Some(first) = guard.scheduler.next_shift() {
                         let mut batch = vec![first];
@@ -632,32 +835,97 @@ impl SweepShare<'_> {
         }
     }
 
+    /// Quarantines every tentative shift still queued after a cancel or
+    /// budget stop; their intervals become reported coverage gaps.
+    fn drain_stopped(&self, state: &mut SharedState) {
+        while let Some(t) = state.scheduler.next_shift() {
+            let reason = SolverError::ShiftFailed {
+                omega: t.omega,
+                reason: if self.control.is_cancelled() {
+                    "sweep cancelled before this shift ran".to_string()
+                } else {
+                    "sweep budget exhausted before this shift ran".to_string()
+                },
+            };
+            state.scheduler.quarantine(&t);
+            state.quarantined.push(QuarantinedShift {
+                omega: t.omega,
+                interval: t.interval,
+                reason,
+            });
+        }
+    }
+
     /// Runs one shift solo (with retries) and records the result.
     ///
     /// A finished solo result is always *completed*, never cancelled: at
     /// completion time the work is already spent, and a certified disk is
     /// always sound to hand the scheduler — cancellation only pays when
     /// it aborts a shift early (the block driver's round-boundary polls).
+    ///
+    /// A panicking iteration is contained here, per shift, and fed into
+    /// the same degradation ladder as an ordinary failure.
     fn run_solo(&self, task: &ShiftTask, warm: &[RecycledPair], ws: &mut ArnoldiWorkspace) {
         let started = Instant::now();
-        let result = run_shift(self.ss, task, self.scale, self.opts, ws, warm);
-        let mut guard = self.shared.lock();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_shift(self.ss, task, self.scale, self.opts, ws, warm, self.control)
+        }))
+        .unwrap_or_else(|p| Err(SolverError::from_panic(p.as_ref())));
         match result {
-            Ok(out) => {
-                guard.scheduler.complete(task, out.theta.im, out.radius);
-                if self.opts.recycling {
-                    guard.pool.record(out.theta.im, &out);
-                }
-                guard
-                    .completions
-                    .push((task.clone(), out, started.elapsed()));
-            }
-            Err(e) => {
-                if guard.error.is_none() {
-                    guard.error = Some(e);
-                }
+            Ok(out) => self.record(task, out, started),
+            Err(first) => self.degrade(task, ws, started, first),
+        }
+    }
+
+    /// Records one certified completion under the lock.
+    fn record(&self, task: &ShiftTask, out: SingleShiftOutcome, started: Instant) {
+        let mut guard = self.shared.lock();
+        guard.scheduler.complete(task, out.theta.im, out.radius);
+        if self.opts.recycling {
+            guard.pool.record(out.theta.im, &out);
+        }
+        guard
+            .completions
+            .push((task.clone(), out, started.elapsed()));
+        drop(guard);
+        self.cv.notify_all();
+    }
+
+    /// The degradation ladder for a breaking-down shift: one *cold*
+    /// attempt (no recycled warm starts, fresh seed, tolerance widened
+    /// 100x but never past 1e-5), then quarantine. Transient faults —
+    /// a one-shot injected NaN, a flaky near-degenerate start vector —
+    /// recover on the cold attempt; persistent breakdown quarantines the
+    /// shift so sibling shifts and the sweep itself keep going.
+    fn degrade(
+        &self,
+        task: &ShiftTask,
+        ws: &mut ArnoldiWorkspace,
+        started: Instant,
+        first: SolverError,
+    ) {
+        if !self.control.should_stop() {
+            let mut cold = self.opts.clone();
+            cold.arnoldi.tol = (cold.arnoldi.tol * 100.0).min(1e-5);
+            cold.max_shift_retries = 1;
+            cold.recycling = false;
+            cold.seed ^= 0xC01D_C01D;
+            let retried = catch_unwind(AssertUnwindSafe(|| {
+                run_shift(self.ss, task, self.scale, &cold, ws, &[], self.control)
+            }))
+            .unwrap_or_else(|p| Err(SolverError::from_panic(p.as_ref())));
+            if let Ok(out) = retried {
+                self.record(task, out, started);
+                return;
             }
         }
+        let mut guard = self.shared.lock();
+        guard.scheduler.quarantine(task);
+        guard.quarantined.push(QuarantinedShift {
+            omega: task.omega,
+            interval: task.interval,
+            reason: first,
+        });
         drop(guard);
         self.cv.notify_all();
     }
@@ -672,11 +940,24 @@ impl SweepShare<'_> {
         warms: Vec<Vec<RecycledPair>>,
         lane_ws: &mut [ArnoldiWorkspace],
     ) {
-        let failed = match self.try_block(batch, warms, lane_ws) {
-            Some(failed) => failed,
+        let attempted = catch_unwind(AssertUnwindSafe(|| {
+            self.try_block(batch, warms, &mut *lane_ws)
+        }));
+        let failed: Vec<usize> = match attempted {
+            Ok(Some(failed)) => failed,
             // Lane operator construction failed (irreparably singular
             // shift): run every lane through the solo retry path.
-            None => (0..batch.len()).collect(),
+            Ok(None) => (0..batch.len()).collect(),
+            // The block solve panicked mid-superstep. `on_complete` may
+            // already have completed (or cancelled) some lanes before the
+            // unwind, so retry only the lanes still in flight — blindly
+            // retrying all of them would double-complete the scheduler.
+            Err(_) => {
+                let guard = self.shared.lock();
+                (0..batch.len())
+                    .filter(|&l| guard.scheduler.is_in_flight(batch[l].id))
+                    .collect()
+            }
         };
         for l in failed {
             let task = &batch[l];
@@ -728,7 +1009,12 @@ impl SweepShare<'_> {
                 BlockLaneSpec {
                     rho0: task.rho0,
                     scale: task.omega.abs().max(self.scale),
-                    opts: self.opts.arnoldi.clone().with_seed(seed),
+                    opts: self
+                        .opts
+                        .arnoldi
+                        .clone()
+                        .with_seed(seed)
+                        .with_control(self.control.clone()),
                     warm,
                 }
             })
@@ -771,6 +1057,7 @@ impl SweepShare<'_> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_parallel(
     ss: &StateSpace,
     scheduler: Scheduler,
@@ -778,7 +1065,9 @@ fn run_parallel(
     opts: &SolverOptions,
     ws: &mut SolverWorkspace,
     origin: SweepOrigin,
-) -> Result<(Completions, SchedulerStats), SolverError> {
+    control: &SweepControl,
+    faults: &ActiveFaults,
+) -> Result<SweepOutput, SolverError> {
     let shared = Mutex::new(SharedState::new(scheduler));
     let cv = Condvar::new();
     let share = SweepShare {
@@ -788,19 +1077,17 @@ fn run_parallel(
         shared: &shared,
         cv: &cv,
         origin,
+        control,
+        faults,
     };
     // T-way sweep = T-1 pool members + this thread. When already inside a
     // pool (a batch job fanning out its sweep), the cohort lands on that
     // same pool instead of spawning a nested one.
     let members = opts.threads.saturating_sub(1);
     let exec = Executor::current_or_pool(members);
-    exec.run_cohort(Task::ShiftSweep(&share), members, &mut TaskContext::new(ws));
+    let run = exec.run_cohort_caught(Task::ShiftSweep(&share), members, &mut TaskContext::new(ws));
     let state = shared.into_inner();
-    if let Some(e) = state.error {
-        return Err(e);
-    }
-    let stats = state.scheduler.stats();
-    Ok((state.completions, stats))
+    finish_state(state, run.err())
 }
 
 #[cfg(test)]
@@ -946,26 +1233,150 @@ mod tests {
     }
 
     #[test]
-    fn parallel_failure_propagates_without_deadlock() {
+    fn persistent_breakdown_quarantines_with_honest_gaps() {
         // Force every shift to fail: a zero restart budget means no Ritz
-        // value can ever converge, so run_shift exhausts its retries.
+        // value can ever converge, so the degradation ladder (retries,
+        // then one cold widened-tolerance attempt) is exhausted on every
+        // shift. The sweep must terminate with an honest partial result —
+        // named gaps spanning the band — not an error and not a deadlock.
         let ss = generate_case(&CaseSpec::new(16, 2).with_seed(4).with_target_crossings(2))
             .unwrap()
             .realize();
         let mut opts = SolverOptions::default().with_threads(4);
         opts.arnoldi.max_restarts = 0;
         opts.max_shift_retries = 1;
+        for threads in [4usize, 1] {
+            opts.threads = threads;
+            let out = find_imaginary_eigenvalues(&ss, &opts).unwrap();
+            assert!(!out.quarantined.is_empty(), "T={threads}");
+            assert_eq!(out.stats.shifts_quarantined, out.quarantined.len());
+            assert!(out
+                .quarantined
+                .iter()
+                .all(|q| matches!(q.reason, SolverError::ShiftFailed { .. })));
+            let gap_len: f64 = out.coverage_gaps.iter().map(|(a, b)| b - a).sum();
+            let band_len = out.band.1 - out.band.0;
+            assert!(
+                gap_len > 0.99 * band_len,
+                "T={threads}: gaps {:?} should span the band {:?}",
+                out.coverage_gaps,
+                out.band
+            );
+            assert!(out.covered_fraction < 0.01, "T={threads}");
+            assert!(out.frequencies.is_empty(), "T={threads}");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_partial_result_not_error() {
+        let ss = generate_case(&CaseSpec::new(24, 2).with_seed(31).with_target_crossings(4))
+            .unwrap()
+            .realize();
+        // A tiny matvec budget stops the sweep almost immediately.
+        let opts = SolverOptions::default().with_matvec_budget(1);
+        let out = find_imaginary_eigenvalues(&ss, &opts).unwrap();
+        assert!(out.covered_fraction < 1.0);
+        assert!(!out.quarantined.is_empty());
+        assert!(!out.coverage_gaps.is_empty());
+        // Every reported gap overlaps a quarantined shift's interval, and
+        // the gaps never exceed what was actually given up.
+        for &(lo, hi) in &out.coverage_gaps {
+            assert!(out
+                .quarantined
+                .iter()
+                .any(|q| q.interval.1 > lo && q.interval.0 < hi));
+        }
+        let gap_len: f64 = out.coverage_gaps.iter().map(|(a, b)| b - a).sum();
+        let quarantined_len: f64 = out
+            .quarantined
+            .iter()
+            .map(|q| q.interval.1 - q.interval.0)
+            .sum();
+        assert!(gap_len <= quarantined_len + 1e-9 * (out.band.1 - out.band.0));
+        // A generous budget changes nothing.
+        let opts = SolverOptions::default().with_matvec_budget(10_000_000);
+        let full = find_imaginary_eigenvalues(&ss, &opts).unwrap();
+        assert_eq!(full.covered_fraction, 1.0);
+        assert!(full.quarantined.is_empty());
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_degrades_to_empty_partial_result() {
+        let ss = generate_case(&CaseSpec::new(16, 2).with_seed(4).with_target_crossings(2))
+            .unwrap()
+            .realize();
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1usize, 4] {
+            let opts = SolverOptions::default()
+                .with_threads(threads)
+                .with_cancel(token.clone());
+            let out = find_imaginary_eigenvalues(&ss, &opts).unwrap();
+            assert!(out.frequencies.is_empty(), "T={threads}");
+            assert!(out.covered_fraction < 0.01, "T={threads}");
+            assert!(out
+                .quarantined
+                .iter()
+                .all(|q| format!("{}", q.reason).contains("cancelled")));
+        }
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained_in_parallel_and_typed_in_serial() {
+        let ss = generate_case(&CaseSpec::new(16, 2).with_seed(4).with_target_crossings(2))
+            .unwrap()
+            .realize();
+        let plan = FaultPlan {
+            panic_task: Some(0),
+            ..FaultPlan::default()
+        };
+        // Serial: the sole member panics before pulling any work; the
+        // unwind is contained and surfaces as a typed error, not an abort.
+        let opts = SolverOptions::default().with_fault_plan(plan.clone());
         let err = find_imaginary_eigenvalues(&ss, &opts).unwrap_err();
         assert!(
-            matches!(err, SolverError::ShiftFailed { .. }),
-            "expected ShiftFailed, got {err:?}"
+            matches!(err, SolverError::TaskPanicked { .. }),
+            "got {err:?}"
         );
-        // The same failure must also surface from the serial driver.
-        opts.threads = 1;
-        assert!(matches!(
-            find_imaginary_eigenvalues(&ss, &opts),
-            Err(SolverError::ShiftFailed { .. })
-        ));
+        // Parallel: the surviving members finish the whole band, so the
+        // panic is contained entirely and the result is complete.
+        let opts = SolverOptions::default()
+            .with_threads(4)
+            .with_fault_plan(plan);
+        let out = find_imaginary_eigenvalues(&ss, &opts).unwrap();
+        let clean = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
+        assert_eq!(out.frequencies.len(), clean.frequencies.len());
+        assert!(out.coverage_gaps.is_empty());
+        assert_eq!(out.covered_fraction, 1.0);
+        assert!(out.stats.faults_injected >= 1);
+    }
+
+    #[test]
+    fn transient_nan_injection_recovers_via_degradation_ladder() {
+        // A one-shot NaN corruption of an operator application must never
+        // produce NaN frequencies: the poisoned attempt fails, the ladder
+        // retries, and the final answer agrees with the clean run (or the
+        // shift is quarantined with a named gap — never silent garbage).
+        let ss = generate_case(&CaseSpec::new(24, 2).with_seed(31).with_target_crossings(4))
+            .unwrap()
+            .realize();
+        let clean = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
+        let plan = FaultPlan {
+            nan_apply: Some(3),
+            ..FaultPlan::default()
+        };
+        let opts = SolverOptions::default().with_fault_plan(plan);
+        let out = find_imaginary_eigenvalues(&ss, &opts).unwrap();
+        assert!(out.frequencies.iter().all(|w| w.is_finite()));
+        assert!(out.stats.faults_injected >= 1);
+        if out.quarantined.is_empty() {
+            assert_eq!(out.frequencies.len(), clean.frequencies.len());
+            for (a, b) in out.frequencies.iter().zip(&clean.frequencies) {
+                assert!((a - b).abs() < 1e-5 * clean.band.1);
+            }
+        } else {
+            assert!(!out.coverage_gaps.is_empty());
+        }
     }
 
     #[test]
@@ -1051,5 +1462,12 @@ mod tests {
             assert!(r.radius > 0.0);
             assert!(r.cost_units >= r.matvecs as u64);
         }
+        // Zero-fault baseline: nothing injected, nothing quarantined,
+        // full coverage.
+        assert_eq!(out.stats.faults_injected, 0);
+        assert_eq!(out.stats.shifts_quarantined, 0);
+        assert!(out.quarantined.is_empty());
+        assert!(out.coverage_gaps.is_empty());
+        assert_eq!(out.covered_fraction, 1.0);
     }
 }

@@ -41,7 +41,7 @@ pub fn extract_imaginary(pairs: &[ConvergedEigenpair], axis_tol: f64) -> Vec<Ima
 /// (overlapping certified disks legitimately find the same eigenvalue
 /// twice; the better error estimate wins).
 pub fn dedupe(mut eigs: Vec<ImaginaryEigenpair>, merge_tol: f64) -> Vec<ImaginaryEigenpair> {
-    eigs.sort_by(|a, b| a.omega.partial_cmp(&b.omega).unwrap());
+    eigs.sort_by(|a, b| a.omega.total_cmp(&b.omega));
     let mut out: Vec<ImaginaryEigenpair> = Vec::with_capacity(eigs.len());
     for e in eigs {
         match out.last_mut() {

@@ -21,6 +21,18 @@ pub enum HamiltonianError {
         /// Imaginary part of the offending shift.
         im: f64,
     },
+    /// A shifted diagonal block of the realization is near-singular at
+    /// this shift: its inverse would carry non-finite (or catastrophically
+    /// amplified) coefficient bands that poison every subsequent apply.
+    /// Detected at factorization time; callers should nudge the shift,
+    /// exactly as for [`HamiltonianError::ShiftSingular`].
+    NearSingularShift {
+        /// Index of the offending pole block in the realization.
+        block: usize,
+        /// Relative condition estimate of the shifted block (near 0 means
+        /// singular; well-conditioned blocks sit near 1).
+        rcond: f64,
+    },
 }
 
 impl fmt::Display for HamiltonianError {
@@ -37,6 +49,13 @@ impl fmt::Display for HamiltonianError {
                 write!(
                     f,
                     "shift {re}+{im}i is (numerically) an eigenvalue; perturb the shift"
+                )
+            }
+            HamiltonianError::NearSingularShift { block, rcond } => {
+                write!(
+                    f,
+                    "shifted realization block {block} is near-singular \
+                     (rcond ~ {rcond:.3e}); perturb the shift"
                 )
             }
         }
@@ -70,6 +89,12 @@ mod tests {
         assert!(HamiltonianError::ShiftSingular { re: 0.0, im: 2.0 }
             .to_string()
             .contains("2"));
+        assert!(HamiltonianError::NearSingularShift {
+            block: 3,
+            rcond: 1e-16
+        }
+        .to_string()
+        .contains("block 3"));
         let e: HamiltonianError = pheig_linalg::LinalgError::Singular { at: 1 }.into();
         assert!(std::error::Error::source(&e).is_some());
     }

@@ -110,12 +110,28 @@ impl<'a> ShiftInvertOp<'a> {
     ///   `sigma_max(D) >= 1`;
     /// * [`HamiltonianError::ShiftSingular`] when `theta` is an eigenvalue
     ///   of `M` to working precision (the `W` factorization fails) — nudge
-    ///   the shift and retry.
+    ///   the shift and retry;
+    /// * [`HamiltonianError::NearSingularShift`] when a shifted diagonal
+    ///   block of the realization is near-singular at `theta` or `-theta`
+    ///   (a virtually undamped pole probed at its resonance): the fused
+    ///   solve factors would carry Inf/NaN bands. Nudge the shift and
+    ///   retry, exactly as for `ShiftSingular`.
     pub fn new(ss: &'a StateSpace, theta: C64) -> Result<Self, HamiltonianError> {
         // Contractivity check (same invariant the dense build enforces).
         let sigma = pheig_linalg::svd::max_singular_value(&ss.d().to_c64())?;
         if sigma >= 1.0 {
             return Err(HamiltonianError::DirectTermNotContractive);
+        }
+        // Conditioning gate before anything touches the shifted block
+        // inverses: transfer_gram and shift_solve_factors both divide by
+        // the block determinants estimated here, and a near-zero one
+        // produces Inf/NaN factors rather than a clean factorization
+        // error. K1 solves at theta, K2 at -theta — check both.
+        for probe in [theta, -theta] {
+            let (block, rcond) = ss.a().shift_condition(probe);
+            if rcond < 1e-13 {
+                return Err(HamiltonianError::NearSingularShift { block, rcond });
+            }
         }
         let p = ss.ports();
         let g_minus = transfer_gram(ss, theta); // C (A - theta)^{-1} B
@@ -359,6 +375,39 @@ mod tests {
             ShiftInvertOp::new(&ss, C64::from_imag(1.0)),
             Err(HamiltonianError::DirectTermNotContractive)
         ));
+    }
+
+    #[test]
+    fn rejects_near_singular_shift_with_block_identity() {
+        // A virtually undamped pair pole probed exactly at resonance: the
+        // shifted block determinant underflows and the fused factors would
+        // be Inf/NaN. The constructor must refuse with the block index.
+        use pheig_linalg::Matrix as M;
+        use pheig_model::{ColumnTerms, Pole, PoleResidueModel, Residue};
+        let col = ColumnTerms {
+            poles: vec![
+                Pole::Real(-1.0),
+                Pole::Pair {
+                    re: -1e-15,
+                    im: 3.0,
+                },
+            ],
+            residues: vec![
+                Residue::Real(vec![0.05]),
+                Residue::Complex(vec![C64::new(0.02, 0.01)]),
+            ],
+        };
+        let model = PoleResidueModel::new(vec![col], M::from_diag(&[0.1])).unwrap();
+        let ss = model.realize();
+        match ShiftInvertOp::new(&ss, C64::from_imag(3.0)) {
+            Err(HamiltonianError::NearSingularShift { block, rcond }) => {
+                assert_eq!(block, 1);
+                assert!(rcond < 1e-13, "rcond {rcond}");
+            }
+            other => panic!("expected NearSingularShift, got {other:?}"),
+        }
+        // Away from the resonance the same model factors fine.
+        assert!(ShiftInvertOp::new(&ss, C64::from_imag(1.0)).is_ok());
     }
 
     #[test]

@@ -335,6 +335,41 @@ impl BlockDiagonal {
         f
     }
 
+    /// Relative condition estimate of the worst shifted block `A_k - theta I`
+    /// (identical for the transposed/negated variants: transposition only
+    /// flips the sign of the off-diagonal coupling, which enters the block
+    /// determinant squared). Returns `(block_index, rcond)` where `rcond`
+    /// is near 0 for a (numerically) singular shifted block and O(1) for a
+    /// well-conditioned one; an empty matrix reports `rcond = inf`.
+    ///
+    /// [`BlockDiagonal::shift_solve_factors`] divides by exactly the
+    /// quantities estimated here, so callers should reject shifts whose
+    /// `rcond` is near machine precision *before* factoring — otherwise the
+    /// factors silently carry Inf/NaN bands that poison every apply.
+    pub fn shift_condition(&self, theta: C64) -> (usize, f64) {
+        let mut worst = (0usize, f64::INFINITY);
+        for (k, b) in self.blocks.iter().enumerate() {
+            let rcond = match *b {
+                DiagBlock::Real(a) => {
+                    // Factor divides by (a - theta).
+                    let denom = (C64::from_real(a) - theta).abs();
+                    denom / (a.abs() + theta.abs() + f64::MIN_POSITIVE)
+                }
+                DiagBlock::Pair { re, im } => {
+                    // Factor divides by det = d0^2 + im^2, d0 = re - theta.
+                    let d0 = C64::from_real(re) - theta;
+                    let det = d0 * d0 + C64::from_real(im * im);
+                    let scale = d0.abs() + im.abs() + f64::MIN_POSITIVE;
+                    det.abs() / (scale * scale)
+                }
+            };
+            if rcond < worst.1 {
+                worst = (k, rcond);
+            }
+        }
+        worst
+    }
+
     /// Largest pole natural frequency, a cheap upper-bound proxy for the
     /// model's dynamic bandwidth.
     pub fn max_natural_frequency(&self) -> f64 {
@@ -669,5 +704,35 @@ mod tests {
         let b: DiagBlock = p.into();
         assert_eq!(b.pole(), p);
         assert_eq!(b.order(), 2);
+    }
+
+    #[test]
+    fn shift_condition_flags_the_offending_block() {
+        // A virtually undamped pair pole probed exactly at its resonance is
+        // the singular configuration shift_solve_factors cannot absorb.
+        let a = BlockDiagonal::new(vec![
+            DiagBlock::Real(-1.5),
+            DiagBlock::Pair {
+                re: -1e-15,
+                im: 4.0,
+            },
+            DiagBlock::Real(-4.0),
+        ]);
+        let (block, rcond) = a.shift_condition(C64::from_imag(4.0));
+        assert_eq!(block, 1);
+        assert!(rcond < 1e-14, "rcond {rcond}");
+        // Away from resonance every block is comfortably conditioned.
+        let (_, rcond) = a.shift_condition(C64::from_imag(1.0));
+        assert!(rcond > 1e-3, "rcond {rcond}");
+        // Transpose/negate variants share conditioning for imaginary shifts.
+        let (_, rc_neg) = a.shift_condition(-C64::from_imag(4.0));
+        assert!(rc_neg < 1e-14);
+    }
+
+    #[test]
+    fn shift_condition_on_empty_matrix_is_infinite() {
+        let a = BlockDiagonal::new(Vec::new());
+        let (_, rcond) = a.shift_condition(C64::from_imag(1.0));
+        assert!(rcond.is_infinite());
     }
 }

@@ -458,6 +458,130 @@ pub fn scratch_checkout_contention() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Harness 5: panic containment in the cohort protocol.
+// ---------------------------------------------------------------------------
+
+/// The entry whose task body unwinds in the containment harness below.
+const POISONED_ENTRY: usize = 2;
+
+/// Runs one entry's task body, which unwinds when the entry is poisoned.
+/// The stress build genuinely panics and catches it here, exactly like
+/// the executor's task wrapper (`resume_unwind` starts the unwind so the
+/// global panic hook stays quiet — the unwind is the scenario under test,
+/// not noise). Returns `true` when the body unwound.
+#[cfg(not(pheig_model))]
+fn run_poisonable_body(executed: &AtomicUsize, entry: usize) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if entry == POISONED_ENTRY {
+            std::panic::resume_unwind(Box::new("injected harness unwind"));
+        }
+        executed.fetch_add(entry, Ordering::SeqCst);
+    }))
+    .is_err()
+}
+
+/// Model-build twin of the above. The shim's join aborts the whole
+/// exploration on a real child panic, so the unwind is *modeled* as an
+/// early return before the body's work — the cleanup protocol under test
+/// is identical in both worlds.
+#[cfg(pheig_model)]
+fn run_poisonable_body(executed: &AtomicUsize, entry: usize) -> bool {
+    if entry == POISONED_ENTRY {
+        return true;
+    }
+    executed.fetch_add(entry, Ordering::SeqCst);
+    false
+}
+
+/// One protected cohort membership step, mirroring
+/// `Executor::with_workspace` + `run_cohort_caught`: the catch sits
+/// *inside* the scratch checkout window, so the slot release and the
+/// latch tick both run on the unwind path too (a panicked task counts as
+/// completed-with-error, never as missing).
+fn run_entry_contained(
+    pool: &PoolModel,
+    scratch: &ScratchCell<u32>,
+    unwinds: &AtomicUsize,
+    entry: usize,
+) {
+    let unwound = match scratch.try_with(|slot| {
+        *slot += 1;
+        run_poisonable_body(&pool.executed, entry)
+    }) {
+        Checkout::Done(unwound) => unwound,
+        // Contended checkout: production runs the body against a fallback
+        // workspace; the containment protocol is the same either way.
+        Checkout::Contended(_) => run_poisonable_body(&pool.executed, entry),
+    };
+    if unwound {
+        unwinds.fetch_add(1, Ordering::SeqCst);
+    }
+    pool.latch.complete_one(&pool.gate);
+}
+
+/// A cohort member whose task body unwinds must neither deadlock the
+/// latch (the owner's wait returns, across every schedule) nor leak the
+/// scratch slot (a fresh checkout succeeds afterwards), and the sibling
+/// entry's work completes unaffected. This is the protocol half of the
+/// executor's panic-isolation contract; the typed-error surface above it
+/// is covered by `pheig-core`'s own unit and chaos tests.
+pub fn panicking_cohort_task_contained() {
+    let pool = Arc::new(PoolModel::new(2));
+    let scratch = Arc::new(ScratchCell::new(0u32));
+    let unwinds = Arc::new(AtomicUsize::new(0));
+
+    let worker = {
+        let pool = Arc::clone(&pool);
+        let scratch = Arc::clone(&scratch);
+        let unwinds = Arc::clone(&unwinds);
+        thread::spawn(move || {
+            // Iteration-bounded like the other gate harnesses.
+            for _ in 0..6 {
+                if pool.latch.is_done() {
+                    break;
+                }
+                if let Some(entry) = pool.injector.pop() {
+                    run_entry_contained(&pool, &scratch, &unwinds, entry);
+                } else {
+                    pool.gate.park_unless(
+                        || pool.latch.is_done() || pool.injector.maybe_nonempty(),
+                        PARK,
+                    );
+                }
+            }
+        })
+    };
+
+    pool.injector.push(1).unwrap();
+    pool.injector.push(POISONED_ENTRY).unwrap();
+    pool.gate.notify_all();
+    pool.latch.wait(
+        &pool.gate,
+        || match pool.injector.pop() {
+            Some(entry) => {
+                run_entry_contained(&pool, &scratch, &unwinds, entry);
+                true
+            }
+            None => false,
+        },
+        || pool.injector.maybe_nonempty(),
+        PARK,
+    );
+    // The latch closed despite the unwind; the healthy sibling's work ran.
+    assert_eq!(pool.executed.load(Ordering::SeqCst), 1);
+    assert_eq!(unwinds.load(Ordering::SeqCst), 1, "exactly one unwind");
+    // The unwinding task's scratch slot was released, not leaked.
+    match scratch.try_with(|slot| *slot) {
+        Checkout::Done(touches) => assert!(
+            touches <= 2,
+            "scratch touched more often than checked out: {touches}"
+        ),
+        Checkout::Contended(_) => panic!("scratch slot leaked by the unwinding task"),
+    }
+    join(worker);
+}
+
 /// Negative control for the checker itself: the scratch protocol with the
 /// compare-exchange replaced by a load-then-store (a classic TOCTOU bug).
 /// The model build MUST report a data race on this; the stress build

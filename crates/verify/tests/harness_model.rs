@@ -52,6 +52,10 @@ fn harness_suite_is_race_free_across_ten_thousand_schedules() {
         + exhaustive(
             "scratch_checkout_contention",
             harnesses::scratch_checkout_contention,
+        )
+        + exhaustive(
+            "panicking_cohort_task_contained",
+            harnesses::panicking_cohort_task_contained,
         );
     println!("harness suite total: {total} schedules");
     assert!(

@@ -66,6 +66,13 @@ fn cohort_record_lifecycle_stress() {
 }
 
 #[test]
+fn panicking_cohort_task_contained_stress() {
+    for _ in 0..REPS {
+        harnesses::panicking_cohort_task_contained();
+    }
+}
+
+#[test]
 fn scratch_checkout_contention_stress() {
     for _ in 0..REPS {
         harnesses::scratch_checkout_contention();

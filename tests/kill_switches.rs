@@ -1,0 +1,46 @@
+//! Every documented environment kill switch must actually be honored.
+//!
+//! Both hooks (`PHEIG_FAULT_PLAN`, `PHEIG_NO_RECYCLE`) are read once per
+//! process and cached, so this binary holds exactly one test: the
+//! variables are set here, before the first solver call, and both
+//! behaviors are asserted in sequence. Malformed-spec handling is covered
+//! by `pheig-core`'s `fault::parse_rejects_malformed_specs` unit test
+//! (the parse path is identical for the env hook).
+
+use pheig::core::solver::{find_imaginary_eigenvalues, SolverOptions};
+use pheig::core::FaultPlan;
+use pheig::model::generator::{generate_case, CaseSpec};
+
+#[test]
+fn documented_env_kill_switches_are_honored() {
+    std::env::set_var("PHEIG_FAULT_PLAN", "matvecs=1");
+    std::env::set_var("PHEIG_NO_RECYCLE", "1");
+    let ss = generate_case(&CaseSpec::new(20, 3).with_seed(9).with_target_crossings(4))
+        .unwrap()
+        .realize();
+
+    // PHEIG_FAULT_PLAN: the ambient plan arms a 1-matvec budget, so a
+    // default-options sweep must degrade to an honest partial result.
+    let out = find_imaginary_eigenvalues(&ss, &SolverOptions::default()).unwrap();
+    assert!(!out.quarantined.is_empty(), "env fault plan ignored");
+    assert!(out.covered_fraction < 1.0);
+    assert!(!out.coverage_gaps.is_empty());
+
+    // An explicit (empty) plan in the options overrides the env hook, so
+    // this sweep runs healthy...
+    let opts = SolverOptions::default().with_fault_plan(FaultPlan::default());
+    let out = find_imaginary_eigenvalues(&ss, &opts).unwrap();
+    assert!(
+        out.quarantined.is_empty(),
+        "an explicit plan should override the env plan"
+    );
+    assert_eq!(out.covered_fraction, 1.0);
+    assert!(!out.frequencies.is_empty());
+
+    // ...which also proves PHEIG_NO_RECYCLE: the options ask for
+    // recycling (the default), the kill switch wins, and no warm-start
+    // candidate is ever gathered.
+    assert!(SolverOptions::default().recycling);
+    assert_eq!(out.stats.recycle_candidates, 0, "PHEIG_NO_RECYCLE ignored");
+    assert_eq!(out.stats.warm_started_shifts, 0);
+}
